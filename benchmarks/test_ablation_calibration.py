@@ -1,0 +1,35 @@
+"""Ablation benchmark: sensitivity of the headline metrics to each
+calibrated model constant (the design-choice ablations DESIGN.md
+promises).
+
+Regenerates one sensitivity table per calibrated parameter and asserts
+that the paper's qualitative conclusions survive halving/doubling the
+calibrated constants.
+"""
+
+from repro.analysis import AblationStudy
+
+#: The genuinely *calibrated* constants (architectural facts like the
+#: 3-cycle FP-add latency are excluded; see tests/analysis).
+CALIBRATED = (
+    "store_pressure_cycles",
+    "prefetch_residual_cycles",
+    "mlp_random_independent",
+    "cached_access_stall",
+    "seq_queue_coeff",
+)
+
+
+def test_ablation_calibration(benchmark, bench_db):
+    study = AblationStudy(bench_db)
+    figures = benchmark.pedantic(
+        lambda: study.run(parameters=CALIBRATED),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    print()
+    for parameter, figure in figures.items():
+        print(figure.to_text(float_format="{:.3f}"))
+        survives = study.conclusions_survive(figure)
+        print(f"conclusions survive 0.5x/2x of {parameter}: {survives}")
+        print()
+        assert survives

@@ -1,0 +1,13 @@
+"""Figure 1: projection CPU cycles for DBMS R (~50% Retiring) and DBMS C (Retiring-dominated).
+
+Regenerates experiment ``fig01`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig01_projection_commercial_cycles(regenerate, bench_db):
+    figure = regenerate("fig01", bench_db)
+    r4 = figure.row_for(engine="DBMS R", degree=4)
+    c4 = figure.row_for(engine="DBMS C", degree=4)
+    assert 0.3 <= r4["share_retiring"] <= 0.6
+    assert c4["share_retiring"] >= 0.7

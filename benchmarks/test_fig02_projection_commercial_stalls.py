@@ -1,0 +1,12 @@
+"""Figure 2: projection stall cycles; Dcache+Execution dominate DBMS R, no Icache problem.
+
+Regenerates experiment ``fig02`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig02_projection_commercial_stalls(regenerate, bench_db):
+    figure = regenerate("fig02", bench_db)
+    r4 = figure.row_for(engine="DBMS R", degree=4)
+    assert r4["stall_share_dcache"] + r4["stall_share_execution"] > 0.6
+    assert r4["stall_share_icache"] < 0.25

@@ -1,0 +1,13 @@
+"""Figure 3: Typer's stall ratio grows with projectivity; Tectorwise stays flat ~60%.
+
+Regenerates experiment ``fig03`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig03_projection_hpe_cycles(regenerate, bench_db):
+    figure = regenerate("fig03", bench_db)
+    typer = [figure.row_for(engine="Typer", degree=d)["stall_ratio"] for d in (1, 2, 3, 4)]
+    assert all(a < b for a, b in zip(typer, typer[1:]))
+    tw = [figure.row_for(engine="Tectorwise", degree=d)["stall_ratio"] for d in (2, 3, 4)]
+    assert max(tw) - min(tw) < 0.1

@@ -1,0 +1,12 @@
+"""Figure 4: Typer Dcache-dominated; Tectorwise splits Dcache/Execution.
+
+Regenerates experiment ``fig04`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig04_projection_hpe_stalls(regenerate, bench_db):
+    figure = regenerate("fig04", bench_db)
+    assert figure.row_for(engine="Typer", degree=4)["stall_share_dcache"] > 0.6
+    tw = figure.row_for(engine="Tectorwise", degree=4)
+    assert tw["stall_share_dcache"] > 0.3 and tw["stall_share_execution"] > 0.15

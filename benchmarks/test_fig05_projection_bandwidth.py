@@ -1,0 +1,14 @@
+"""Figure 5: Typer nearly saturates the 12 GB/s per-core roof from degree two.
+
+Regenerates experiment ``fig05`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig05_projection_bandwidth(regenerate, bench_db):
+    figure = regenerate("fig05", bench_db)
+    for degree in (2, 3, 4):
+        assert figure.row_for(engine="Typer", degree=degree)["utilization"] >= 0.6
+        typer = figure.row_for(engine="Typer", degree=degree)["bandwidth_gbps"]
+        tw = figure.row_for(engine="Tectorwise", degree=degree)["bandwidth_gbps"]
+        assert tw < typer

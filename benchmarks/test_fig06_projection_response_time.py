@@ -1,0 +1,11 @@
+"""Figure 6: DBMS R ~2 orders of magnitude slower than Typer, DBMS C ~1 order.
+
+Regenerates experiment ``fig06`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig06_projection_response_time(regenerate, bench_db):
+    figure = regenerate("fig06", bench_db)
+    assert 50 <= figure.row_for(engine="DBMS R")["normalized_response"] <= 400
+    assert 5 <= figure.row_for(engine="DBMS C")["normalized_response"] <= 40

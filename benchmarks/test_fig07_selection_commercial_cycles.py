@@ -1,0 +1,13 @@
+"""Figure 7: commercial selection; Retiring grows with selectivity.
+
+Regenerates experiment ``fig07`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig07_selection_commercial_cycles(regenerate, bench_db):
+    figure = regenerate("fig07", bench_db)
+    for engine in ("DBMS R", "DBMS C"):
+        low = figure.row_for(engine=engine, selectivity=0.1)["share_retiring"]
+        high = figure.row_for(engine=engine, selectivity=0.9)["share_retiring"]
+        assert high >= low

@@ -1,0 +1,11 @@
+"""Figure 8: no major instruction-related stalls for the commercial systems.
+
+Regenerates experiment ``fig08`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig08_selection_commercial_stalls(regenerate, bench_db):
+    figure = regenerate("fig08", bench_db)
+    for row in figure.rows:
+        assert row["stall_share_icache"] < 0.3

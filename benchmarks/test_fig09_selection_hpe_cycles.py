@@ -1,0 +1,12 @@
+"""Figure 9: Typer/Tectorwise stall the most at 50% selectivity.
+
+Regenerates experiment ``fig09`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig09_selection_hpe_cycles(regenerate, bench_db):
+    figure = regenerate("fig09", bench_db)
+    for engine in ("Typer", "Tectorwise"):
+        mid = figure.row_for(engine=engine, selectivity=0.5)["stall_ratio"]
+        assert mid > figure.row_for(engine=engine, selectivity=0.9)["stall_ratio"]

@@ -1,0 +1,12 @@
+"""Figure 10: branch mispredictions dominate and peak at 50%.
+
+Regenerates experiment ``fig10`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig10_selection_hpe_stalls(regenerate, bench_db):
+    figure = regenerate("fig10", bench_db)
+    for engine in ("Typer", "Tectorwise"):
+        shares = {s: figure.row_for(engine=engine, selectivity=s)["stall_share_branch_misp"] for s in (0.1, 0.5, 0.9)}
+        assert shares[0.5] > shares[0.1] and shares[0.5] > shares[0.9]

@@ -1,0 +1,11 @@
+"""Figure 11: commercial joins keep 40-75% Retiring across sizes (instruction footprint).
+
+Regenerates experiment ``fig11`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig11_join_commercial_cycles(regenerate, bench_db):
+    figure = regenerate("fig11", bench_db)
+    for row in figure.rows:
+        assert 0.3 <= row["share_retiring"] <= 0.85

@@ -1,0 +1,13 @@
+"""Figure 12: stall ratio grows with join size; Retiring drops sharply for the large join.
+
+Regenerates experiment ``fig12`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig12_join_hpe_cycles(regenerate, join_db):
+    figure = regenerate("fig12", join_db)
+    for engine in ("Typer", "Tectorwise"):
+        sizes = [figure.row_for(engine=engine, size=s)["stall_ratio"] for s in ("small", "medium", "large")]
+        assert sizes[0] < sizes[1] < sizes[2]
+    assert figure.row_for(engine="Typer", size="large")["share_retiring"] <= 0.3

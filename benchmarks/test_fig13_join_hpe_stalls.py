@@ -1,0 +1,12 @@
+"""Figure 13: Dcache dominates the large join; Execution significant for small/medium.
+
+Regenerates experiment ``fig13`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig13_join_hpe_stalls(regenerate, join_db):
+    figure = regenerate("fig13", join_db)
+    for engine in ("Typer", "Tectorwise"):
+        assert figure.row_for(engine=engine, size="large")["stall_share_dcache"] >= 0.6
+        assert figure.row_for(engine=engine, size="small")["stall_share_execution"] >= 0.15

@@ -1,0 +1,13 @@
+"""Figure 14: random bandwidth well below the roof; commercial systems several times slower.
+
+Regenerates experiment ``fig14`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig14_join_bandwidth_response(regenerate, bench_db):
+    figure = regenerate("fig14", bench_db)
+    for engine in ("Typer", "Tectorwise"):
+        row = figure.row_for(engine=engine)
+        assert row["bandwidth_gbps"] < 0.8 * row["max_gbps"]
+    assert figure.row_for(engine="DBMS R")["normalized_response"] > 4.0

@@ -1,0 +1,13 @@
+"""Figure 15: Q1 has the highest Retiring ratio on both engines.
+
+Regenerates experiment ``fig15`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig15_tpch_cycles(regenerate, bench_db):
+    figure = regenerate("fig15", bench_db)
+    for engine in ("Typer", "Tectorwise"):
+        q1 = figure.row_for(engine=engine, query="Q1")["share_retiring"]
+        for query in ("Q6", "Q9", "Q18"):
+            assert q1 > figure.row_for(engine=engine, query=query)["share_retiring"]

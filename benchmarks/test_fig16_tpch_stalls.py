@@ -1,0 +1,13 @@
+"""Figure 16: Q1 Execution-heavy; Q6 branch-bound on Tectorwise; Q9/Q18 Dcache-dominated.
+
+Regenerates experiment ``fig16`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig16_tpch_stalls(regenerate, bench_db):
+    figure = regenerate("fig16", bench_db)
+    assert figure.row_for(engine="Tectorwise", query="Q6")["stall_share_branch_misp"] >= 0.5
+    for engine in ("Typer", "Tectorwise"):
+        assert figure.row_for(engine=engine, query="Q9")["stall_share_dcache"] >= 0.5
+        assert figure.row_for(engine=engine, query="Q1")["stall_share_execution"] >= 0.25

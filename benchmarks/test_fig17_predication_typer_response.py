@@ -1,0 +1,14 @@
+"""Figure 17: predication hurts Typer at 10% and helps at 50/90%.
+
+Regenerates experiment ``fig17`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig17_predication_typer_response(regenerate, bench_db):
+    figure = regenerate("fig17", bench_db)
+    def ms(variant, sel):
+        return figure.row_for(variant=variant, selectivity=sel)["response_ms"]
+    assert ms("predicated", 0.1) > ms("branched", 0.1)
+    assert ms("predicated", 0.5) < ms("branched", 0.5)
+    assert ms("predicated", 0.9) < ms("branched", 0.9)

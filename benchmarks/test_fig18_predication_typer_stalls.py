@@ -1,0 +1,12 @@
+"""Figure 18: predication eliminates Typer's branch misprediction stalls.
+
+Regenerates experiment ``fig18`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig18_predication_typer_stalls(regenerate, bench_db):
+    figure = regenerate("fig18", bench_db)
+    for sel in (0.1, 0.5, 0.9):
+        assert figure.row_for(variant="predicated", selectivity=sel)["branch_misp_ms"] == 0.0
+        assert figure.row_for(variant="branched", selectivity=sel)["branch_misp_ms"] > 0.0

@@ -1,0 +1,13 @@
+"""Figure 19: predication helps Tectorwise at every selectivity.
+
+Regenerates experiment ``fig19`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig19_predication_tectorwise_response(regenerate, bench_db):
+    figure = regenerate("fig19", bench_db)
+    for sel in (0.1, 0.5, 0.9):
+        branched = figure.row_for(variant="branched", selectivity=sel)["response_ms"]
+        predicated = figure.row_for(variant="predicated", selectivity=sel)["response_ms"]
+        assert predicated < branched

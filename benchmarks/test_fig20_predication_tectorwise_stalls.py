@@ -1,0 +1,13 @@
+"""Figure 20: the predicated selection becomes Dcache/Execution-bound.
+
+Regenerates experiment ``fig20`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig20_predication_tectorwise_stalls(regenerate, bench_db):
+    figure = regenerate("fig20", bench_db)
+    for sel in (0.1, 0.5, 0.9):
+        row = figure.row_for(variant="predicated", selectivity=sel)
+        assert row["branch_misp_ms"] == 0.0
+        assert row["dcache_ms"] + row["execution_ms"] > 0.0

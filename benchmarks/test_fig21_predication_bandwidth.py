@@ -1,0 +1,13 @@
+"""Figure 21: predication raises bandwidth; Typer high and stable, Tectorwise peaks at 50%.
+
+Regenerates experiment ``fig21`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig21_predication_bandwidth(regenerate, bench_db):
+    figure = regenerate("fig21", bench_db)
+    typer = [figure.row_for(engine="Typer", selectivity=s, variant="predicated")["bandwidth_gbps"] for s in (0.1, 0.5, 0.9)]
+    assert max(typer) - min(typer) < 0.5 and min(typer) >= 7.0
+    tw = {s: figure.row_for(engine="Tectorwise", selectivity=s, variant="predicated")["bandwidth_gbps"] for s in (0.1, 0.5, 0.9)}
+    assert tw[0.5] >= tw[0.1] and tw[0.5] > tw[0.9]

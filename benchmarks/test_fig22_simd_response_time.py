@@ -1,0 +1,13 @@
+"""Figure 22 (Skylake): SIMD cuts response via a 70-87% Retiring-time drop.
+
+Regenerates experiment ``fig22`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig22_simd_response_time(regenerate, bench_db):
+    figure = regenerate("fig22", bench_db)
+    for case in ("Proj.", "Sel. 50%"):
+        with_simd = figure.row_for(case=case, variant="W/ SIMD")
+        assert with_simd["normalized_response"] < 1.0
+        assert with_simd["normalized_retiring"] < 0.4

@@ -1,0 +1,14 @@
+"""Figure 23 (Skylake): SIMD raises Dcache stalls and cuts Execution stalls.
+
+Regenerates experiment ``fig23`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig23_simd_stall_time(regenerate, bench_db):
+    figure = regenerate("fig23", bench_db)
+    for case in ("Proj.", "Sel. 90%"):
+        scalar = figure.row_for(case=case, variant="W/o SIMD")
+        simd = figure.row_for(case=case, variant="W/ SIMD")
+        assert simd["normalized_dcache"] >= scalar["normalized_dcache"] * 0.95
+        assert simd["normalized_execution"] <= scalar["normalized_execution"]

@@ -1,0 +1,13 @@
+"""Figure 24 (Skylake): SIMD exploits the underutilised bandwidth.
+
+Regenerates experiment ``fig24`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig24_simd_bandwidth(regenerate, bench_db):
+    figure = regenerate("fig24", bench_db)
+    for case in ("Proj.", "Sel. 90%"):
+        scalar = figure.row_for(case=case, variant="W/o SIMD")["bandwidth_gbps"]
+        simd = figure.row_for(case=case, variant="W/ SIMD")["bandwidth_gbps"]
+        assert simd > scalar

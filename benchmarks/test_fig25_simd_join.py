@@ -1,0 +1,13 @@
+"""Figure 25 (Skylake): SIMD join probe: response down, bandwidth up ~50%.
+
+Regenerates experiment ``fig25`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig25_simd_join(regenerate, join_db):
+    figure = regenerate("fig25", join_db)
+    simd = figure.row_for(variant="W/ SIMD")
+    scalar = figure.row_for(variant="W/o SIMD")
+    assert simd["normalized_response"] < 0.85
+    assert simd["bandwidth_gbps"] >= 1.25 * scalar["bandwidth_gbps"]

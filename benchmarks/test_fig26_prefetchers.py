@@ -1,0 +1,14 @@
+"""Figure 26: all-off is severalfold slower; the L2 streamer alone matches all four.
+
+Regenerates experiment ``fig26`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig26_prefetchers(regenerate, join_db):
+    figure = regenerate("fig26", join_db)
+    disabled = figure.row_for(config="All disabled")["response_ms"]
+    enabled = figure.row_for(config="All enabled")["response_ms"]
+    l2_streamer = figure.row_for(config="L2 Str.")["response_ms"]
+    assert 2.0 <= disabled / enabled <= 5.0
+    assert l2_streamer <= enabled * 1.15

@@ -1,0 +1,13 @@
+"""Figure 27: multi-core TPC-H breakdowns keep Q1 as the most Retiring-heavy query.
+
+Regenerates experiment ``fig27`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig27_multicore_tpch_cycles(regenerate, bench_db):
+    figure = regenerate("fig27", bench_db)
+    for engine in ("Typer", "Tectorwise"):
+        q1 = figure.row_for(engine=engine, query="Q1")["share_retiring"]
+        for query in ("Q6", "Q9", "Q18"):
+            assert q1 >= figure.row_for(engine=engine, query=query)["share_retiring"]

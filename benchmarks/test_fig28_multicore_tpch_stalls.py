@@ -1,0 +1,12 @@
+"""Figure 28: multi-core stall composition: Dcache still dominates Q9/Q18.
+
+Regenerates experiment ``fig28`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig28_multicore_tpch_stalls(regenerate, bench_db):
+    figure = regenerate("fig28", bench_db)
+    for engine in ("Typer", "Tectorwise"):
+        for query in ("Q9", "Q18"):
+            assert figure.row_for(engine=engine, query=query)["stall_share_dcache"] >= 0.4

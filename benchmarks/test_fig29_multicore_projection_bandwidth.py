@@ -1,0 +1,12 @@
+"""Figure 29: projection saturates the socket at ~8 (Typer) / ~12 (Tectorwise) threads.
+
+Regenerates experiment ``fig29`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig29_multicore_projection_bandwidth(regenerate, bench_db):
+    figure = regenerate("fig29", bench_db)
+    assert figure.row_for(engine="Typer", threads=8)["bandwidth_gbps"] >= 0.9 * 66.0
+    assert figure.row_for(engine="Tectorwise", threads=8)["bandwidth_gbps"] < 0.9 * 66.0
+    assert figure.row_for(engine="Tectorwise", threads=12)["bandwidth_gbps"] >= 0.75 * 66.0

@@ -1,0 +1,11 @@
+"""Figure 30: the large join leaves the socket's random bandwidth underutilised.
+
+Regenerates experiment ``fig30`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_fig30_multicore_join_bandwidth(regenerate, join_db):
+    figure = regenerate("fig30", join_db)
+    for engine in ("Typer", "Tectorwise"):
+        assert figure.row_for(engine=engine, threads=14)["bandwidth_gbps"] < 0.95 * 60.0

@@ -1,0 +1,20 @@
+"""Validation benchmark: the analytic model's effective parameters
+against the structural (trace-driven) simulators.
+
+Plays the role of the calibration micro-benchmarks a measurement study
+runs before trusting its counters: prefetcher coverage, random-access
+latency mixes and branch misprediction rates, including streams
+measured from the actual generated data.
+"""
+
+from repro.core import ModelValidator
+
+
+def test_model_validation(benchmark, bench_db):
+    validator = ModelValidator()
+    report = benchmark.pedantic(
+        lambda: validator.run(bench_db), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(report.to_text())
+    assert report.passed, report.to_text()

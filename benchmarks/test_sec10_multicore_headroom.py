@@ -1,0 +1,12 @@
+"""Section 10 text: SIMD and hyper-threading raise the join's bandwidth substantially.
+
+Regenerates experiment ``sec10-headroom`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_sec10_multicore_headroom(regenerate, join_db):
+    figure = regenerate("sec10-headroom", join_db)
+    scalar = figure.row_for(engine="Tectorwise", variant="scalar")["bandwidth_gbps"]
+    simd = figure.row_for(engine="Tectorwise", variant="SIMD")["bandwidth_gbps"]
+    assert simd > scalar * 1.15

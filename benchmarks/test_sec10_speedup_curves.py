@@ -1,0 +1,15 @@
+"""Section 10: every system peaks at fourteen threads.
+
+Regenerates experiment ``sec10-speedup`` of the registry (see DESIGN.md) and
+checks the result's headline shape.
+"""
+
+
+def test_sec10_speedup_curves(regenerate, bench_db):
+    figure = regenerate("sec10-speedup", bench_db)
+    for engine in ("Typer", "Tectorwise"):
+        for query in ("Q1", "Q9"):
+            speedups = {row["threads"]: row["speedup"] for row in figure.rows
+                        if row["engine"] == engine and row["query"] == query}
+            assert speedups[14] == max(speedups.values())
+            assert speedups[14] > 4.0

@@ -1,0 +1,14 @@
+"""Section 10 (omitted graph): multi-core TPC-H bandwidth spans projection-high to join-low.
+
+Regenerates experiment ``sec10-tpch-bw`` of the registry (see DESIGN.md) and
+checks the result's headline shape.
+"""
+
+
+def test_sec10_tpch_multicore_bandwidth(regenerate, bench_db):
+    figure = regenerate("sec10-tpch-bw", bench_db)
+    for engine in ("Typer", "Tectorwise"):
+        q6 = figure.row_for(engine=engine, query="Q6 (predicated)")
+        q18 = figure.row_for(engine=engine, query="Q18")
+        assert q6["bandwidth_gbps"] >= 0.8 * q6["max_gbps"]
+        assert q18["bandwidth_gbps"] < 0.6 * q18["max_gbps"]

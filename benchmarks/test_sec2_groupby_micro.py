@@ -1,0 +1,14 @@
+"""Section 2 (omitted graph): the group-by micro-benchmark behaves like the join.
+
+Regenerates experiment ``sec2-groupby`` of the registry (see DESIGN.md) and
+checks the result's headline shape.
+"""
+
+
+def test_sec2_groupby_micro(regenerate, join_db):
+    figure = regenerate("sec2-groupby", join_db)
+    for engine in ("Typer", "Tectorwise"):
+        groupby = figure.row_for(engine=engine, workload="group-by")
+        join = figure.row_for(engine=engine, workload="large join")
+        assert groupby["dominant_stall"] == join["dominant_stall"]
+        assert abs(groupby["stall_ratio"] - join["stall_ratio"]) < 0.25

@@ -1,0 +1,11 @@
+"""Section 4 text: branched selection leaves bandwidth well below the roof.
+
+Regenerates experiment ``sec4-bandwidth`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_sec4_selection_bandwidth(regenerate, bench_db):
+    figure = regenerate("sec4-bandwidth", bench_db)
+    for row in figure.rows:
+        assert row["bandwidth_gbps"] < 0.8 * 12.0

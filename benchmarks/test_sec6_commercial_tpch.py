@@ -1,0 +1,14 @@
+"""Section 6 (omitted discussion): commercial systems on TPC-H.
+
+Regenerates experiment ``sec6-commercial`` of the registry (see DESIGN.md) and
+checks the result's headline shape.
+"""
+
+
+def test_sec6_commercial_tpch(regenerate, bench_db):
+    figure = regenerate("sec6-commercial", bench_db)
+    for query in ("Q1", "Q6", "Q9", "Q18"):
+        r = figure.row_for(engine="DBMS R", query=query)
+        assert r["vs_typer"] > 10.0
+        c = figure.row_for(engine="DBMS C", query=query)
+        assert c["vs_typer"] > 2.0

@@ -1,0 +1,14 @@
+"""Section 6 text: join chains 0-1 (regular); group-by chains 0-7 (irregular).
+
+Regenerates experiment ``sec6-chains`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_sec6_hash_chain_stats(regenerate, bench_db):
+    figure = regenerate("sec6-chains", bench_db)
+    join = figure.row_for(table="hash join")
+    groupby = figure.row_for(table="group by")
+    assert join["max"] <= 2
+    assert groupby["max"] >= 4
+    assert 0.1 <= groupby["mean"] <= 0.45

@@ -1,0 +1,13 @@
+"""Section 7 text: predicated Q6 improves both engines, Tectorwise far more.
+
+Regenerates experiment ``sec7-q6`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_sec7_predicated_q6(regenerate, bench_db):
+    figure = regenerate("sec7-q6", bench_db)
+    typer = figure.row_for(engine="Typer", variant="predicated")["response_change"]
+    tw = figure.row_for(engine="Tectorwise", variant="predicated")["response_change"]
+    assert -0.35 <= typer <= -0.02
+    assert -0.75 <= tw <= -0.3

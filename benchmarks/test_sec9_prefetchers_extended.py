@@ -1,0 +1,12 @@
+"""Section 9 (omitted graphs): prefetcher findings agree on the other scan workloads.
+
+Regenerates experiment ``sec9-extended`` of the registry (see DESIGN.md) and
+checks the result's headline shape.
+"""
+
+
+def test_sec9_prefetchers_extended(regenerate, bench_db):
+    figure = regenerate("sec9-extended", bench_db)
+    for row in figure.rows:
+        assert row["slowdown"] > 1.5
+        assert row["dcache_cut"] > 0.5

@@ -1,0 +1,12 @@
+"""Table 1: Broadwell server parameters, with the MLC-derived rows.
+
+Regenerates experiment ``table1`` of the registry (see DESIGN.md) and
+checks the figure's headline shape.
+"""
+
+
+def test_table1_server_parameters(regenerate, bench_db):
+    figure = regenerate("table1", bench_db)
+    values = dict(zip(figure.column("parameter"), figure.column("value")))
+    assert "12GB/s (sequential)" in values["Per-core bandwidth"]
+    assert "(inclusive) 35MB" in values["L3 (shared)"]

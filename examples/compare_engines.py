@@ -1,0 +1,65 @@
+"""Compare all four profiled systems on one workload.
+
+Reproduces the paper's core comparison (Sections 3 and 5): the two
+commercial systems pay orders of magnitude more retired instructions,
+while the high-performance engines stall on memory -- run the
+projection micro-benchmark and the large hash join across DBMS R,
+DBMS C, Typer and Tectorwise.
+
+Run:  python examples/compare_engines.py [scale_factor]
+"""
+
+import sys
+
+from repro import MicroArchProfiler, generate_database
+from repro.engines import ALL_ENGINES
+from repro.analysis import bandwidth_chart, cycle_chart
+
+
+def show(title: str, reports) -> None:
+    base = min(report.cycles for report in reports.values())
+    print(f"\n=== {title} ===")
+    header = f"{'engine':12s} {'response':>12s} {'vs best':>9s} {'stall':>7s} {'instr/tuple':>12s} {'GB/s':>6s}"
+    print(header)
+    print("-" * len(header))
+    for name, report in reports.items():
+        print(
+            f"{name:12s} {report.response_time_ms:10.2f}ms "
+            f"{report.cycles / base:8.1f}x {report.stall_ratio:6.1%} "
+            f"{report.work.instructions_per_tuple():12.1f} "
+            f"{report.bandwidth.gbps:6.2f}"
+        )
+    print("\nCPU cycle composition:")
+    print(cycle_chart([(name, report.cycle_shares()) for name, report in reports.items()]))
+
+
+def main() -> None:
+    scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    print(f"Generating TPC-H at SF {scale_factor} ...")
+    db = generate_database(scale_factor=scale_factor, seed=42)
+    profiler = MicroArchProfiler()
+    engines = [engine_cls() for engine_cls in ALL_ENGINES]
+
+    projection = {
+        engine.name: profiler.run(engine, "run_projection", db, 4)
+        for engine in engines
+    }
+    show("Projection, degree 4 (Figures 1-6)", projection)
+
+    join = {
+        engine.name: profiler.run(engine, "run_join", db, "large")
+        for engine in engines
+    }
+    show("Large hash join: lineitem x orders (Figures 11-14)", join)
+
+    print("\nSingle-core bandwidth (projection p4, vs the sequential roof):")
+    print(
+        bandwidth_chart(
+            [(name, report.bandwidth.gbps) for name, report in projection.items()],
+            max_gbps=profiler.spec.bandwidth.per_core_seq_gbps,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

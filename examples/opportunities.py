@@ -1,0 +1,57 @@
+"""The "opportunities" half of the paper's title, quantified.
+
+Sweeps the what-if scenarios over the paper's workload archetypes and
+prints the projected speedups: which hardware/software change would
+actually move each workload.  The result mirrors the paper's
+conclusions -- scans want bandwidth, joins want memory-level
+parallelism or cache, selections want branch handling, aggregation
+wants shorter dependency chains.
+
+Run:  python examples/opportunities.py [scale_factor]
+"""
+
+import sys
+
+from repro import MicroArchProfiler, TyperEngine, generate_database
+from repro.core import SCENARIOS, WhatIfAnalyzer
+
+
+def main() -> None:
+    scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 0.2
+    print(f"Generating TPC-H at SF {scale_factor} ...")
+    db = generate_database(scale_factor=scale_factor, seed=42)
+    engine = TyperEngine()
+    analyzer = WhatIfAnalyzer(MicroArchProfiler())
+
+    workloads = {
+        "projection p4 (scan)": engine.run_projection(db, 4),
+        "selection 50% (branchy)": engine.run_selection(db, 0.5),
+        "large join (random)": engine.run_join(db, "large"),
+        "TPC-H Q1 (aggregation)": engine.run_q1(db),
+    }
+
+    names = list(SCENARIOS)
+    header = f"{'scenario':26s}" + "".join(f"{label.split(' (')[0]:>16s}" for label in workloads)
+    print(f"\nProjected speedups on {analyzer.profiler.spec.name} (Typer):")
+    print(header)
+    print("-" * len(header))
+    sweeps = {
+        label: analyzer.sweep(engine, result) for label, result in workloads.items()
+    }
+    for name in names:
+        row = f"{name:26s}"
+        for label in workloads:
+            row += f"{sweeps[label][name].speedup:15.2f}x"
+        print(row)
+
+    print("\nBest opportunity per workload:")
+    for label, results in sweeps.items():
+        best = WhatIfAnalyzer.best_opportunity(results)
+        print(
+            f"  {label:26s} -> {best:26s} "
+            f"({results[best].speedup:4.2f}x; {SCENARIOS[best].description.split('(')[0].strip()})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Quickstart: profile one query the way the paper profiles it.
+
+Generates a small TPC-H database, runs the projection micro-benchmark
+of degree four on the compiled engine (Typer), and prints the VTune-
+style Top-Down breakdown plus bandwidth utilisation.
+
+Run:  python examples/quickstart.py [scale_factor]
+"""
+
+import sys
+
+from repro import MicroArchProfiler, TyperEngine, generate_database
+from repro.analysis import cycle_chart
+
+
+def main() -> None:
+    scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    print(f"Generating TPC-H at SF {scale_factor} ...")
+    db = generate_database(scale_factor=scale_factor, seed=42, tables=("lineitem",))
+    print(f"  lineitem: {db['lineitem'].n_rows:,} rows")
+
+    engine = TyperEngine()
+    profiler = MicroArchProfiler()  # the paper's Broadwell server
+    report = profiler.run(engine, "run_projection", db, 4)
+
+    print(f"\n{report.label} on {profiler.spec.name}")
+    print(f"  result checksum : {engine.run_projection(db, 4).value:,.2f}")
+    print(f"  response time   : {report.response_time_ms:8.2f} ms")
+    print(f"  instructions    : {report.work.instructions_per_tuple():8.2f} per tuple")
+    print(f"  stall cycles    : {report.stall_ratio:8.1%}")
+    print(f"  bandwidth       : {report.bandwidth.gbps:8.2f} GB/s "
+          f"(max {report.bandwidth.max_gbps:.0f} GB/s)")
+
+    print("\nCPU cycles breakdown (Figure 3 style):")
+    print(cycle_chart([(report.workload, report.cycle_shares())]))
+
+    print("\nStall cycles breakdown (Figure 4 style):")
+    print(cycle_chart([(report.workload, report.stall_shares())]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Walks the experiment registry (DESIGN.md's per-experiment index),
+executes each experiment on shared databases and writes a full text
+report.  This is the batch equivalent of
+``python -m repro.analysis run all``.
+
+Run:  python examples/regenerate_paper.py [scale_factor] [output.txt]
+"""
+
+import sys
+import time
+
+from repro.analysis import EXPERIMENTS
+from repro.tpch import generate_database
+
+
+def main() -> None:
+    scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 0.2
+    output_path = sys.argv[2] if len(sys.argv) > 2 else "paper_report.txt"
+
+    print(f"Generating TPC-H at SF {scale_factor} ...")
+    db = generate_database(scale_factor=scale_factor, seed=42)
+
+    sections = []
+    for experiment_id, spec in EXPERIMENTS.items():
+        started = time.perf_counter()
+        figure = spec.execute(db=db)
+        elapsed = time.perf_counter() - started
+        print(f"  {experiment_id:15s} {spec.title:45s} [{elapsed:5.1f}s]")
+        block = [figure.to_text()]
+        if spec.paper_claim:
+            block.append(f"paper claim: {spec.paper_claim}")
+        sections.append("\n".join(block))
+
+    report = (
+        f"Reproduction report -- Micro-architectural Analysis of OLAP\n"
+        f"TPC-H scale factor {scale_factor}\n\n" + "\n\n".join(sections) + "\n"
+    )
+    with open(output_path, "w") as fh:
+        fh.write(report)
+    print(f"\nWrote {output_path} ({len(sections)} experiments).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Scale-factor study: where cache-residency crossovers fall.
+
+The paper runs at SF 5 so working sets dwarf the caches; this study
+sweeps the scale factor and shows the crossovers the machine model
+predicts: the large join's hash table crossing the 35 MB L3 turns its
+probes from L3 hits into DRAM misses, and the stall profile with it.
+Useful for picking a scale factor when reproducing the paper's shapes.
+
+Run:  python examples/scale_study.py [sf1 sf2 ...]
+"""
+
+import sys
+
+from repro import BROADWELL, MicroArchProfiler, TyperEngine, generate_database
+
+DEFAULT_SWEEP = (0.05, 0.2, 0.5, 1.0)
+
+
+def main() -> None:
+    scale_factors = (
+        tuple(float(arg) for arg in sys.argv[1:]) if len(sys.argv) > 1 else DEFAULT_SWEEP
+    )
+    profiler = MicroArchProfiler()
+    engine = TyperEngine()
+    l3 = BROADWELL.l3.size_bytes / 1e6
+
+    header = (
+        f"{'SF':>5s} {'lineitem':>10s} {'HT (MB)':>8s} {'vs L3':>6s} "
+        f"{'join stall':>11s} {'join dcache':>12s} {'join GB/s':>10s} {'proj stall':>11s}"
+    )
+    print(f"L3 = {l3:.0f} MB; watching the large join's hash table cross it:\n")
+    print(header)
+    print("-" * len(header))
+    for scale_factor in scale_factors:
+        db = generate_database(
+            scale_factor=scale_factor, seed=42,
+            tables=("lineitem", "orders"),
+        )
+        join = engine.run_join(db, "large")
+        join_report = profiler.profile(engine, join)
+        projection_report = profiler.run(engine, "run_projection", db, 4)
+        ht_mb = join.details["hash_table_bytes"] / 1e6
+        print(
+            f"{scale_factor:5.2f} {db['lineitem'].n_rows:10,d} {ht_mb:8.1f} "
+            f"{ht_mb / l3:5.1f}x {join_report.stall_ratio:10.1%} "
+            f"{join_report.stall_shares()['dcache']:11.1%} "
+            f"{join_report.bandwidth.gbps:10.2f} {projection_report.stall_ratio:10.1%}"
+        )
+    print(
+        "\nThe join's stall ratio climbs as the hash table outgrows the L3 "
+        "(the paper's SF 5 sits far beyond the crossover); the projection's "
+        "profile is scale-free once the columns exceed the cache."
+    )
+
+
+if __name__ == "__main__":
+    main()

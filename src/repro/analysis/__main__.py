@@ -1,0 +1,72 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro.analysis list
+    python -m repro.analysis run fig03 [--sf 0.3] [--seed 42]
+    python -m repro.analysis run all   [--sf 0.3]
+    python -m repro.analysis validate  [--sf 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.registry import (
+    DEFAULT_SCALE_FACTOR,
+    DEFAULT_SEED,
+    EXPERIMENTS,
+    run_experiment,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Regenerate the paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list all experiments")
+    runner = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    runner.add_argument("experiment", help="experiment id, e.g. fig03, or 'all'")
+    runner.add_argument("--sf", type=float, default=DEFAULT_SCALE_FACTOR,
+                        help="TPC-H scale factor")
+    runner.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    validator = subparsers.add_parser(
+        "validate",
+        help="cross-validate the analytic model against the trace simulators",
+    )
+    validator.add_argument("--sf", type=float, default=0.05)
+    validator.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "validate":
+        from repro.core.validation import ModelValidator
+        from repro.tpch import generate_database
+
+        db = generate_database(scale_factor=args.sf, seed=args.seed, tables=("lineitem",))
+        report = ModelValidator().run(db)
+        print(report.to_text())
+        return 0 if report.passed else 1
+    if args.command == "list":
+        width = max(len(key) for key in EXPERIMENTS)
+        for key, spec in EXPERIMENTS.items():
+            print(f"{key.ljust(width)}  {spec.title}")
+            if spec.paper_claim:
+                print(f"{' ' * width}  paper: {spec.paper_claim}")
+        return 0
+
+    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in targets:
+        figure = run_experiment(experiment_id, scale_factor=args.sf, seed=args.seed)
+        print(figure.to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,158 @@
+"""Ablation study of the cycle model's calibration parameters.
+
+The analytic model has a small set of calibrated constants
+(:class:`~repro.core.cyclemodel.CalibrationParams`).  This module
+measures how the paper's headline metrics respond when each constant is
+scaled up and down, answering two questions the reproduction must be
+able to defend:
+
+1. *Robustness* — which qualitative conclusions survive large parameter
+   perturbations (they should nearly all survive: the claims are about
+   orderings, not absolute values)?
+2. *Attribution* — which constant is responsible for which effect
+   (e.g. ``prefetch_residual_cycles`` drives the "prefetchers are not
+   fast enough" stalls, ``seq_queue_coeff`` the super-linear Dcache
+   growth)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Callable
+
+from repro.engines import TectorwiseEngine, TyperEngine
+from repro.hardware.spec import BROADWELL
+from repro.core.cyclemodel import CalibrationParams
+from repro.core.profiler import MicroArchProfiler
+from repro.analysis.result import FigureResult
+
+#: Parameters with a None default cannot be scaled.
+_SCALABLE = tuple(
+    field.name
+    for field in fields(CalibrationParams)
+    if isinstance(getattr(CalibrationParams(), field.name), (int, float))
+)
+
+
+@dataclass(frozen=True)
+class Metric:
+    """A named scalar the ablation tracks."""
+
+    name: str
+    #: Claimed direction of the paper conclusion this metric anchors.
+    claim: str
+    compute: Callable[[MicroArchProfiler, object], float]
+
+
+def _typer_p4_stall(profiler, db) -> float:
+    engine = TyperEngine()
+    return profiler.profile(engine, engine.run_projection(db, 4)).stall_ratio
+
+
+def _typer_stall_growth(profiler, db) -> float:
+    """Typer p4 stall ratio minus p1 stall ratio (positive = grows)."""
+    engine = TyperEngine()
+    p1 = profiler.profile(engine, engine.run_projection(db, 1)).stall_ratio
+    p4 = profiler.profile(engine, engine.run_projection(db, 4)).stall_ratio
+    return p4 - p1
+
+
+def _selection_branch_peak(profiler, db) -> float:
+    """Branch share at 50% minus the max share at 10/90% (Typer)."""
+    engine = TyperEngine()
+    shares = {
+        selectivity: profiler.profile(
+            engine, engine.run_selection(db, selectivity)
+        ).stall_shares()["branch_misp"]
+        for selectivity in (0.1, 0.5, 0.9)
+    }
+    return shares[0.5] - max(shares[0.1], shares[0.9])
+
+
+def _large_join_dcache_share(profiler, db) -> float:
+    engine = TyperEngine()
+    return profiler.profile(engine, engine.run_join(db, "large")).stall_shares()["dcache"]
+
+
+def _tectorwise_vs_typer_bandwidth(profiler, db) -> float:
+    """Tectorwise / Typer projection bandwidth (must stay < 1)."""
+    typer, tectorwise = TyperEngine(), TectorwiseEngine()
+    typer_bw = profiler.profile(typer, typer.run_projection(db, 4)).bandwidth.gbps
+    tw_bw = profiler.profile(
+        tectorwise, tectorwise.run_projection(db, 4)
+    ).bandwidth.gbps
+    return tw_bw / typer_bw
+
+
+METRICS = (
+    Metric("typer_p4_stall_ratio", "in [0.25, 0.82]", _typer_p4_stall),
+    Metric("typer_stall_growth_p1_to_p4", "> 0", _typer_stall_growth),
+    Metric("selection_branch_peak_at_50", "> 0", _selection_branch_peak),
+    Metric("large_join_dcache_share", "> 0.5", _large_join_dcache_share),
+    Metric("tectorwise_over_typer_bandwidth", "< 1", _tectorwise_vs_typer_bandwidth),
+)
+
+
+class AblationStudy:
+    """Scales each calibration parameter and recomputes the metrics."""
+
+    def __init__(self, db, spec=BROADWELL, factors=(0.5, 2.0)):
+        self.db = db
+        self.spec = spec
+        self.factors = factors
+
+    def _profiler(self, params: CalibrationParams) -> MicroArchProfiler:
+        return MicroArchProfiler(spec=self.spec, params=params)
+
+    def baseline(self) -> dict[str, float]:
+        profiler = self._profiler(CalibrationParams())
+        return {metric.name: metric.compute(profiler, self.db) for metric in METRICS}
+
+    def ablate(self, parameter: str) -> FigureResult:
+        """Sweep one parameter; returns a figure with one row per factor."""
+        if parameter not in _SCALABLE:
+            raise ValueError(
+                f"unknown or non-scalable parameter {parameter!r}; "
+                f"choose from {_SCALABLE}"
+            )
+        base = CalibrationParams()
+        figure = FigureResult(
+            f"ablation-{parameter}",
+            f"Sensitivity of headline metrics to {parameter}",
+            ("factor", "value", *(metric.name for metric in METRICS)),
+        )
+        for factor in (1.0, *self.factors):
+            value = getattr(base, parameter) * factor
+            params = replace(base, **{parameter: value})
+            profiler = self._profiler(params)
+            row = {"factor": factor, "value": value}
+            for metric in METRICS:
+                row[metric.name] = metric.compute(profiler, self.db)
+            figure.rows.append(row)
+        return figure
+
+    def run(self, parameters=None) -> dict[str, FigureResult]:
+        """Ablate every (or the given) calibration parameter."""
+        names = parameters or _SCALABLE
+        return {name: self.ablate(name) for name in names}
+
+    def conclusions_survive(self, figure: FigureResult) -> bool:
+        """Check that the paper's qualitative claims hold in every row
+        of an ablation figure (the robustness question)."""
+        for row in figure.rows:
+            if not 0.15 <= row["typer_p4_stall_ratio"] <= 0.9:
+                return False
+            if row["typer_stall_growth_p1_to_p4"] <= -0.02:
+                return False
+            if row["selection_branch_peak_at_50"] <= 0.0:
+                return False
+            if row["large_join_dcache_share"] <= 0.4:
+                return False
+            if row["tectorwise_over_typer_bandwidth"] >= 1.0:
+                return False
+        return True
+
+
+def scalable_parameters() -> tuple[str, ...]:
+    """Calibration parameters the ablation can scale."""
+    return _SCALABLE

@@ -1,0 +1,90 @@
+"""Text rendering of the paper's stacked-bar figures.
+
+The paper's cycle/stall breakdowns are 100%-stacked bar charts; the
+terminal equivalent here renders one bar per row with one glyph per
+component, matching the legend ordering of the figures.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.tmam import COMPONENTS, STALL_COMPONENTS
+
+#: Glyphs per component, in the paper's legend order.
+COMPONENT_GLYPHS = {
+    "retiring": "R",
+    "execution": "E",
+    "dcache": "D",
+    "decoding": "o",
+    "icache": "I",
+    "branch_misp": "B",
+}
+
+LEGEND = (
+    "R=Retiring  E=Execution  D=Dcache  o=Decoding  I=Icache  B=Branch misp."
+)
+
+
+def stacked_bar(shares: dict[str, float], width: int = 50) -> str:
+    """Render one 100%-stacked bar from component shares.
+
+    Components are drawn in the paper's stacking order; rounding
+    leftovers go to the largest component so the bar is always exactly
+    ``width`` glyphs when shares sum to ~1.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    total = sum(shares.values())
+    if total <= 0:
+        return " " * width
+    ordered = [name for name in COMPONENTS if name in shares]
+    ordered += [name for name in shares if name not in ordered]
+    cells: list[str] = []
+    for name in ordered:
+        count = round(shares[name] / total * width)
+        cells.append(COMPONENT_GLYPHS.get(name, "?") * count)
+    bar = "".join(cells)
+    if len(bar) > width:
+        bar = bar[:width]
+    elif len(bar) < width:
+        largest = max(ordered, key=lambda name: shares[name])
+        bar += COMPONENT_GLYPHS.get(largest, "?") * (width - len(bar))
+    return bar
+
+
+def cycle_chart(labeled_shares: list[tuple[str, dict[str, float]]], width: int = 50) -> str:
+    """Render a labelled set of stacked bars (one paper figure)."""
+    if not labeled_shares:
+        return LEGEND
+    label_width = max(len(label) for label, _ in labeled_shares)
+    lines = [
+        f"{label.ljust(label_width)} |{stacked_bar(shares, width)}|"
+        for label, shares in labeled_shares
+    ]
+    lines.append(LEGEND)
+    return "\n".join(lines)
+
+
+def bandwidth_chart(
+    labeled_gbps: list[tuple[str, float]], max_gbps: float, width: int = 50
+) -> str:
+    """Render bandwidth bars against the machine's MAX line
+    (Figures 5, 21, 24, 29, 30)."""
+    if max_gbps <= 0:
+        raise ValueError("max_gbps must be positive")
+    label_width = max(len(label) for label, _ in labeled_gbps) if labeled_gbps else 0
+    lines = []
+    for label, gbps in labeled_gbps:
+        filled = min(width, round(gbps / max_gbps * width))
+        bar = "#" * filled + " " * (width - filled)
+        lines.append(f"{label.ljust(label_width)} |{bar}| {gbps:5.1f} GB/s")
+    lines.append(f"{'MAX'.ljust(label_width)} |{'#' * width}| {max_gbps:5.1f} GB/s")
+    return "\n".join(lines)
+
+
+def stall_chart(labeled_shares: list[tuple[str, dict[str, float]]], width: int = 50) -> str:
+    """Stacked bars over the stall components only (Fig 2/4/8/10/...)."""
+    filtered = [
+        (label, {name: shares.get(name, 0.0) for name in STALL_COMPONENTS})
+        for label, shares in labeled_shares
+    ]
+    return cycle_chart(filtered, width)

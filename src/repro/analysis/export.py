@@ -1,0 +1,86 @@
+"""Export of regenerated figures: Markdown, CSV and JSON.
+
+The text tables of :class:`~repro.analysis.result.FigureResult` are
+fine in a terminal; this module renders them for documents and
+downstream tooling (the EXPERIMENTS.md tables were produced this way).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.analysis.result import FigureResult
+
+
+def _format(value, float_format: str = "{:.3f}") -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return float_format.format(value)
+    if value is None:
+        return ""
+    return str(value)
+
+
+def to_markdown(figure: FigureResult, float_format: str = "{:.3f}") -> str:
+    """Render a figure as a GitHub-flavoured Markdown table."""
+    lines = [f"### {figure.figure_id}: {figure.title}", ""]
+    header = "| " + " | ".join(figure.columns) + " |"
+    separator = "|" + "|".join("---" for _ in figure.columns) + "|"
+    lines.extend([header, separator])
+    for row in figure.rows:
+        cells = [_format(row.get(column), float_format) for column in figure.columns]
+        lines.append("| " + " | ".join(cells) + " |")
+    for note in figure.notes:
+        lines.extend(["", f"> {note}"])
+    return "\n".join(lines)
+
+
+def to_csv(figure: FigureResult) -> str:
+    """Render a figure's rows as CSV (header included)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(figure.columns))
+    writer.writeheader()
+    for row in figure.rows:
+        writer.writerow({column: row.get(column) for column in figure.columns})
+    return buffer.getvalue()
+
+
+def to_json(figure: FigureResult, indent: int | None = 2) -> str:
+    """Render a figure (metadata + rows + notes) as JSON."""
+    payload = {
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "columns": list(figure.columns),
+        "rows": figure.rows,
+        "notes": list(figure.notes),
+    }
+    return json.dumps(payload, indent=indent, default=float)
+
+
+def from_json(text: str) -> FigureResult:
+    """Rebuild a figure from its JSON export (round-trip support)."""
+    payload = json.loads(text)
+    figure = FigureResult(
+        figure_id=payload["figure_id"],
+        title=payload["title"],
+        columns=tuple(payload["columns"]),
+        rows=list(payload["rows"]),
+        notes=list(payload["notes"]),
+    )
+    return figure
+
+
+def write_report(figures, path: str, fmt: str = "markdown") -> int:
+    """Write many figures to one file; returns the figure count."""
+    renderers = {"markdown": to_markdown, "csv": to_csv, "json": to_json}
+    if fmt not in renderers:
+        raise ValueError(f"unknown format {fmt!r}; expected one of {sorted(renderers)}")
+    render = renderers[fmt]
+    blocks = [render(figure) for figure in figures]
+    separator = "\n\n" if fmt != "csv" else "\n"
+    with open(path, "w") as handle:
+        handle.write(separator.join(blocks) + "\n")
+    return len(blocks)

@@ -1,0 +1,69 @@
+"""The paper's contribution: VTune-style micro-architectural profiling
+of OLAP executions -- work measurement, Top-Down cycle accounting,
+bandwidth estimation, multi-core scaling and trace-driven validation."""
+
+from repro.core.workprofile import (
+    BranchStream,
+    RandomAccessPattern,
+    SparseScanPattern,
+    WorkProfile,
+)
+from repro.core.cyclemodel import (
+    CalibrationParams,
+    CycleModel,
+    DEFAULT_CALIBRATION,
+    ExecutionContext,
+)
+from repro.core.bandwidth import BandwidthEstimator, BandwidthUsage, dominant_access_pattern
+from repro.core.report import COMPONENT_LABELS, ProfileReport
+from repro.core.profiler import MicroArchProfiler
+from repro.core.multicore import THREAD_SWEEP, MulticoreModel, MulticoreRun
+from repro.core.whatif import SCENARIOS, Scenario, WhatIfAnalyzer, WhatIfResult
+from repro.core.validation import ModelValidator, ValidationReport, ValidationRow
+from repro.core.tracesim import (
+    ProfileTraceEstimate,
+    TraceResult,
+    TraceSimulator,
+    bernoulli_outcomes,
+    gshare_mispredict_rate,
+    random_trace,
+    sequential_trace,
+    simulate_profile,
+    sparse_trace,
+)
+
+__all__ = [
+    "BandwidthEstimator",
+    "BandwidthUsage",
+    "BranchStream",
+    "CalibrationParams",
+    "COMPONENT_LABELS",
+    "CycleModel",
+    "DEFAULT_CALIBRATION",
+    "ExecutionContext",
+    "MicroArchProfiler",
+    "ModelValidator",
+    "MulticoreModel",
+    "MulticoreRun",
+    "ProfileReport",
+    "ProfileTraceEstimate",
+    "RandomAccessPattern",
+    "SCENARIOS",
+    "Scenario",
+    "SparseScanPattern",
+    "THREAD_SWEEP",
+    "TraceResult",
+    "TraceSimulator",
+    "ValidationReport",
+    "ValidationRow",
+    "WhatIfAnalyzer",
+    "WhatIfResult",
+    "WorkProfile",
+    "bernoulli_outcomes",
+    "dominant_access_pattern",
+    "gshare_mispredict_rate",
+    "random_trace",
+    "simulate_profile",
+    "sequential_trace",
+    "sparse_trace",
+]

@@ -1,0 +1,91 @@
+"""Memory-bandwidth estimation (the paper's VTune memory-access view).
+
+The paper reports average per-socket bandwidth while a query runs.
+Here the same number is derived from the measured traffic of a
+:class:`~repro.core.workprofile.WorkProfile` and the modelled response
+time: GB/s = traffic / time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import ServerSpec
+from repro.hardware.tmam import CycleBreakdown
+from repro.core.cyclemodel import CycleModel, ExecutionContext
+from repro.core.workprofile import WorkProfile
+
+
+@dataclass(frozen=True)
+class BandwidthUsage:
+    """Measured bandwidth next to the attainable maximum."""
+
+    gbps: float
+    max_gbps: float
+    access_pattern: str
+
+    @property
+    def utilization(self) -> float:
+        return self.gbps / self.max_gbps if self.max_gbps else 0.0
+
+    @property
+    def saturated(self) -> bool:
+        """The paper treats ~90% of the roof as saturation."""
+        return self.utilization >= 0.9
+
+
+def dominant_access_pattern(profile: WorkProfile) -> str:
+    """Whether the run's DRAM traffic is mostly streaming or random."""
+    random_bytes = profile.random_bytes
+    return "random" if random_bytes > profile.streamed_bytes else "sequential"
+
+
+class BandwidthEstimator:
+    """Derives bandwidth figures from work profiles and breakdowns."""
+
+    def __init__(self, model: CycleModel):
+        self.model = model
+
+    @property
+    def spec(self) -> ServerSpec:
+        return self.model.spec
+
+    def usage(
+        self,
+        profile: WorkProfile,
+        breakdown: CycleBreakdown,
+        context: ExecutionContext | None = None,
+    ) -> BandwidthUsage:
+        """Average bandwidth over the run (single thread's share)."""
+        context = context or ExecutionContext()
+        traffic = self.model.memory_traffic_bytes(profile, context)
+        seconds = self.spec.cycles_to_seconds(breakdown.total)
+        gbps = traffic / seconds / 1e9 if seconds else 0.0
+        pattern = dominant_access_pattern(profile)
+        max_gbps = self.spec.bandwidth.per_core(pattern)
+        return BandwidthUsage(gbps=gbps, max_gbps=max_gbps, access_pattern=pattern)
+
+    def multicore_usage(
+        self,
+        profile: WorkProfile,
+        context: ExecutionContext,
+    ) -> BandwidthUsage:
+        """Aggregate socket bandwidth of a data-parallel run.
+
+        ``profile`` is one thread's share of the work.  Each thread
+        *offers* the bandwidth it would pull with the socket to itself;
+        the memory controllers serve the sum until the socket roof --
+        at saturation all the queueing-inflated stall time is transfer
+        time, so the aggregate sits on the roof (Figures 29/30).
+        """
+        unconstrained = ExecutionContext(
+            threads=1,
+            prefetchers=context.prefetchers,
+            hyper_threading=context.hyper_threading,
+        )
+        solo_breakdown = self.model.breakdown(profile, unconstrained)
+        solo = self.usage(profile, solo_breakdown, unconstrained)
+        pattern = solo.access_pattern
+        socket_max = self.spec.bandwidth.per_socket(pattern)
+        aggregate = min(solo.gbps * context.threads, socket_max)
+        return BandwidthUsage(gbps=aggregate, max_gbps=socket_max, access_pattern=pattern)

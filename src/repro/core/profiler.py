@@ -1,0 +1,109 @@
+"""The micro-architectural profiler: the paper's measurement harness.
+
+Where the paper wraps each query in a VTune collection run, this
+profiler wraps an engine execution: it runs the query (for real),
+collects the measured :class:`~repro.core.workprofile.WorkProfile` and
+turns it into a :class:`~repro.core.report.ProfileReport` carrying the
+TMAM cycle breakdown, response time and bandwidth utilisation.
+"""
+
+from __future__ import annotations
+
+from repro.engines.base import Engine, QueryResult
+from repro.hardware.spec import BROADWELL, ServerSpec
+from repro.core.bandwidth import BandwidthEstimator
+from repro.core.cyclemodel import CalibrationParams, CycleModel, ExecutionContext
+from repro.core.report import ProfileReport
+
+
+class MicroArchProfiler:
+    """Profiles engine executions on a modelled server."""
+
+    def __init__(
+        self,
+        spec: ServerSpec = BROADWELL,
+        params: CalibrationParams | None = None,
+        context: ExecutionContext | None = None,
+    ):
+        self.spec = spec
+        self.model = CycleModel(spec, params)
+        self.estimator = BandwidthEstimator(self.model)
+        self.context = context or ExecutionContext()
+
+    def profile(
+        self,
+        engine: Engine | str,
+        result: QueryResult,
+        context: ExecutionContext | None = None,
+    ) -> ProfileReport:
+        """Turn a finished execution into a profile report."""
+        context = context or self.context
+        engine_name = engine if isinstance(engine, str) else engine.name
+        breakdown = self.model.breakdown(result.work, context)
+        bandwidth = self.estimator.usage(result.work, breakdown, context)
+        return ProfileReport(
+            engine=engine_name,
+            workload=result.workload,
+            breakdown=breakdown,
+            bandwidth=bandwidth,
+            work=result.work,
+            spec=self.spec,
+            threads=context.threads,
+        )
+
+    def run(
+        self,
+        engine: Engine,
+        method: str,
+        *args,
+        context: ExecutionContext | None = None,
+        **kwargs,
+    ) -> ProfileReport:
+        """Execute ``engine.<method>(*args, **kwargs)`` and profile it.
+
+        Example::
+
+            profiler.run(TyperEngine(), "run_projection", db, 4)
+        """
+        runner = getattr(engine, method)
+        result = runner(*args, **kwargs)
+        if not isinstance(result, QueryResult):
+            raise TypeError(f"{method} did not return a QueryResult")
+        return self.profile(engine, result, context)
+
+    def operator_reports(
+        self,
+        engine: Engine | str,
+        result: QueryResult,
+        context: ExecutionContext | None = None,
+    ) -> dict[str, ProfileReport]:
+        """Per-operator reports for executions that recorded them.
+
+        Each operator's profile is accounted independently, matching
+        how the paper profiles operators through the micro-benchmarks
+        (Section 6: operator behaviour predicts query behaviour).  Note
+        that the components are not strictly additive across operators:
+        profile-wide effects (bandwidth floors, compute/memory overlap)
+        are evaluated per profile.
+        """
+        context = context or self.context
+        engine_name = engine if isinstance(engine, str) else engine.name
+        operators = result.operator_work
+        if not operators:
+            raise ValueError(
+                f"{result.workload} recorded no per-operator profiles"
+            )
+        reports = {}
+        for name, profile in operators.items():
+            breakdown = self.model.breakdown(profile, context)
+            bandwidth = self.estimator.usage(profile, breakdown, context)
+            reports[name] = ProfileReport(
+                engine=engine_name,
+                workload=f"{result.workload}/{name}",
+                breakdown=breakdown,
+                bandwidth=bandwidth,
+                work=profile,
+                spec=self.spec,
+                threads=context.threads,
+            )
+        return reports

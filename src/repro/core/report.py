@@ -1,0 +1,104 @@
+"""Profile reports: the unit of output of the profiler.
+
+A :class:`ProfileReport` bundles what one paper data point shows: the
+TMAM cycle breakdown, the response time and the bandwidth utilisation
+of one (engine, workload) execution, plus helpers for the normalised
+views the paper's figures use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import ServerSpec
+from repro.hardware.tmam import COMPONENTS, STALL_COMPONENTS, CycleBreakdown
+from repro.core.bandwidth import BandwidthUsage
+from repro.core.workprofile import WorkProfile
+
+#: Human-readable component labels, matching the paper's legends.
+COMPONENT_LABELS = {
+    "retiring": "Retiring",
+    "branch_misp": "Branch misp.",
+    "icache": "Icache",
+    "decoding": "Decoding",
+    "dcache": "Dcache",
+    "execution": "Execution",
+}
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """One profiled data point."""
+
+    engine: str
+    workload: str
+    breakdown: CycleBreakdown
+    bandwidth: BandwidthUsage
+    work: WorkProfile
+    spec: ServerSpec
+    threads: int = 1
+
+    @property
+    def label(self) -> str:
+        return f"{self.engine}/{self.workload}"
+
+    @property
+    def cycles(self) -> float:
+        return self.breakdown.total
+
+    @property
+    def response_time_ms(self) -> float:
+        return self.spec.cycles_to_ms(self.breakdown.total)
+
+    @property
+    def stall_ratio(self) -> float:
+        return self.breakdown.stall_ratio
+
+    @property
+    def retiring_ratio(self) -> float:
+        return self.breakdown.retiring_ratio
+
+    def cycle_shares(self) -> dict[str, float]:
+        return self.breakdown.cycle_shares()
+
+    def stall_shares(self) -> dict[str, float]:
+        return self.breakdown.stall_shares()
+
+    def time_breakdown_ms(self) -> dict[str, float]:
+        """Per-component response time in milliseconds (the paper's
+        response/stall *time* figures, e.g. Figures 17-20, 26)."""
+        return {
+            name: self.spec.cycles_to_ms(getattr(self.breakdown, name))
+            for name in COMPONENTS
+        }
+
+    def stall_time_ms(self) -> dict[str, float]:
+        return {
+            name: self.spec.cycles_to_ms(getattr(self.breakdown, name))
+            for name in STALL_COMPONENTS
+        }
+
+    def normalized_to(self, base: "ProfileReport") -> CycleBreakdown:
+        """Breakdown scaled so ``base``'s total is 1.0 (Figures 6, 14,
+        22, 25)."""
+        return self.breakdown.normalized_to(base.breakdown.total)
+
+    def speedup_over(self, other: "ProfileReport") -> float:
+        """How many times faster this run is than ``other``."""
+        return other.cycles / self.cycles if self.cycles else float("inf")
+
+    def as_row(self) -> dict[str, float | str]:
+        """Flat dict for tabular output."""
+        row: dict[str, float | str] = {
+            "engine": self.engine,
+            "workload": self.workload,
+            "threads": self.threads,
+            "response_ms": round(self.response_time_ms, 3),
+            "stall_ratio": round(self.stall_ratio, 4),
+            "bandwidth_gbps": round(self.bandwidth.gbps, 2),
+            "bandwidth_max_gbps": round(self.bandwidth.max_gbps, 2),
+            "instructions_per_tuple": round(self.work.instructions_per_tuple(), 2),
+        }
+        for name, share in self.cycle_shares().items():
+            row[f"share_{name}"] = round(share, 4)
+        return row

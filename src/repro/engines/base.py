@@ -1,0 +1,225 @@
+"""Engine interface and shared micro-benchmark definitions.
+
+The four profiled systems implement this interface.  Each ``run_*``
+method *executes the query for real* on numpy data (results are
+cross-checked across engines in the tests) while recording the work it
+performs into a :class:`~repro.core.workprofile.WorkProfile`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.workprofile import WorkProfile
+from repro.storage import Database
+from repro.tpch.schema import PROJECTION_COLUMNS, SELECTION_PREDICATE_COLUMNS
+
+#: Join micro-benchmark sizes, in paper order (Section 2).
+JOIN_SIZES = ("small", "medium", "large")
+
+#: Selectivities the selection micro-benchmark sweeps (per predicate).
+SELECTION_SELECTIVITIES = (0.1, 0.5, 0.9)
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """One join micro-benchmark: build side, probe side and the summed
+    expression over the probe table (Section 2)."""
+
+    size: str
+    build_table: str
+    build_key: str
+    probe_table: str
+    probe_key: str
+    sum_columns: tuple[str, ...]
+
+
+JOIN_SPECS = {
+    "small": JoinSpec(
+        "small", "nation", "n_nationkey", "supplier", "s_nationkey",
+        ("s_acctbal", "s_suppkey"),
+    ),
+    "medium": JoinSpec(
+        "medium", "supplier", "s_suppkey", "partsupp", "ps_suppkey",
+        ("ps_availqty", "ps_supplycost"),
+    ),
+    "large": JoinSpec(
+        "large", "orders", "o_orderkey", "lineitem", "l_orderkey",
+        PROJECTION_COLUMNS,
+    ),
+}
+
+
+@dataclass
+class QueryResult:
+    """What one engine execution produced and what it cost."""
+
+    workload: str
+    value: object
+    tuples: int
+    work: WorkProfile
+    details: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.work.label = self.workload
+        self.work.tuples = self.tuples
+
+    @property
+    def operator_work(self) -> dict[str, WorkProfile]:
+        """Per-operator work profiles, when the engine recorded them
+        (Section 6: query behaviour decomposes into operator behaviour)."""
+        return self.details.get("operators", {})
+
+
+class OperatorWork:
+    """Accumulates per-operator work profiles during one execution.
+
+    Engines that want operator-level attribution record each pipeline
+    stage into its own profile; :meth:`total` merges them into the
+    query-level profile the profiler consumes.
+    """
+
+    def __init__(self, engine: "Engine"):
+        self._engine = engine
+        self.profiles: dict[str, WorkProfile] = {}
+
+    def operator(self, name: str) -> WorkProfile:
+        """The (new or existing) profile for one named operator."""
+        if name not in self.profiles:
+            profile = self._engine._new_work()
+            profile.label = name
+            self.profiles[name] = profile
+        return self.profiles[name]
+
+    def total(self) -> WorkProfile:
+        """All operators merged into one query-level profile."""
+        merged = self._engine._new_work()
+        for profile in self.profiles.values():
+            merged.merge(profile)
+        return merged
+
+
+def projection_columns(degree: int) -> tuple[str, ...]:
+    """The lineitem columns a projection query of ``degree`` sums."""
+    if not 1 <= degree <= len(PROJECTION_COLUMNS):
+        raise ValueError(
+            f"projection degree must be in [1, {len(PROJECTION_COLUMNS)}]"
+        )
+    return PROJECTION_COLUMNS[:degree]
+
+
+def selection_thresholds(db: Database, selectivity: float) -> dict[str, float]:
+    """Per-predicate thresholds giving each predicate the requested
+    individual selectivity on the actual data (the micro-benchmark
+    varies the selectivity of each individual predicate)."""
+    if not 0.0 < selectivity < 1.0:
+        raise ValueError("selectivity must be in (0, 1)")
+    lineitem = db.table("lineitem")
+    return {
+        column: float(np.quantile(lineitem[column], selectivity))
+        for column in SELECTION_PREDICATE_COLUMNS
+    }
+
+
+def selection_predicate_masks(
+    db: Database, thresholds: dict[str, float]
+) -> list[tuple[str, np.ndarray]]:
+    """The three predicates' boolean outcome vectors over lineitem."""
+    lineitem = db.table("lineitem")
+    return [
+        (column, lineitem[column] <= threshold)
+        for column, threshold in thresholds.items()
+    ]
+
+
+def line_density(indices: np.ndarray, total_rows: int, itemsize: int = 8) -> float:
+    """Fraction of a column's cache lines a gather at ``indices``
+    touches (measured, for sparse-scan accounting)."""
+    if total_rows <= 0 or not len(indices):
+        return 1.0
+    values_per_line = max(1, 64 // itemsize)
+    touched = len(np.unique(indices // values_per_line))
+    total_lines = -(-total_rows // values_per_line)
+    return min(1.0, touched / total_lines)
+
+
+class Engine(ABC):
+    """Abstract profiled system."""
+
+    #: Display name, e.g. "DBMS R", "Typer".
+    name: str = "engine"
+    #: Approximate hot-code footprint in bytes (drives front-end model).
+    code_footprint_bytes: float = 4096.0
+    #: Whether the engine has a SIMD (AVX-512) implementation.
+    supports_simd: bool = False
+
+    def _new_work(self) -> WorkProfile:
+        return WorkProfile(code_footprint_bytes=self.code_footprint_bytes)
+
+    def _check_simd(self, simd: bool) -> None:
+        if simd and not self.supports_simd:
+            raise ValueError(f"{self.name} has no SIMD implementation")
+
+    # ------------------------------------------------------------------
+    # Micro-benchmarks (Sections 3-5, 7, 8)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def run_projection(self, db: Database, degree: int, simd: bool = False) -> QueryResult:
+        """SUM over the first ``degree`` projection columns of lineitem."""
+
+    @abstractmethod
+    def run_selection(
+        self,
+        db: Database,
+        selectivity: float,
+        predicated: bool = False,
+        simd: bool = False,
+    ) -> QueryResult:
+        """Projection of degree 4 with three predicates of the given
+        individual selectivity; ``predicated`` selects the branch-free
+        variant (Section 7)."""
+
+    @abstractmethod
+    def run_join(self, db: Database, size: str, simd: bool = False) -> QueryResult:
+        """Hash join micro-benchmark of the given size (Section 5)."""
+
+    @abstractmethod
+    def run_groupby(self, db: Database) -> QueryResult:
+        """Group-by micro-benchmark (Section 2/6 discussion)."""
+
+    # ------------------------------------------------------------------
+    # TPC-H (Section 6)
+    # ------------------------------------------------------------------
+    def run_tpch(self, db: Database, query_id: str, predicated: bool = False) -> QueryResult:
+        runners = {
+            "Q1": self.run_q1,
+            "Q6": self.run_q6,
+            "Q9": self.run_q9,
+            "Q18": self.run_q18,
+        }
+        if query_id not in runners:
+            raise ValueError(f"unsupported TPC-H query {query_id!r}")
+        if query_id == "Q6":
+            return self.run_q6(db, predicated=predicated)
+        if predicated:
+            raise ValueError("predication is studied on Q6 only (Section 7)")
+        return runners[query_id](db)
+
+    @abstractmethod
+    def run_q1(self, db: Database) -> QueryResult:
+        """TPC-H Q1: low-cardinality group by."""
+
+    @abstractmethod
+    def run_q6(self, db: Database, predicated: bool = False) -> QueryResult:
+        """TPC-H Q6: highly selective filter."""
+
+    @abstractmethod
+    def run_q9(self, db: Database) -> QueryResult:
+        """TPC-H Q9: join-intensive."""
+
+    @abstractmethod
+    def run_q18(self, db: Database) -> QueryResult:
+        """TPC-H Q18: high-cardinality group by."""

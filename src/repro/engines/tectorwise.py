@@ -1,0 +1,585 @@
+"""Tectorwise: the vectorized execution model (VectorWise-style).
+
+Tectorwise interprets a query plan one *vector* (~1000 values) at a
+time: each operator is a sequence of simple primitives that read input
+vectors and materialise output vectors.  Three consequences drive its
+micro-architecture (Sections 3-8):
+
+- intermediates are materialised into cache-resident vectors, which
+  costs instructions and L1/L2 traffic and cuts DRAM pressure;
+- predicates are evaluated one primitive at a time, so the branch
+  predictor faces each predicate's *individual* selectivity;
+- primitives are trivially data-parallel, so AVX-512 SIMD versions
+  exist for the projection/selection/probe kernels (Section 8).
+
+Execution is numpy-vectorised; the recorded work is that of the
+vector-at-a-time interpreter (per-element primitive costs, vector
+materialisation traffic, measured branch streams and probe accesses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engines.base import (
+    Engine,
+    JOIN_SPECS,
+    OperatorWork,
+    QueryResult,
+    line_density,
+    projection_columns,
+    selection_predicate_masks,
+    selection_thresholds,
+)
+from repro.engines.hashtable import ChainedHashTable, GroupByHashTable
+from repro.storage import Database
+from repro.tpch import schema as sc
+
+
+class TectorwiseEngine(Engine):
+    """Vectorized query engine model."""
+
+    name = "Tectorwise"
+    code_footprint_bytes = 48 * 1024
+    supports_simd = True
+
+    #: Values per vector (the classic VectorWise vector size).
+    VECTOR_SIZE = 1024
+    #: Scalar instructions per element of one primitive pass (load,
+    #: compute, store, selection-vector indexing, amortised dispatch).
+    PASS_INSTRS = 3.0
+    #: Scalar instructions per element of the final reduction pass.
+    REDUCE_INSTRS = 6.0
+    #: AVX-512 lanes for the 8-byte types used here.
+    SIMD_LANES = 8
+    #: Instructions per element of a SIMD primitive pass.
+    SIMD_PASS_INSTRS = 0.8
+    #: Instructions per hash computation (vectorised murmur-style).
+    HASH_INSTRS = 3.0
+    #: Instructions per hash-entry visit (load + compare).
+    VISIT_INSTRS = 2.0
+    #: MLP a SIMD gather sustains on hash-probe cache misses.
+    SIMD_GATHER_MLP = 12.0
+
+    # ------------------------------------------------------------------
+    # Primitive cost helpers
+    # ------------------------------------------------------------------
+    def _pass(
+        self,
+        work,
+        count: float,
+        loads: float = 2.0,
+        stores: float = 1.0,
+        alu: float = 1.0,
+        simd: bool = False,
+        extra_instr: float = 0.0,
+    ) -> None:
+        """One primitive pass over ``count`` elements."""
+        if simd:
+            scale = 1.0 / self.SIMD_LANES
+            work.record_work(
+                instructions=count * (self.SIMD_PASS_INSTRS + extra_instr * scale),
+                simd=count * alu * scale,
+                loads=count * loads * scale,
+                stores=count * stores * scale,
+            )
+        else:
+            work.record_work(
+                instructions=count * (self.PASS_INSTRS + extra_instr),
+                alu=count * alu,
+                loads=count * loads,
+                stores=count * stores,
+            )
+
+    def _reduce(self, work, count: float, simd: bool = False) -> None:
+        """Final sum-reduction pass (serial accumulator chain)."""
+        if simd:
+            scale = 1.0 / self.SIMD_LANES
+            work.record_work(
+                instructions=count * self.REDUCE_INSTRS * scale * 2,
+                simd=count * scale,
+                loads=count * scale,
+                chain=count * scale,
+            )
+        else:
+            work.record_work(
+                instructions=count * self.REDUCE_INSTRS,
+                alu=count,
+                loads=count,
+                chain=count,
+            )
+
+    def _materialize(self, work, count: float, vectors: float = 1.0, simd: bool = False) -> None:
+        """Vector materialisation traffic: written once, re-read by the
+        next primitive; lives in L1/L2, not DRAM.  SIMD moves the same
+        bytes with full-register accesses."""
+        work.record_cached_traffic(
+            read=count * 8.0 * vectors,
+            write=count * 8.0 * vectors,
+            access_bytes=64.0 if simd else 8.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Projection (Section 3)
+    # ------------------------------------------------------------------
+    def run_projection(self, db: Database, degree: int, simd: bool = False) -> QueryResult:
+        self._check_simd(simd)
+        columns = projection_columns(degree)
+        lineitem = db.table("lineitem")
+        n = lineitem.n_rows
+
+        total = np.zeros(n)
+        for column in columns:
+            total = total + lineitem[column]
+        value = float(total.sum())
+
+        work = self._new_work()
+        work.record_sequential_read(lineitem.bytes_for(columns))
+        # (degree-1) binary add passes materialising intermediates,
+        # then one reduction pass.  From degree two onwards every pass
+        # sees the same pattern: two vectors in, one vector out --
+        # which is why the breakdown stays flat (Section 3).
+        add_passes = max(0, degree - 1)
+        for _ in range(add_passes):
+            self._pass(work, n, simd=simd)
+        if add_passes:
+            self._materialize(work, n, vectors=add_passes, simd=simd)
+        self._reduce(work, n, simd=simd)
+        label = f"projection-p{degree}" + ("-simd" if simd else "")
+        return QueryResult(label, value, n, work, {"simd": simd})
+
+    # ------------------------------------------------------------------
+    # Selection (Sections 4 and 7)
+    # ------------------------------------------------------------------
+    def run_selection(
+        self,
+        db: Database,
+        selectivity: float,
+        predicated: bool = False,
+        simd: bool = False,
+    ) -> QueryResult:
+        self._check_simd(simd)
+        thresholds = selection_thresholds(db, selectivity)
+        masks = selection_predicate_masks(db, thresholds)
+        lineitem = db.table("lineitem")
+        n = lineitem.n_rows
+        proj_cols = projection_columns(4)
+
+        work = self._new_work()
+        # Predicates evaluated one primitive at a time over shrinking
+        # selection vectors; the predictor sees each *individual*
+        # conditional selectivity (Section 4).
+        candidates = np.arange(n)
+        prev_count = n
+        first = True
+        for column, mask in masks:
+            outcomes = mask[candidates]
+            passed = candidates[outcomes]
+            if first:
+                work.record_sequential_read(lineitem.bytes_for([column]))
+                first = False
+            else:
+                density = line_density(candidates, n)
+                work.record_sparse_scan(
+                    f"{column} gather",
+                    density * lineitem.bytes_for([column]),
+                    density,
+                )
+            if predicated:
+                # Branch-free selection-vector computation: flag math
+                # plus unconditional index store (Section 7).
+                self._pass(work, prev_count, stores=1.0, alu=3.0, extra_instr=2.0, simd=simd)
+            else:
+                self._pass(work, prev_count, stores=0.5, alu=1.0, extra_instr=1.0, simd=simd)
+                taken = len(passed) / prev_count if prev_count else 0.0
+                work.record_branch_stream(f"{column} predicate", prev_count, taken)
+            self._materialize(work, len(passed), simd=simd)
+            candidates = passed
+            prev_count = len(passed)
+
+        q = len(candidates)
+        projected = np.zeros(q)
+        for column in proj_cols:
+            projected = projected + lineitem[column][candidates]
+        value = float(projected.sum())
+
+        # Projection through the final selection vector: gather passes
+        # + adds + reduce.  The bulk of the projection work is the same
+        # with and without predication (Section 7).
+        density = line_density(candidates, n)
+        for column in proj_cols:
+            work.record_sparse_scan(
+                f"{column} gather",
+                density * lineitem.bytes_for([column]),
+                density,
+            )
+        add_passes = len(proj_cols) - 1
+        for _ in range(add_passes):
+            self._pass(work, q, extra_instr=1.0, simd=simd)
+        self._materialize(work, q, vectors=add_passes, simd=simd)
+        self._reduce(work, q, simd=simd)
+
+        label = f"selection-{int(selectivity * 100)}%" + (
+            "-predicated" if predicated else ""
+        ) + ("-simd" if simd else "")
+        details = {
+            "selectivity": selectivity,
+            "combined_selectivity": q / n if n else 0.0,
+            "predicated": predicated,
+            "simd": simd,
+        }
+        return QueryResult(label, value, n, work, details)
+
+    # ------------------------------------------------------------------
+    # Join (Sections 5 and 8.2)
+    # ------------------------------------------------------------------
+    def run_join(self, db: Database, size: str, simd: bool = False) -> QueryResult:
+        self._check_simd(simd)
+        if size not in JOIN_SPECS:
+            raise ValueError(f"unknown join size {size!r}")
+        spec = JOIN_SPECS[size]
+        build = db.table(spec.build_table)
+        probe = db.table(spec.probe_table)
+        n_probe = probe.n_rows
+
+        table = ChainedHashTable(build[spec.build_key])
+        result = table.probe(probe[spec.probe_key])
+        matched = result.found
+        m = int(matched.sum())
+
+        projected = np.zeros(m)
+        for column in spec.sum_columns:
+            projected = projected + probe[column][matched]
+        value = float(projected.sum())
+
+        operators = OperatorWork(self)
+        self._record_build(
+            operators.operator("hash build"), table, build.bytes_for([spec.build_key])
+        )
+        probe_work = operators.operator("hash probe")
+        probe_work.record_sequential_read(probe.bytes_for([spec.probe_key]))
+        self._record_probe(probe_work, table, result, n_probe, simd=simd)
+        # Sum over matches: gather passes + adds + reduce (all matched
+        # here: FK joins, density ~1).
+        aggregate_work = operators.operator("aggregate")
+        aggregate_work.record_sequential_read(probe.bytes_for(spec.sum_columns))
+        add_passes = len(spec.sum_columns) - 1
+        for _ in range(add_passes + 1):
+            self._pass(aggregate_work, m, extra_instr=1.0, simd=simd)
+        self._materialize(aggregate_work, m, vectors=add_passes + 1, simd=simd)
+        self._reduce(aggregate_work, m, simd=simd)
+        work = operators.total()
+
+        label = f"join-{size}" + ("-simd" if simd else "")
+        details = {
+            "join_size": size,
+            "hit_fraction": result.hit_fraction,
+            "chain_stats": table.chain_stats(),
+            "hash_table_bytes": table.working_set_bytes,
+            "simd": simd,
+            "operators": operators.profiles,
+        }
+        return QueryResult(label, value, n_probe, work, details)
+
+    def _record_build(self, work, table: ChainedHashTable, key_bytes: float) -> None:
+        """Vectorized build: hash pass + scatter insert pass."""
+        n = table.n_keys
+        self._pass(work, n, extra_instr=self.HASH_INSTRS)
+        work.record_work(hash_ops=n, stores=n)
+        self._materialize(work, n)
+        work.record_sequential_read(key_bytes)
+        work.record_random("hash build scatter", n, table.working_set_bytes)
+
+    def _record_probe(
+        self, work, table: ChainedHashTable, result, n_probe: int, simd: bool = False
+    ) -> None:
+        """Vectorized probe: hash pass, head-gather pass, compare pass,
+        chain-walk pass; materialises hash and candidate vectors."""
+        self._pass(work, n_probe, extra_instr=self.HASH_INSTRS, simd=simd)
+        work.record_work(hash_ops=n_probe)
+        self._pass(work, n_probe, loads=1.0, simd=simd)  # head gather
+        self._pass(work, n_probe, extra_instr=1.0, simd=simd)  # key compare
+        if result.extra_walk:
+            self._pass(work, result.extra_walk, extra_instr=self.VISIT_INSTRS)
+        self._materialize(work, n_probe, vectors=2.0, simd=simd)
+        work.record_random(
+            "hash probe heads",
+            n_probe,
+            table.working_set_bytes,
+            mlp_hint=self.SIMD_GATHER_MLP if simd else None,
+        )
+        if result.extra_walk:
+            work.record_random(
+                "hash chain walk",
+                result.extra_walk,
+                table.working_set_bytes,
+                dependent=True,
+            )
+        if not simd:
+            work.record_branch_outcomes("probe hit", result.found)
+            if result.comparisons:
+                work.record_branch_stream(
+                    "chain continue",
+                    result.comparisons,
+                    result.extra_walk / result.comparisons,
+                )
+
+    # ------------------------------------------------------------------
+    # Group by
+    # ------------------------------------------------------------------
+    def run_groupby(self, db: Database) -> QueryResult:
+        lineitem = db.table("lineitem")
+        n = lineitem.n_rows
+        composite = lineitem["l_partkey"] * 4 + lineitem["l_returnflag"]
+        table = GroupByHashTable(composite)
+        sums = table.aggregate_sum(lineitem["l_extendedprice"])
+        value = float(sums.sum())
+
+        work = self._new_work()
+        work.record_sequential_read(
+            lineitem.bytes_for(["l_partkey", "l_returnflag", "l_extendedprice"])
+        )
+        self._record_groupby_updates(work, table)
+        details = {
+            "groups": table.n_groups,
+            "chain_stats": table.chain_stats(),
+            "collision_fraction": table.collision_fraction(),
+        }
+        return QueryResult("groupby-micro", value, n, work, details)
+
+    def _record_groupby_updates(self, work, table: GroupByHashTable) -> None:
+        n = table.n_updates
+        comparisons = table.update_comparisons()
+        self._pass(work, n, extra_instr=self.HASH_INSTRS)  # hash pass
+        self._pass(work, n, loads=1.0)  # slot gather
+        self._pass(work, n, extra_instr=1.0)  # compare + update pass
+        work.record_work(hash_ops=n, chain=n, stores=n)
+        if comparisons > n:
+            self._pass(work, comparisons - n, extra_instr=self.VISIT_INSTRS)
+        self._materialize(work, n, vectors=2.0)
+        work.record_random("group table update", n, table.working_set_bytes)
+        extra = comparisons - n
+        if extra > 0:
+            work.record_random(
+                "group chain walk", extra, table.working_set_bytes, dependent=True
+            )
+        work.record_branch_stream("group collision", n, table.collision_fraction())
+
+    # ------------------------------------------------------------------
+    # TPC-H (Section 6)
+    # ------------------------------------------------------------------
+    def run_q1(self, db: Database) -> QueryResult:
+        lineitem = db.table("lineitem")
+        n = lineitem.n_rows
+        mask = lineitem["l_shipdate"] <= sc.DATE_1998_09_02
+        selected = np.flatnonzero(mask)
+        q = len(selected)
+
+        flags = lineitem["l_returnflag"][selected]
+        status = lineitem["l_linestatus"][selected]
+        quantity = lineitem["l_quantity"][selected]
+        price = lineitem["l_extendedprice"][selected]
+        discount = lineitem["l_discount"][selected]
+        tax = lineitem["l_tax"][selected]
+        disc_price = price * (1.0 - discount)
+        charge = disc_price * (1.0 + tax)
+        table = GroupByHashTable(flags * 2 + status, target_load=0.5)
+        value = {
+            "sum_qty": float(quantity.sum()),
+            "sum_base_price": float(price.sum()),
+            "sum_disc_price": float(disc_price.sum()),
+            "sum_charge": float(charge.sum()),
+            "groups": table.n_groups,
+        }
+
+        work = self._new_work()
+        columns = (
+            "l_shipdate", "l_returnflag", "l_linestatus", "l_quantity",
+            "l_extendedprice", "l_discount", "l_tax",
+        )
+        work.record_sequential_read(lineitem.bytes_for(columns))
+        # Filter primitive + outcome stream (predictable, ~99% taken).
+        self._pass(work, n, stores=0.5, extra_instr=1.0)
+        work.record_branch_outcomes("shipdate filter", mask)
+        # Expression passes: 1-discount, *, 1+tax, * -> 4 passes; key
+        # pass; 8 aggregate update passes through the group vector.
+        for _ in range(4):
+            self._pass(work, q)
+        self._pass(work, q, extra_instr=self.HASH_INSTRS)
+        work.record_work(hash_ops=q)
+        for _ in range(8):
+            self._pass(work, q, loads=2.0, stores=1.0)
+        work.record_work(chain=q * 2.0)
+        self._materialize(work, q, vectors=7.0)
+        return QueryResult("Q1", value, n, work, {"groups": table.n_groups})
+
+    def run_q6(self, db: Database, predicated: bool = False) -> QueryResult:
+        lineitem = db.table("lineitem")
+        n = lineitem.n_rows
+        shipdate = lineitem["l_shipdate"]
+        discount = lineitem["l_discount"]
+        quantity = lineitem["l_quantity"]
+        predicates = [
+            ("l_shipdate >=", shipdate >= sc.DATE_1994_01_01),
+            ("l_shipdate <", shipdate < sc.DATE_1995_01_01),
+            ("l_discount >=", discount >= 0.05),
+            ("l_discount <=", discount <= 0.07),
+            ("l_quantity <", quantity < 24.0),
+        ]
+        pred_columns = ["l_shipdate", "l_shipdate", "l_discount", "l_discount", "l_quantity"]
+
+        work = self._new_work()
+        candidates = np.arange(n)
+        prev_count = n
+        seen_columns: set[str] = set()
+        for (name, mask), column in zip(predicates, pred_columns):
+            outcomes = mask[candidates]
+            passed = candidates[outcomes]
+            if column not in seen_columns:
+                if prev_count == n:
+                    work.record_sequential_read(lineitem.bytes_for([column]))
+                else:
+                    density = line_density(candidates, n)
+                    work.record_sparse_scan(
+                        f"{column} gather",
+                        density * lineitem.bytes_for([column]),
+                        density,
+                    )
+                seen_columns.add(column)
+            if predicated:
+                self._pass(work, prev_count, stores=1.0, alu=3.0, extra_instr=2.0)
+            else:
+                self._pass(work, prev_count, stores=0.5, extra_instr=1.0)
+                taken = len(passed) / prev_count if prev_count else 0.0
+                work.record_branch_stream(f"{name} predicate", prev_count, taken)
+            self._materialize(work, len(passed))
+            candidates = passed
+            prev_count = len(passed)
+
+        q = len(candidates)
+        value = float(
+            (lineitem["l_extendedprice"][candidates] * discount[candidates]).sum()
+        )
+        density = line_density(candidates, n)
+        work.record_sparse_scan(
+            "l_extendedprice gather",
+            density * lineitem.bytes_for(["l_extendedprice"]),
+            density,
+        )
+        self._pass(work, q, extra_instr=1.0)  # price * discount
+        self._materialize(work, q)
+        self._reduce(work, q)
+        label = "Q6-predicated" if predicated else "Q6"
+        details = {"selectivity": q / n if n else 0.0, "predicated": predicated}
+        return QueryResult(label, value, n, work, details)
+
+    def run_q9(self, db: Database) -> QueryResult:
+        lineitem = db.table("lineitem")
+        part = db.table("part")
+        supplier = db.table("supplier")
+        partsupp = db.table("partsupp")
+        orders = db.table("orders")
+        n = lineitem.n_rows
+
+        green_keys = part["p_partkey"][part["p_namecat"] == sc.GREEN_CATEGORY]
+        green_table = ChainedHashTable(green_keys)
+        green_probe = green_table.probe(lineitem["l_partkey"])
+        green = green_probe.found
+        q = int(green.sum())
+
+        n_supp = supplier.n_rows
+        ps_composite = partsupp["ps_partkey"] * (n_supp + 1) + partsupp["ps_suppkey"]
+        ps_table = ChainedHashTable(ps_composite)
+        li_composite = (
+            lineitem["l_partkey"][green] * (n_supp + 1) + lineitem["l_suppkey"][green]
+        )
+        ps_probe = ps_table.probe(li_composite)
+        supp_table = ChainedHashTable(supplier["s_suppkey"])
+        supp_probe = supp_table.probe(lineitem["l_suppkey"][green])
+        orders_table = ChainedHashTable(orders["o_orderkey"])
+        orders_probe = orders_table.probe(lineitem["l_orderkey"][green])
+
+        keep = ps_probe.found & supp_probe.found & orders_probe.found
+        supplycost = partsupp["ps_supplycost"][ps_probe.match_index[keep]]
+        nationkey = supplier["s_nationkey"][supp_probe.match_index[keep]]
+        orderdate = orders["o_orderdate"][orders_probe.match_index[keep]]
+        year = 1992 + orderdate // 365
+        price = lineitem["l_extendedprice"][green][keep]
+        disc = lineitem["l_discount"][green][keep]
+        qty = lineitem["l_quantity"][green][keep]
+        amount = price * (1.0 - disc) - supplycost * qty
+        group_table = GroupByHashTable(nationkey * 10_000 + year, target_load=0.5)
+        value = float(group_table.aggregate_sum(amount).sum())
+
+        work = self._new_work()
+        work.record_sequential_read(
+            lineitem.bytes_for(
+                ("l_partkey", "l_suppkey", "l_orderkey", "l_extendedprice",
+                 "l_discount", "l_quantity")
+            )
+        )
+        for table, key_bytes in (
+            (green_table, green_keys.nbytes),
+            (ps_table, partsupp.bytes_for(("ps_partkey", "ps_suppkey", "ps_supplycost"))),
+            (supp_table, supplier.bytes_for(("s_suppkey", "s_nationkey"))),
+            (orders_table, orders.bytes_for(("o_orderkey", "o_orderdate"))),
+        ):
+            self._record_build(work, table, key_bytes)
+        self._record_probe(work, green_table, green_probe, n)
+        self._record_probe(work, ps_table, ps_probe, q)
+        self._record_probe(work, supp_table, supp_probe, q)
+        self._record_probe(work, orders_table, orders_probe, q)
+        survivors = int(keep.sum())
+        for _ in range(4):  # amount expression passes
+            self._pass(work, survivors)
+        self._pass(work, survivors, extra_instr=self.HASH_INSTRS)
+        work.record_work(hash_ops=survivors, chain=survivors)
+        self._materialize(work, survivors, vectors=4.0)
+        details = {
+            "green_fraction": q / n if n else 0.0,
+            "survivors": survivors,
+            "orders_ht_bytes": orders_table.working_set_bytes,
+        }
+        return QueryResult("Q9", value, n, work, details)
+
+    def run_q18(self, db: Database) -> QueryResult:
+        lineitem = db.table("lineitem")
+        orders = db.table("orders")
+        customer = db.table("customer")
+        n = lineitem.n_rows
+
+        group_table = GroupByHashTable(lineitem["l_orderkey"])
+        qty_sums = group_table.aggregate_sum(lineitem["l_quantity"])
+        big = qty_sums > 300.0
+        winner_orderkeys = group_table.distinct_keys[big]
+        winners = len(winner_orderkeys)
+
+        orders_table = ChainedHashTable(orders["o_orderkey"])
+        winner_probe = orders_table.probe(winner_orderkeys)
+        custkeys = orders["o_custkey"][winner_probe.match_index[winner_probe.found]]
+        cust_table = ChainedHashTable(customer["c_custkey"])
+        cust_probe = cust_table.probe(custkeys)
+        value = {
+            "winners": winners,
+            "sum_winner_qty": float(qty_sums[big].sum()),
+            "matched_customers": int(cust_probe.found.sum()),
+        }
+
+        work = self._new_work()
+        work.record_sequential_read(lineitem.bytes_for(("l_orderkey", "l_quantity")))
+        self._record_groupby_updates(work, group_table)
+        work.record_branch_stream(
+            "having sum(qty) > 300",
+            group_table.n_groups,
+            winners / group_table.n_groups if group_table.n_groups else 0.0,
+        )
+        self._record_build(work, orders_table, orders.bytes_for(("o_orderkey", "o_custkey")))
+        self._record_probe(work, orders_table, winner_probe, winners)
+        self._record_build(work, cust_table, customer.bytes_for(("c_custkey",)))
+        self._record_probe(work, cust_table, cust_probe, len(custkeys))
+        details = {
+            "groups": group_table.n_groups,
+            "group_table_bytes": group_table.working_set_bytes,
+            "chain_stats": group_table.chain_stats(),
+        }
+        return QueryResult("Q18", value, n, work, details)

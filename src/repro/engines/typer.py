@@ -1,0 +1,532 @@
+"""Typer: the compiled, data-centric execution model (HyPer-style).
+
+Typer compiles each query into fused per-tuple loops: operators are
+inlined into a single pipeline, predicates of a conjunction are
+evaluated together (so the dominant branch sees the *combined*
+selectivity, Section 4), and no intermediate results are materialised.
+The hot code of one query is a few kilobytes -- far below the L1I.
+
+Execution here is numpy-vectorised for speed, but the recorded work is
+that of the compiled per-tuple loop: per-tuple instruction counts,
+operation mix, branch outcome streams (measured from the actual data)
+and the exact bytes/accesses the fused pipeline touches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engines.base import (
+    Engine,
+    JOIN_SPECS,
+    OperatorWork,
+    QueryResult,
+    line_density,
+    projection_columns,
+    selection_predicate_masks,
+    selection_thresholds,
+)
+from repro.engines.hashtable import ChainedHashTable, GroupByHashTable
+from repro.storage import Database
+from repro.tpch import schema as sc
+
+
+class TyperEngine(Engine):
+    """Compiled query engine model."""
+
+    name = "Typer"
+    code_footprint_bytes = 24 * 1024
+    supports_simd = False
+
+    #: Amortised loop-control instructions per tuple (inc/cmp/branch,
+    #: partially hidden by compiler unrolling).
+    LOOP_INSTRS = 4.0
+    #: Instructions per hash computation (multiply + shift + mask).
+    HASH_INSTRS = 3.0
+    #: Instructions per hash-table entry visit (load key + compare).
+    VISIT_INSTRS = 2.0
+
+    # ------------------------------------------------------------------
+    # Projection (Section 3)
+    # ------------------------------------------------------------------
+    def run_projection(self, db: Database, degree: int, simd: bool = False) -> QueryResult:
+        self._check_simd(simd)
+        columns = projection_columns(degree)
+        lineitem = db.table("lineitem")
+        n = lineitem.n_rows
+
+        total = np.zeros(n)
+        for column in columns:
+            total = total + lineitem[column]
+        value = float(total.sum())
+
+        work = self._new_work()
+        # Fused loop: degree loads, degree FP adds (including the
+        # accumulator), amortised loop control.
+        work.record_work(
+            instructions=n * (self.LOOP_INSTRS + 2.0 * degree),
+            alu=n * degree,
+            loads=n * degree,
+            chain=n,  # serial accumulator update
+        )
+        work.record_sequential_read(lineitem.bytes_for(columns))
+        return QueryResult(f"projection-p{degree}", value, n, work)
+
+    # ------------------------------------------------------------------
+    # Selection (Sections 4 and 7)
+    # ------------------------------------------------------------------
+    def run_selection(
+        self,
+        db: Database,
+        selectivity: float,
+        predicated: bool = False,
+        simd: bool = False,
+    ) -> QueryResult:
+        self._check_simd(simd)
+        thresholds = selection_thresholds(db, selectivity)
+        masks = selection_predicate_masks(db, thresholds)
+        lineitem = db.table("lineitem")
+        n = lineitem.n_rows
+        proj_cols = projection_columns(4)
+
+        combined = masks[0][1] & masks[1][1] & masks[2][1]
+        qualifying = np.flatnonzero(combined)
+        q = len(qualifying)
+
+        projected = np.zeros(q)
+        for column in proj_cols:
+            projected = projected + lineitem[column][qualifying]
+        value = float(projected.sum())
+
+        work = self._new_work()
+        pred_bytes = lineitem.bytes_for(
+            [name for name, _ in masks]
+        )
+        label = f"selection-{int(selectivity * 100)}%" + (
+            "-predicated" if predicated else ""
+        )
+        if predicated:
+            # Branch-free: all predicates and the whole projection are
+            # computed for every tuple; the predicate mask becomes a
+            # multiplicand (Section 7: pays off at 50/90%, not at 10%).
+            work.record_work(
+                instructions=n * (self.LOOP_INSTRS + 3 * 3 + 2 + 4 * 2 + 2),
+                alu=n * (3 + 2 + 4 + 2),
+                loads=n * (3 + 4),
+                chain=n,
+            )
+            work.record_sequential_read(pred_bytes + lineitem.bytes_for(proj_cols))
+        else:
+            # Branched: predicates are evaluated together branch-free,
+            # one branch on the combined outcome guards the projection.
+            work.record_work(
+                instructions=n * (self.LOOP_INSTRS + 3 * 2 + 2 + 1)
+                + q * (4 * 2),
+                alu=n * (3 + 2) + q * 4,
+                loads=n * 3 + q * 4,
+                chain=q,
+            )
+            work.record_sequential_read(pred_bytes)
+            work.record_branch_outcomes("combined predicate", combined)
+            density = line_density(qualifying, n)
+            work.record_sparse_scan(
+                "projection gather",
+                density * lineitem.bytes_for(proj_cols),
+                density,
+            )
+        details = {
+            "selectivity": selectivity,
+            "combined_selectivity": q / n if n else 0.0,
+            "predicated": predicated,
+        }
+        return QueryResult(label, value, n, work, details)
+
+    # ------------------------------------------------------------------
+    # Join (Section 5)
+    # ------------------------------------------------------------------
+    def run_join(self, db: Database, size: str, simd: bool = False) -> QueryResult:
+        self._check_simd(simd)
+        if size not in JOIN_SPECS:
+            raise ValueError(f"unknown join size {size!r}")
+        spec = JOIN_SPECS[size]
+        build = db.table(spec.build_table)
+        probe = db.table(spec.probe_table)
+        n_build = build.n_rows
+        n_probe = probe.n_rows
+
+        table = ChainedHashTable(build[spec.build_key])
+        result = table.probe(probe[spec.probe_key])
+        matched = result.found
+
+        projected = np.zeros(int(matched.sum()))
+        for column in spec.sum_columns:
+            projected = projected + probe[column][matched]
+        value = float(projected.sum())
+
+        operators = OperatorWork(self)
+        self._record_build(
+            operators.operator("hash build"), table, build.bytes_for([spec.build_key])
+        )
+        probe_work = operators.operator("hash probe")
+        self._record_probe(probe_work, table, result, n_probe)
+        probe_work.record_work(
+            instructions=n_probe * (self.LOOP_INSTRS + 1),
+            loads=n_probe,
+        )
+        probe_work.record_sequential_read(probe.bytes_for([spec.probe_key]))
+        # Aggregation over the matches: the summed columns.
+        degree = len(spec.sum_columns)
+        matches = int(matched.sum())
+        aggregate_work = operators.operator("aggregate")
+        aggregate_work.record_work(
+            instructions=matches * 2 * degree,
+            alu=matches * degree,
+            loads=matches * degree,
+            chain=matches,
+        )
+        aggregate_work.record_sequential_read(probe.bytes_for(spec.sum_columns))
+        work = operators.total()
+        details = {
+            "join_size": size,
+            "build_rows": n_build,
+            "probe_rows": n_probe,
+            "hit_fraction": result.hit_fraction,
+            "chain_stats": table.chain_stats(),
+            "hash_table_bytes": table.working_set_bytes,
+            "operators": operators.profiles,
+        }
+        return QueryResult(f"join-{size}", value, n_probe, work, details)
+
+    def _record_build(self, work, table: ChainedHashTable, key_bytes: float) -> None:
+        """Hash-table build: hash each key, scatter-store the entry."""
+        n = table.n_keys
+        work.record_work(
+            instructions=n * (self.LOOP_INSTRS + self.HASH_INSTRS + 3),
+            alu=n,
+            loads=n,
+            stores=n * 2,
+            hash_ops=n,
+        )
+        work.record_sequential_read(key_bytes)
+        work.record_random(
+            "hash build scatter", n, table.working_set_bytes, dependent=False
+        )
+
+    def _record_probe(self, work, table: ChainedHashTable, result, n_probe: int) -> None:
+        """Hash-table probe: hash, head load, chain walk, verify."""
+        work.record_work(
+            instructions=n_probe * (self.HASH_INSTRS + 1)
+            + result.comparisons * self.VISIT_INSTRS,
+            alu=n_probe,
+            loads=n_probe + result.comparisons,
+            hash_ops=n_probe,
+        )
+        work.record_random(
+            "hash probe heads", n_probe, table.working_set_bytes, dependent=False
+        )
+        if result.extra_walk:
+            work.record_random(
+                "hash chain walk",
+                result.extra_walk,
+                table.working_set_bytes,
+                dependent=True,
+            )
+        work.record_branch_outcomes("probe hit", result.found)
+        if result.comparisons:
+            walk_fraction = result.extra_walk / result.comparisons
+            work.record_branch_stream(
+                "chain continue", result.comparisons, walk_fraction
+            )
+
+    # ------------------------------------------------------------------
+    # Group by (Section 6 discussion)
+    # ------------------------------------------------------------------
+    def run_groupby(self, db: Database) -> QueryResult:
+        lineitem = db.table("lineitem")
+        n = lineitem.n_rows
+        composite = lineitem["l_partkey"] * 4 + lineitem["l_returnflag"]
+        table = GroupByHashTable(composite)
+        sums = table.aggregate_sum(lineitem["l_extendedprice"])
+        value = float(sums.sum())
+
+        work = self._new_work()
+        self._record_groupby_updates(
+            work, table, lineitem.bytes_for(["l_partkey", "l_returnflag", "l_extendedprice"])
+        )
+        details = {
+            "groups": table.n_groups,
+            "chain_stats": table.chain_stats(),
+            "collision_fraction": table.collision_fraction(),
+        }
+        return QueryResult("groupby-micro", value, n, work, details)
+
+    def _record_groupby_updates(self, work, table: GroupByHashTable, col_bytes: float) -> None:
+        n = table.n_updates
+        comparisons = table.update_comparisons()
+        work.record_work(
+            instructions=n * (self.LOOP_INSTRS + self.HASH_INSTRS + 3)
+            + comparisons * self.VISIT_INSTRS,
+            alu=n * 2,
+            loads=n * 2 + comparisons,
+            stores=n,
+            hash_ops=n,
+            chain=n,
+        )
+        work.record_sequential_read(col_bytes)
+        work.record_random(
+            "group table update", n, table.working_set_bytes, dependent=False
+        )
+        extra = comparisons - n
+        if extra > 0:
+            work.record_random(
+                "group chain walk", extra, table.working_set_bytes, dependent=True
+            )
+        work.record_branch_stream(
+            "group collision", n, table.collision_fraction()
+        )
+
+    # ------------------------------------------------------------------
+    # TPC-H (Section 6)
+    # ------------------------------------------------------------------
+    def run_q1(self, db: Database) -> QueryResult:
+        lineitem = db.table("lineitem")
+        n = lineitem.n_rows
+        mask = lineitem["l_shipdate"] <= sc.DATE_1998_09_02
+        q = int(mask.sum())
+
+        flags = lineitem["l_returnflag"][mask]
+        status = lineitem["l_linestatus"][mask]
+        quantity = lineitem["l_quantity"][mask]
+        price = lineitem["l_extendedprice"][mask]
+        discount = lineitem["l_discount"][mask]
+        tax = lineitem["l_tax"][mask]
+        disc_price = price * (1.0 - discount)
+        charge = disc_price * (1.0 + tax)
+        group_key = flags * 2 + status
+        table = GroupByHashTable(group_key, target_load=0.5)
+        value = {
+            "sum_qty": float(quantity.sum()),
+            "sum_base_price": float(price.sum()),
+            "sum_disc_price": float(disc_price.sum()),
+            "sum_charge": float(charge.sum()),
+            "groups": table.n_groups,
+        }
+
+        columns = (
+            "l_shipdate", "l_returnflag", "l_linestatus", "l_quantity",
+            "l_extendedprice", "l_discount", "l_tax",
+        )
+        work = self._new_work()
+        # Fused scan+filter+aggregate: the eight aggregate updates and
+        # the derived expressions dominate the per-tuple arithmetic.
+        work.record_work(
+            instructions=n * (self.LOOP_INSTRS + 2) + q * (6 + 4 + self.HASH_INSTRS + 8 * 3),
+            alu=n + q * (4 + 2 + 8),
+            loads=n + q * (6 + 8),
+            stores=q * 8,
+            hash_ops=q,
+            chain=q * 3.0,  # partially serialised aggregate chains (4 groups)
+        )
+        work.record_sequential_read(lineitem.bytes_for(columns))
+        work.record_branch_outcomes("shipdate filter", mask)
+        # The 4-group aggregation table lives in L1: no random pattern.
+        return QueryResult("Q1", value, n, work, {"groups": table.n_groups})
+
+    def run_q6(self, db: Database, predicated: bool = False) -> QueryResult:
+        lineitem = db.table("lineitem")
+        n = lineitem.n_rows
+        shipdate = lineitem["l_shipdate"]
+        discount = lineitem["l_discount"]
+        quantity = lineitem["l_quantity"]
+        combined = (
+            (shipdate >= sc.DATE_1994_01_01)
+            & (shipdate < sc.DATE_1995_01_01)
+            & (discount >= 0.05)
+            & (discount <= 0.07)
+            & (quantity < 24.0)
+        )
+        qualifying = np.flatnonzero(combined)
+        q = len(qualifying)
+        value = float(
+            (lineitem["l_extendedprice"][qualifying] * discount[qualifying]).sum()
+        )
+
+        pred_cols = ("l_shipdate", "l_discount", "l_quantity")
+        work = self._new_work()
+        work.record_sequential_read(lineitem.bytes_for(pred_cols))
+        if predicated:
+            work.record_work(
+                instructions=n * (self.LOOP_INSTRS + 5 + 4 + 3),
+                alu=n * (5 + 4 + 2),
+                loads=n * 4,
+                chain=n,
+            )
+            work.record_sequential_read(lineitem.bytes_for(["l_extendedprice"]))
+        else:
+            # The compiled conjunction short-circuits per predicate
+            # *column* group: each BETWEEN pair is evaluated branch-free
+            # and guarded by one branch, so the predictor sees three
+            # conditional streams (Figure 16 shows visible branch
+            # stalls for Typer on Q6).
+            date_pass = (shipdate >= sc.DATE_1994_01_01) & (shipdate < sc.DATE_1995_01_01)
+            disc_pass = (discount >= 0.05) & (discount <= 0.07)
+            qty_pass = quantity < 24.0
+            alive = np.ones(n, dtype=bool)
+            for name, mask in (
+                ("shipdate range", date_pass),
+                ("discount range", disc_pass),
+                ("quantity bound", qty_pass),
+            ):
+                survivors = int(alive.sum())
+                if survivors:
+                    work.record_branch_outcomes(name, mask[alive])
+                alive &= mask
+            f1 = float(date_pass.mean())
+            f2 = float((date_pass & disc_pass).mean())
+            work.record_work(
+                instructions=n * (self.LOOP_INSTRS + 3 + 1)
+                + n * f1 * 3
+                + n * f2 * 2
+                + q * 4,
+                alu=n * 3 + n * f1 * 2 + n * f2 + q * 2,
+                loads=n + n * f1 + n * f2 + q,
+                chain=q,
+            )
+            density = line_density(qualifying, n)
+            work.record_sparse_scan(
+                "price gather",
+                density * lineitem.bytes_for(["l_extendedprice"]),
+                density,
+            )
+        label = "Q6-predicated" if predicated else "Q6"
+        details = {"selectivity": q / n if n else 0.0, "predicated": predicated}
+        return QueryResult(label, value, n, work, details)
+
+    def run_q9(self, db: Database) -> QueryResult:
+        lineitem = db.table("lineitem")
+        part = db.table("part")
+        supplier = db.table("supplier")
+        partsupp = db.table("partsupp")
+        orders = db.table("orders")
+        n = lineitem.n_rows
+
+        # Build side 1: green parts.
+        green_keys = part["p_partkey"][part["p_namecat"] == sc.GREEN_CATEGORY]
+        green_table = ChainedHashTable(green_keys)
+        green_probe = green_table.probe(lineitem["l_partkey"])
+        green = green_probe.found
+        q = int(green.sum())
+
+        # Build side 2: partsupp on the composite key.
+        n_supp = supplier.n_rows
+        ps_composite = partsupp["ps_partkey"] * (n_supp + 1) + partsupp["ps_suppkey"]
+        ps_table = ChainedHashTable(ps_composite)
+        li_composite = (
+            lineitem["l_partkey"][green] * (n_supp + 1) + lineitem["l_suppkey"][green]
+        )
+        ps_probe = ps_table.probe(li_composite)
+
+        # Build side 3: suppliers (nationkey payload), 4: orders (date).
+        supp_table = ChainedHashTable(supplier["s_suppkey"])
+        supp_probe = supp_table.probe(lineitem["l_suppkey"][green])
+        orders_table = ChainedHashTable(orders["o_orderkey"])
+        orders_probe = orders_table.probe(lineitem["l_orderkey"][green])
+
+        keep = ps_probe.found & supp_probe.found & orders_probe.found
+        supplycost = partsupp["ps_supplycost"][ps_probe.match_index[keep]]
+        nationkey = supplier["s_nationkey"][supp_probe.match_index[keep]]
+        orderdate = orders["o_orderdate"][orders_probe.match_index[keep]]
+        year = 1992 + orderdate // 365
+        price = lineitem["l_extendedprice"][green][keep]
+        disc = lineitem["l_discount"][green][keep]
+        qty = lineitem["l_quantity"][green][keep]
+        amount = price * (1.0 - disc) - supplycost * qty
+        group_table = GroupByHashTable(nationkey * 10_000 + year, target_load=0.5)
+        sums = group_table.aggregate_sum(amount)
+        value = float(sums.sum())
+
+        operators = OperatorWork(self)
+        scan_work = operators.operator("scan lineitem")
+        scan_work.record_sequential_read(
+            lineitem.bytes_for(
+                ("l_partkey", "l_suppkey", "l_orderkey", "l_extendedprice",
+                 "l_discount", "l_quantity")
+            )
+        )
+        scan_work.record_work(instructions=n * self.LOOP_INSTRS)
+        build_work = operators.operator("hash builds")
+        for table, key_bytes in (
+            (green_table, green_keys.nbytes),
+            (ps_table, partsupp.bytes_for(("ps_partkey", "ps_suppkey", "ps_supplycost"))),
+            (supp_table, supplier.bytes_for(("s_suppkey", "s_nationkey"))),
+            (orders_table, orders.bytes_for(("o_orderkey", "o_orderdate"))),
+        ):
+            self._record_build(build_work, table, key_bytes)
+        self._record_probe(operators.operator("probe part (green)"), green_table, green_probe, n)
+        self._record_probe(operators.operator("probe partsupp"), ps_table, ps_probe, q)
+        self._record_probe(operators.operator("probe supplier"), supp_table, supp_probe, q)
+        self._record_probe(operators.operator("probe orders"), orders_table, orders_probe, q)
+        # Pipeline arithmetic on survivors + group aggregation.
+        survivors = int(keep.sum())
+        aggregate_work = operators.operator("aggregate")
+        aggregate_work.record_work(
+            instructions=survivors * (6 + self.HASH_INSTRS + 4),
+            alu=survivors * 6,
+            loads=survivors * 6,
+            stores=survivors,
+            hash_ops=survivors,
+            chain=survivors,
+        )
+        work = operators.total()
+        details = {
+            "green_fraction": q / n if n else 0.0,
+            "survivors": survivors,
+            "orders_ht_bytes": orders_table.working_set_bytes,
+            "operators": operators.profiles,
+        }
+        return QueryResult("Q9", value, n, work, details)
+
+    def run_q18(self, db: Database) -> QueryResult:
+        lineitem = db.table("lineitem")
+        orders = db.table("orders")
+        customer = db.table("customer")
+        n = lineitem.n_rows
+
+        group_table = GroupByHashTable(lineitem["l_orderkey"])
+        qty_sums = group_table.aggregate_sum(lineitem["l_quantity"])
+        big = qty_sums > 300.0
+        winner_orderkeys = group_table.distinct_keys[big]
+        winners = len(winner_orderkeys)
+
+        orders_table = ChainedHashTable(orders["o_orderkey"])
+        winner_probe = orders_table.probe(winner_orderkeys)
+        custkeys = orders["o_custkey"][winner_probe.match_index[winner_probe.found]]
+        cust_table = ChainedHashTable(customer["c_custkey"])
+        cust_probe = cust_table.probe(custkeys)
+        value = {
+            "winners": winners,
+            "sum_winner_qty": float(qty_sums[big].sum()),
+            "matched_customers": int(cust_probe.found.sum()),
+        }
+
+        work = self._new_work()
+        work.record_sequential_read(
+            lineitem.bytes_for(("l_orderkey", "l_quantity"))
+        )
+        self._record_groupby_updates(work, group_table, 0.0)
+        # HAVING branch over all groups (rarely taken).
+        work.record_branch_stream(
+            "having sum(qty) > 300",
+            group_table.n_groups,
+            winners / group_table.n_groups if group_table.n_groups else 0.0,
+        )
+        self._record_build(work, orders_table, orders.bytes_for(("o_orderkey", "o_custkey")))
+        self._record_probe(work, orders_table, winner_probe, winners)
+        self._record_build(work, cust_table, customer.bytes_for(("c_custkey",)))
+        self._record_probe(work, cust_table, cust_probe, len(custkeys))
+        details = {
+            "groups": group_table.n_groups,
+            "group_table_bytes": group_table.working_set_bytes,
+            "chain_stats": group_table.chain_stats(),
+        }
+        return QueryResult("Q18", value, n, work, details)

@@ -1,0 +1,88 @@
+"""Hardware substrate: machine specs, caches, prefetchers, branch
+prediction, memory system, execution ports and TMAM cycle containers."""
+
+from repro.hardware.spec import (
+    BROADWELL,
+    CACHE_LINE_BYTES,
+    GB,
+    KB,
+    MB,
+    PAGE_BYTES,
+    SKYLAKE,
+    BandwidthSpec,
+    CacheSpec,
+    PortSpec,
+    ServerSpec,
+)
+from repro.hardware.cache import CacheStats, SetAssociativeCache
+from repro.hardware.prefetcher import (
+    NextLinePrefetcher,
+    PrefetcherConfig,
+    StreamerPrefetcher,
+)
+from repro.hardware.hierarchy import CacheHierarchy, HierarchyStats
+from repro.hardware.branch import (
+    GSharePredictor,
+    TwoBitCounter,
+    conjunction_mispredict_rate,
+    two_bit_mispredict_rate,
+    two_bit_stationary_distribution,
+)
+from repro.hardware.memory import (
+    BandwidthReport,
+    LatencyReport,
+    MemoryLatencyChecker,
+    MemorySystem,
+)
+from repro.hardware.ports import ExecutionPorts, OpCounts
+from repro.hardware.tmam import COMPONENTS, STALL_COMPONENTS, CycleBreakdown
+from repro.hardware.topdown import TopDownNode, TopDownTree
+from repro.hardware.msr import (
+    ALL_PREFETCHERS_MASK,
+    MSR_MISC_FEATURE_CONTROL,
+    MsrFile,
+    config_from_msr,
+    msr_from_config,
+)
+
+__all__ = [
+    "ALL_PREFETCHERS_MASK",
+    "BROADWELL",
+    "SKYLAKE",
+    "CACHE_LINE_BYTES",
+    "PAGE_BYTES",
+    "KB",
+    "MB",
+    "GB",
+    "BandwidthReport",
+    "BandwidthSpec",
+    "CacheHierarchy",
+    "CacheSpec",
+    "CacheStats",
+    "COMPONENTS",
+    "CycleBreakdown",
+    "ExecutionPorts",
+    "GSharePredictor",
+    "HierarchyStats",
+    "LatencyReport",
+    "MemoryLatencyChecker",
+    "MemorySystem",
+    "MSR_MISC_FEATURE_CONTROL",
+    "MsrFile",
+    "NextLinePrefetcher",
+    "OpCounts",
+    "PortSpec",
+    "PrefetcherConfig",
+    "ServerSpec",
+    "SetAssociativeCache",
+    "STALL_COMPONENTS",
+    "StreamerPrefetcher",
+    "TopDownNode",
+    "TopDownTree",
+    "TwoBitCounter",
+    "config_from_msr",
+    "msr_from_config",
+    "conjunction_mispredict_rate",
+    "two_bit_mispredict_rate",
+    "two_bit_stationary_distribution",
+]

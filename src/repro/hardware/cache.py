@@ -1,0 +1,140 @@
+"""Trace-driven set-associative cache with LRU replacement.
+
+Used by :mod:`repro.core.tracesim` to replay sampled address streams the
+way the hardware caches of the profiled Broadwell server would see them
+(Section 9's prefetcher study flips prefetchers on and off around exactly
+this structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.hardware.spec import CacheSpec
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    prefetch_inserts: int = 0
+    prefetch_hits: int = 0
+    evictions: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.miss_rate if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.prefetch_inserts = 0
+        self.prefetch_hits = 0
+        self.evictions = 0
+
+
+class SetAssociativeCache:
+    """A classic set-associative, write-allocate, LRU cache model.
+
+    Addresses are byte addresses; the cache operates on aligned lines.
+    Lines inserted by a prefetcher are tracked separately so that
+    prefetch coverage (the fraction of would-be misses converted into
+    hits) can be reported per level.
+    """
+
+    def __init__(self, spec: CacheSpec):
+        self.spec = spec
+        self._line_shift = spec.line_bytes.bit_length() - 1
+        if 1 << self._line_shift != spec.line_bytes:
+            raise ValueError("line size must be a power of two")
+        self._n_sets = spec.n_sets
+        self._ways = spec.associativity
+        # One dict per set: line_number -> (lru_tick, was_prefetched).
+        self._sets: list[dict[int, list]] = [{} for _ in range(self._n_sets)]
+        self._tick = 0
+        self.stats = CacheStats()
+
+    def line_of(self, addr: int) -> int:
+        """Line number containing byte address ``addr``."""
+        return addr >> self._line_shift
+
+    def _set_index(self, line: int) -> int:
+        return line % self._n_sets
+
+    def access(self, addr: int) -> bool:
+        """Demand access; returns True on hit.  Misses allocate the line."""
+        line = self.line_of(addr)
+        return self.access_line(line)
+
+    def access_line(self, line: int) -> bool:
+        """Demand access by line number; returns True on hit."""
+        self._tick += 1
+        self.stats.accesses += 1
+        entry = self._sets[self._set_index(line)].get(line)
+        if entry is not None:
+            if entry[1]:
+                self.stats.prefetch_hits += 1
+                entry[1] = False
+            entry[0] = self._tick
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        self._install(line, prefetched=False)
+        return False
+
+    def prefetch_line(self, line: int) -> bool:
+        """Install a line on behalf of a prefetcher.
+
+        Returns True if the line was newly installed (i.e. the prefetch
+        was not redundant).
+        """
+        cache_set = self._sets[self._set_index(line)]
+        if line in cache_set:
+            return False
+        self._tick += 1
+        self.stats.prefetch_inserts += 1
+        self._install(line, prefetched=True)
+        return True
+
+    def contains_line(self, line: int) -> bool:
+        return line in self._sets[self._set_index(line)]
+
+    def contains(self, addr: int) -> bool:
+        return self.contains_line(self.line_of(addr))
+
+    def invalidate_line(self, line: int) -> bool:
+        """Remove a line (used for inclusive-L3 back-invalidation)."""
+        return self._sets[self._set_index(line)].pop(line, None) is not None
+
+    def _install(self, line: int, prefetched: bool) -> None:
+        cache_set = self._sets[self._set_index(line)]
+        if len(cache_set) >= self._ways:
+            victim = min(cache_set, key=lambda entry: cache_set[entry][0])
+            del cache_set[victim]
+            self.stats.evictions += 1
+        cache_set[line] = [self._tick, prefetched]
+
+    def resident_lines(self) -> Iterable[int]:
+        """All line numbers currently cached (test/inspection helper)."""
+        for cache_set in self._sets:
+            yield from cache_set
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    def reset(self) -> None:
+        """Drop all contents and counters."""
+        for cache_set in self._sets:
+            cache_set.clear()
+        self._tick = 0
+        self.stats.reset()

@@ -1,0 +1,101 @@
+"""Emulated model-specific register (MSR) control for the prefetchers.
+
+The paper (Section 9, citing Intel's disclosure [9]) toggles the four
+hardware prefetchers by flipping bits in **MSR 0x1A4**:
+
+| bit | prefetcher (Intel name)                  | this library        |
+|-----|------------------------------------------|---------------------|
+| 0   | L2 hardware prefetcher (streamer)        | ``l2_streamer``     |
+| 1   | L2 adjacent cache line prefetcher        | ``l2_next_line``    |
+| 2   | DCU prefetcher (L1 next-line/streamer)   | ``l1_streamer``     |
+| 3   | DCU IP prefetcher                        | ``l1_next_line``    |
+
+A **set** bit *disables* the corresponding prefetcher (the hardware
+convention), so value 0x0 is "everything on" and 0xF is "everything
+off".  :class:`MsrFile` mimics the ``/dev/cpu/*/msr`` interface the
+paper's scripts write through (via ``wrmsr``), mapping register values
+to :class:`~repro.hardware.prefetcher.PrefetcherConfig` objects.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.prefetcher import PrefetcherConfig
+
+#: The prefetcher-control MSR address on Intel Core processors.
+MSR_MISC_FEATURE_CONTROL = 0x1A4
+
+#: bit -> PrefetcherConfig field (a set bit disables the prefetcher).
+PREFETCHER_BITS = {
+    0: "l2_streamer",
+    1: "l2_next_line",
+    2: "l1_streamer",
+    3: "l1_next_line",
+}
+
+ALL_PREFETCHERS_MASK = 0xF
+
+
+def config_from_msr(value: int) -> PrefetcherConfig:
+    """Decode an MSR 0x1A4 value into a prefetcher configuration."""
+    if value < 0:
+        raise ValueError("MSR value must be non-negative")
+    fields = {
+        name: not (value >> bit) & 1 for bit, name in PREFETCHER_BITS.items()
+    }
+    return PrefetcherConfig(**fields)
+
+
+def msr_from_config(config: PrefetcherConfig) -> int:
+    """Encode a prefetcher configuration as an MSR 0x1A4 value."""
+    value = 0
+    for bit, name in PREFETCHER_BITS.items():
+        if not getattr(config, name):
+            value |= 1 << bit
+    return value
+
+
+class MsrFile:
+    """An emulated per-core MSR device (``/dev/cpu/<n>/msr``).
+
+    Only MSR 0x1A4 is modelled; other registers read as zero and
+    reject writes, which is enough to mirror the paper's prefetcher
+    scripts.
+    """
+
+    def __init__(self, core: int = 0):
+        if core < 0:
+            raise ValueError("core must be non-negative")
+        self.core = core
+        self._registers: dict[int, int] = {MSR_MISC_FEATURE_CONTROL: 0}
+
+    def read(self, register: int) -> int:
+        """``rdmsr``: read a register (unknown registers read 0)."""
+        return self._registers.get(register, 0)
+
+    def write(self, register: int, value: int) -> None:
+        """``wrmsr``: write a register."""
+        if register != MSR_MISC_FEATURE_CONTROL:
+            raise PermissionError(
+                f"msr {register:#x} is not modelled; only "
+                f"{MSR_MISC_FEATURE_CONTROL:#x} (prefetcher control) is"
+            )
+        if not 0 <= value <= ALL_PREFETCHERS_MASK:
+            raise ValueError(
+                f"prefetcher-control value must be in [0, {ALL_PREFETCHERS_MASK:#x}]"
+            )
+        self._registers[register] = value
+
+    @property
+    def prefetchers(self) -> PrefetcherConfig:
+        """The configuration the current register value selects."""
+        return config_from_msr(self.read(MSR_MISC_FEATURE_CONTROL))
+
+    def disable_all_prefetchers(self) -> None:
+        self.write(MSR_MISC_FEATURE_CONTROL, ALL_PREFETCHERS_MASK)
+
+    def enable_all_prefetchers(self) -> None:
+        self.write(MSR_MISC_FEATURE_CONTROL, 0)
+
+    def apply(self, config: PrefetcherConfig) -> None:
+        """Set the register so that exactly ``config`` is active."""
+        self.write(MSR_MISC_FEATURE_CONTROL, msr_from_config(config))

@@ -1,0 +1,247 @@
+"""Machine specifications for the servers profiled in the paper.
+
+Table 1 of the paper describes the Intel Broadwell server used for all
+experiments except SIMD; Section 2 ("Hardware") describes the Skylake
+server used for the AVX-512 experiments.  Both are captured here as
+:class:`ServerSpec` instances so that every model in :mod:`repro.core`
+consumes machine parameters the same way the real measurements depended
+on the real machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+CACHE_LINE_BYTES = 64
+PAGE_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Static description of one cache level.
+
+    ``miss_latency_cycles`` is the extra latency paid by a miss at this
+    level to reach the next level, matching Table 1's presentation
+    (L1: 16 cycles, L2: 26 cycles, L3: 160 cycles).
+    """
+
+    name: str
+    size_bytes: int
+    miss_latency_cycles: float
+    associativity: int = 8
+    line_bytes: int = CACHE_LINE_BYTES
+    inclusive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"{self.name}: size must be positive")
+        if self.line_bytes <= 0 or self.size_bytes % self.line_bytes:
+            raise ValueError(f"{self.name}: size must be a multiple of the line size")
+        n_lines = self.size_bytes // self.line_bytes
+        if self.associativity <= 0 or n_lines % self.associativity:
+            raise ValueError(f"{self.name}: lines must divide evenly into ways")
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_lines // self.associativity
+
+
+@dataclass(frozen=True)
+class BandwidthSpec:
+    """Maximum attainable memory bandwidths, in GB/s, as measured by
+    Intel's Memory Latency Checker on the real machines (Table 1)."""
+
+    per_core_seq_gbps: float
+    per_core_rand_gbps: float
+    per_socket_seq_gbps: float
+    per_socket_rand_gbps: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "per_core_seq_gbps",
+            "per_core_rand_gbps",
+            "per_socket_seq_gbps",
+            "per_socket_rand_gbps",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    def per_core(self, access_pattern: str) -> float:
+        """Per-core bandwidth for ``"sequential"`` or ``"random"`` access."""
+        return self._select(access_pattern, self.per_core_seq_gbps, self.per_core_rand_gbps)
+
+    def per_socket(self, access_pattern: str) -> float:
+        """Per-socket bandwidth for ``"sequential"`` or ``"random"`` access."""
+        return self._select(
+            access_pattern, self.per_socket_seq_gbps, self.per_socket_rand_gbps
+        )
+
+    @staticmethod
+    def _select(access_pattern: str, seq: float, rand: float) -> float:
+        if access_pattern == "sequential":
+            return seq
+        if access_pattern == "random":
+            return rand
+        raise ValueError(f"unknown access pattern: {access_pattern!r}")
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """Execution-port layout of the core.
+
+    Broadwell exposes eight issue ports, four of which carry an ALU
+    (Section 3 cites the Intel optimisation manual [12]).  SIMD work is
+    dispatched on a smaller set of vector ports.
+    """
+
+    n_ports: int = 8
+    alu_ports: int = 4
+    load_ports: int = 2
+    store_ports: int = 1
+    simd_ports: int = 2
+    simd_width_bits: int = 256
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alu_ports <= self.n_ports:
+            raise ValueError("alu_ports must be between 1 and n_ports")
+        if self.simd_width_bits % 64:
+            raise ValueError("simd_width_bits must be a multiple of 64")
+
+    @property
+    def simd_lanes_64(self) -> int:
+        """Number of 64-bit lanes in one SIMD register."""
+        return self.simd_width_bits // 64
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Full description of a profiled server.
+
+    The defaults mirror the paper's Broadwell box; :data:`BROADWELL` and
+    :data:`SKYLAKE` are the two concrete machines.
+    """
+
+    name: str
+    clock_ghz: float
+    sockets: int
+    cores_per_socket: int
+    l1i: CacheSpec
+    l1d: CacheSpec
+    l2: CacheSpec
+    l3: CacheSpec
+    bandwidth: BandwidthSpec
+    memory_bytes: int
+    ports: PortSpec = field(default_factory=PortSpec)
+    issue_width: int = 4
+    decode_width: int = 4
+    branch_mispredict_penalty: float = 16.0
+    line_fill_buffers: int = 10
+    l1_access_cycles: float = 4.0
+    hyper_threading: bool = False
+    turbo_boost: bool = False
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0:
+            raise ValueError("clock_ghz must be positive")
+        if self.sockets <= 0 or self.cores_per_socket <= 0:
+            raise ValueError("core counts must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def cycles_per_second(self) -> float:
+        return self.clock_ghz * 1e9
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.cycles_per_second
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        return self.cycles_to_seconds(cycles) * 1e3
+
+    @property
+    def l2_hit_latency(self) -> float:
+        """Load-to-use latency of an L2 hit (L1 access + L1 miss)."""
+        return self.l1_access_cycles + self.l1d.miss_latency_cycles
+
+    @property
+    def l3_hit_latency(self) -> float:
+        """Load-to-use latency of an L3 hit."""
+        return self.l2_hit_latency + self.l2.miss_latency_cycles
+
+    @property
+    def memory_latency_cycles(self) -> float:
+        """Load-to-use latency of a DRAM access (all caches missed)."""
+        return self.l3_hit_latency + self.l3.miss_latency_cycles
+
+    @property
+    def memory_latency_ns(self) -> float:
+        return self.memory_latency_cycles / self.clock_ghz
+
+    def bytes_per_cycle(self, gbps: float) -> float:
+        """Convert a GB/s figure into bytes per core cycle."""
+        return gbps * 1e9 / self.cycles_per_second
+
+    def gbps(self, bytes_per_cycle: float) -> float:
+        """Convert bytes per core cycle into GB/s."""
+        return bytes_per_cycle * self.cycles_per_second / 1e9
+
+    def with_hyper_threading(self, enabled: bool = True) -> "ServerSpec":
+        """Return a copy with hyper-threading toggled (Section 10)."""
+        return replace(self, hyper_threading=enabled)
+
+
+BROADWELL = ServerSpec(
+    name="Intel Xeon E5-2680 v4 (Broadwell)",
+    clock_ghz=2.40,
+    sockets=2,
+    cores_per_socket=14,
+    l1i=CacheSpec("L1I", 32 * KB, miss_latency_cycles=16.0),
+    l1d=CacheSpec("L1D", 32 * KB, miss_latency_cycles=16.0),
+    l2=CacheSpec("L2", 256 * KB, miss_latency_cycles=26.0),
+    l3=CacheSpec(
+        "L3", 35 * MB, miss_latency_cycles=160.0, associativity=20, inclusive=True
+    ),
+    bandwidth=BandwidthSpec(
+        per_core_seq_gbps=12.0,
+        per_core_rand_gbps=7.0,
+        per_socket_seq_gbps=66.0,
+        per_socket_rand_gbps=60.0,
+    ),
+    memory_bytes=256 * GB,
+    ports=PortSpec(simd_width_bits=256),
+)
+"""The Broadwell server of Table 1 (all experiments except SIMD)."""
+
+
+SKYLAKE = ServerSpec(
+    name="Intel Xeon Skylake-SP",
+    clock_ghz=2.10,
+    sockets=2,
+    cores_per_socket=14,
+    l1i=CacheSpec("L1I", 32 * KB, miss_latency_cycles=16.0),
+    l1d=CacheSpec("L1D", 32 * KB, miss_latency_cycles=16.0),
+    l2=CacheSpec("L2", 1 * MB, miss_latency_cycles=28.0, associativity=16),
+    l3=CacheSpec(
+        "L3", 16 * MB, miss_latency_cycles=170.0, associativity=16, inclusive=False
+    ),
+    bandwidth=BandwidthSpec(
+        per_core_seq_gbps=10.0,
+        per_core_rand_gbps=7.0,
+        per_socket_seq_gbps=87.0,
+        per_socket_rand_gbps=60.0,
+    ),
+    memory_bytes=192 * GB,
+    ports=PortSpec(simd_width_bits=512),
+)
+"""The Skylake server of Section 2 used for the AVX-512 experiments:
+larger L2 (1 MB), smaller non-inclusive L3 (16 MB), lower per-core
+(10 GB/s) and higher per-socket (87 GB/s) sequential bandwidth."""

@@ -1,0 +1,116 @@
+"""Top-Down Micro-architecture Analysis (TMAM) cycle containers.
+
+The paper examines CPU cycles at two levels (Section 2, "VTune"):
+first Retiring vs Stall cycles, then the Stall cycles split into five
+components: Branch mispredictions, Icache, Decoding, Dcache and
+Execution.  :class:`CycleBreakdown` is the common currency between the
+cycle model, the profiler and the figure harnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+#: Stall components in the order the paper's figures stack them.
+STALL_COMPONENTS = ("execution", "dcache", "decoding", "icache", "branch_misp")
+COMPONENTS = ("retiring",) + STALL_COMPONENTS
+
+
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """CPU cycles attributed to retiring and the five stall classes.
+
+    All values are in core cycles.  Instances are immutable; arithmetic
+    helpers return new instances so experiment code can aggregate
+    per-operator breakdowns safely.
+    """
+
+    retiring: float = 0.0
+    branch_misp: float = 0.0
+    icache: float = 0.0
+    decoding: float = 0.0
+    dcache: float = 0.0
+    execution: float = 0.0
+
+    def __post_init__(self) -> None:
+        for component in fields(self):
+            value = getattr(self, component.name)
+            if value < 0:
+                raise ValueError(f"{component.name} cycles must be non-negative")
+
+    @property
+    def total(self) -> float:
+        return sum(getattr(self, name) for name in COMPONENTS)
+
+    @property
+    def stall_cycles(self) -> float:
+        return sum(getattr(self, name) for name in STALL_COMPONENTS)
+
+    @property
+    def stall_ratio(self) -> float:
+        """Fraction of CPU cycles spent on stalls (first-level view)."""
+        total = self.total
+        return self.stall_cycles / total if total else 0.0
+
+    @property
+    def retiring_ratio(self) -> float:
+        total = self.total
+        return self.retiring / total if total else 0.0
+
+    def cycle_shares(self) -> dict[str, float]:
+        """Each component as a fraction of total cycles (Figures 1/3/...)."""
+        total = self.total
+        if not total:
+            return {name: 0.0 for name in COMPONENTS}
+        return {name: getattr(self, name) / total for name in COMPONENTS}
+
+    def stall_shares(self) -> dict[str, float]:
+        """Each stall component as a fraction of stall cycles
+        (Figures 2/4/...)."""
+        stalls = self.stall_cycles
+        if not stalls:
+            return {name: 0.0 for name in STALL_COMPONENTS}
+        return {name: getattr(self, name) / stalls for name in STALL_COMPONENTS}
+
+    def dominant_stall(self) -> str:
+        """Name of the largest stall component."""
+        return max(STALL_COMPONENTS, key=lambda name: getattr(self, name))
+
+    def __add__(self, other: "CycleBreakdown") -> "CycleBreakdown":
+        if not isinstance(other, CycleBreakdown):
+            return NotImplemented
+        return CycleBreakdown(
+            **{name: getattr(self, name) + getattr(other, name) for name in COMPONENTS}
+        )
+
+    def scaled(self, factor: float) -> "CycleBreakdown":
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return CycleBreakdown(
+            **{name: getattr(self, name) * factor for name in COMPONENTS}
+        )
+
+    def normalized_to(self, base_total: float) -> "CycleBreakdown":
+        """Scale so that totals are expressed relative to ``base_total``
+        (used for the paper's normalised response-time figures)."""
+        if base_total <= 0:
+            raise ValueError("base_total must be positive")
+        return self.scaled(1.0 / base_total)
+
+    def with_components(self, **overrides: float) -> "CycleBreakdown":
+        return replace(self, **overrides)
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: getattr(self, name) for name in COMPONENTS}
+
+    @classmethod
+    def zero(cls) -> "CycleBreakdown":
+        return cls()
+
+    @classmethod
+    def sum(cls, breakdowns) -> "CycleBreakdown":
+        """Aggregate an iterable of breakdowns."""
+        result = cls.zero()
+        for breakdown in breakdowns:
+            result = result + breakdown
+        return result

@@ -1,0 +1,148 @@
+"""The Top-Down Micro-architecture Analysis hierarchy (TMAM).
+
+The paper's cycle classes come from VTune's general-exploration
+analysis, which implements the Top-Down methodology of Yasin [32] as
+refined by Sirin et al. [26] (adopted by VTune 2018+).  TMAM organises
+pipeline slots hierarchically:
+
+```
+level 1: Retiring | Bad Speculation | Frontend Bound | Backend Bound
+level 2:            branch misp.      fetch latency    core bound
+                                      fetch bandwidth  memory bound
+```
+
+The paper flattens this into Retiring plus five stall classes; this
+module keeps the full hierarchy as a first-class object so results can
+be examined at either level, and provides the exact mapping used
+throughout the library:
+
+- Bad Speculation        <-> Branch misp.
+- Frontend / latency     <-> Icache
+- Frontend / bandwidth   <-> Decoding
+- Backend / memory bound <-> Dcache
+- Backend / core bound   <-> Execution
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.tmam import CycleBreakdown
+
+
+@dataclass(frozen=True)
+class TopDownNode:
+    """One node of the Top-Down tree: a named share of total cycles."""
+
+    name: str
+    cycles: float
+    children: tuple["TopDownNode", ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"{self.name}: cycles must be non-negative")
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def child(self, name: str) -> "TopDownNode":
+        for child in self.children:
+            if child.name == name:
+                return child
+        raise KeyError(f"{self.name} has no child {name!r}")
+
+    def walk(self, depth: int = 0):
+        """Yield (depth, node) pairs in pre-order."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+
+@dataclass(frozen=True)
+class TopDownTree:
+    """The four-category level-1 view with the paper's level-2 leaves."""
+
+    root: TopDownNode
+
+    #: Level-1 category names in TMAM order.
+    LEVEL1 = ("Retiring", "Bad Speculation", "Frontend Bound", "Backend Bound")
+
+    @classmethod
+    def from_breakdown(cls, breakdown: CycleBreakdown) -> "TopDownTree":
+        """Lift the flat paper-style breakdown into the TMAM hierarchy."""
+        root = TopDownNode(
+            "Pipeline Slots",
+            breakdown.total,
+            (
+                TopDownNode("Retiring", breakdown.retiring),
+                TopDownNode(
+                    "Bad Speculation",
+                    breakdown.branch_misp,
+                    (TopDownNode("Branch Mispredicts", breakdown.branch_misp),),
+                ),
+                TopDownNode(
+                    "Frontend Bound",
+                    breakdown.icache + breakdown.decoding,
+                    (
+                        TopDownNode("Fetch Latency (Icache)", breakdown.icache),
+                        TopDownNode("Fetch Bandwidth (Decoding)", breakdown.decoding),
+                    ),
+                ),
+                TopDownNode(
+                    "Backend Bound",
+                    breakdown.dcache + breakdown.execution,
+                    (
+                        TopDownNode("Memory Bound (Dcache)", breakdown.dcache),
+                        TopDownNode("Core Bound (Execution)", breakdown.execution),
+                    ),
+                ),
+            ),
+        )
+        return cls(root)
+
+    def to_breakdown(self) -> CycleBreakdown:
+        """Flatten back to the paper's five-stall-class view."""
+        frontend = self.root.child("Frontend Bound")
+        backend = self.root.child("Backend Bound")
+        return CycleBreakdown(
+            retiring=self.root.child("Retiring").cycles,
+            branch_misp=self.root.child("Bad Speculation").cycles,
+            icache=frontend.child("Fetch Latency (Icache)").cycles,
+            decoding=frontend.child("Fetch Bandwidth (Decoding)").cycles,
+            dcache=backend.child("Memory Bound (Dcache)").cycles,
+            execution=backend.child("Core Bound (Execution)").cycles,
+        )
+
+    def level1_shares(self) -> dict[str, float]:
+        """The classic four-way Top-Down split, as fractions."""
+        total = self.root.cycles
+        if not total:
+            return {name: 0.0 for name in self.LEVEL1}
+        return {
+            child.name: child.cycles / total for child in self.root.children
+        }
+
+    def dominant_category(self) -> str:
+        """Level-1 category with the most cycles."""
+        return max(self.root.children, key=lambda child: child.cycles).name
+
+    def render(self, width: int = 46) -> str:
+        """Indented text rendering of the hierarchy."""
+        total = self.root.cycles or 1.0
+        lines = []
+        for depth, node in self.root.walk():
+            share = node.cycles / total
+            bar = "#" * round(share * 20)
+            label = "  " * depth + node.name
+            lines.append(f"{label.ljust(width)} {share:6.1%} {bar}")
+        return "\n".join(lines)
+
+    def validate(self, tolerance: float = 1e-6) -> bool:
+        """Every parent's cycles must equal the sum of its children."""
+        for _, node in self.root.walk():
+            if node.children:
+                child_sum = sum(child.cycles for child in node.children)
+                if abs(child_sum - node.cycles) > tolerance * max(1.0, node.cycles):
+                    return False
+        return True

@@ -1,0 +1,13 @@
+"""Storage substrate: columnar (DSM) and row (NSM) table layouts."""
+
+from repro.storage.column import Column, ColumnTable
+from repro.storage.row import DEFAULT_PAGE_BYTES, RowTable
+from repro.storage.catalog import Database
+
+__all__ = [
+    "Column",
+    "ColumnTable",
+    "Database",
+    "DEFAULT_PAGE_BYTES",
+    "RowTable",
+]

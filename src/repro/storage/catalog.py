@@ -1,0 +1,63 @@
+"""Database catalog: named tables in both layouts.
+
+Engines receive a :class:`Database` and pick the layout they execute
+on; row tables are materialised lazily so column-only experiments do not
+pay for the row copies.
+"""
+
+from __future__ import annotations
+
+from repro.storage.column import ColumnTable
+from repro.storage.row import RowTable
+
+
+class Database:
+    """A collection of named :class:`ColumnTable` instances with lazily
+    materialised row-layout twins."""
+
+    def __init__(self, name: str = "db", scale_factor: float | None = None):
+        self.name = name
+        self.scale_factor = scale_factor
+        self._tables: dict[str, ColumnTable] = {}
+        self._row_tables: dict[str, RowTable] = {}
+
+    def add_table(self, table: ColumnTable) -> None:
+        if table.name in self._tables:
+            raise ValueError(f"duplicate table {table.name!r}")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> ColumnTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(
+                f"database {self.name!r} has no table {name!r}; "
+                f"available: {sorted(self._tables)}"
+            ) from None
+
+    def row_table(self, name: str) -> RowTable:
+        """Row-layout twin of a table (materialised on first use)."""
+        if name not in self._row_tables:
+            self._row_tables[name] = RowTable(self.table(name))
+        return self._row_tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __getitem__(self, name: str) -> ColumnTable:
+        return self.table(name)
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(table.nbytes for table in self._tables.values())
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        """Row/byte counts per table (for reports and examples)."""
+        return {
+            name: {"rows": table.n_rows, "bytes": table.nbytes}
+            for name, table in self._tables.items()
+        }

@@ -1,0 +1,118 @@
+"""Columnar (DSM) storage.
+
+High-performance engines (Typer, Tectorwise) and the column-store
+extension "DBMS C" read data in decomposed columns, each a contiguous
+numpy array — the layout that lets them "operate only on the columns
+that are necessary for the query" (Section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed, contiguous column."""
+
+    name: str
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.ndim != 1:
+            raise ValueError(f"column {self.name!r} must be one-dimensional")
+        if not self.values.flags.c_contiguous:
+            object.__setattr__(self, "values", np.ascontiguousarray(self.values))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    @property
+    def itemsize(self) -> int:
+        return self.values.dtype.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return self.values.nbytes
+
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        return self.values[indices]
+
+
+class ColumnTable:
+    """A table stored column-by-column.
+
+    Columns must share one length.  Access by name; iteration yields
+    column names in insertion order (schema order).
+    """
+
+    def __init__(self, name: str, columns: dict[str, np.ndarray] | None = None):
+        self.name = name
+        self._columns: dict[str, Column] = {}
+        self._n_rows: int | None = None
+        for column_name, values in (columns or {}).items():
+            self.add_column(column_name, values)
+
+    def add_column(self, name: str, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        if self._n_rows is not None and len(values) != self._n_rows:
+            raise ValueError(
+                f"column {name!r} has {len(values)} rows, table "
+                f"{self.name!r} has {self._n_rows}"
+            )
+        if name in self._columns:
+            raise ValueError(f"duplicate column {name!r} in table {self.name!r}")
+        self._columns[name] = Column(name, values)
+        self._n_rows = len(values)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"available: {sorted(self._columns)}"
+            ) from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name).values
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __len__(self) -> int:
+        return self._n_rows or 0
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows or 0
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self._columns)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across all columns."""
+        return sum(column.nbytes for column in self._columns.values())
+
+    def bytes_for(self, column_names) -> int:
+        """Bytes occupied by a subset of columns (the traffic a
+        column store actually reads for a query)."""
+        return sum(self.column(name).nbytes for name in column_names)
+
+    def select(self, mask_or_indices: np.ndarray) -> "ColumnTable":
+        """Materialise a filtered copy of the table."""
+        result = ColumnTable(self.name)
+        for name, column in self._columns.items():
+            result.add_column(name, column.values[mask_or_indices])
+        return result
+
+    def head(self, n: int = 5) -> dict[str, np.ndarray]:
+        return {name: column.values[:n] for name, column in self._columns.items()}

@@ -1,0 +1,64 @@
+"""TPC-H substrate: schema, seeded generator and the profiled queries."""
+
+from repro.tpch.schema import (
+    BASE_ROWS,
+    DATE_1994_01_01,
+    DATE_1995_01_01,
+    DATE_1998_09_02,
+    GREEN_CATEGORY,
+    PROJECTION_COLUMNS,
+    SCHEMAS,
+    SELECTION_PREDICATE_COLUMNS,
+    TableSchema,
+    rows_at_scale,
+)
+from repro.tpch.dbgen import ALL_TABLES, generate_database
+from repro.tpch.sql import (
+    GROUPBY_SQL,
+    JOIN_SQL,
+    TPCH_SQL,
+    projection_sql,
+    selection_sql,
+)
+from repro.tpch.queries import (
+    PROFILED_QUERIES,
+    QUERY_SPECS,
+    REFERENCE_IMPLEMENTATIONS,
+    QuerySpec,
+    q1_reference,
+    q6_predicates,
+    q6_reference,
+    q9_reference,
+    q18_group_count,
+    q18_reference,
+)
+
+__all__ = [
+    "ALL_TABLES",
+    "GROUPBY_SQL",
+    "JOIN_SQL",
+    "TPCH_SQL",
+    "BASE_ROWS",
+    "DATE_1994_01_01",
+    "DATE_1995_01_01",
+    "DATE_1998_09_02",
+    "GREEN_CATEGORY",
+    "PROFILED_QUERIES",
+    "PROJECTION_COLUMNS",
+    "QUERY_SPECS",
+    "QuerySpec",
+    "REFERENCE_IMPLEMENTATIONS",
+    "SCHEMAS",
+    "SELECTION_PREDICATE_COLUMNS",
+    "TableSchema",
+    "generate_database",
+    "projection_sql",
+    "selection_sql",
+    "q1_reference",
+    "q6_predicates",
+    "q6_reference",
+    "q9_reference",
+    "q18_group_count",
+    "q18_reference",
+    "rows_at_scale",
+]

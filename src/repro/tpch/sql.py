@@ -1,0 +1,111 @@
+"""SQL text of the profiled workloads.
+
+The engines in this library execute logical plans directly; the SQL
+here documents exactly what those plans compute -- the TPC-H queries in
+their official shape (with the paper's parameter choices) and the
+micro-benchmarks as the paper describes them in Section 2.  The tests
+cross-check structural facts of these strings (tables, columns,
+predicates) against the executable definitions so the documentation
+cannot drift.
+"""
+
+from __future__ import annotations
+
+from repro.tpch.schema import PROJECTION_COLUMNS, SELECTION_PREDICATE_COLUMNS
+
+#: Projection micro-benchmark of degree n (Section 2): a single SUM()
+#: over the first n of l_extendedprice, l_discount, l_tax, l_quantity.
+PROJECTION_SQL_TEMPLATE = "SELECT SUM({expr}) FROM lineitem;"
+
+
+def projection_sql(degree: int) -> str:
+    """SQL of the projection micro-benchmark with the given degree."""
+    if not 1 <= degree <= len(PROJECTION_COLUMNS):
+        raise ValueError(f"degree must be in [1, {len(PROJECTION_COLUMNS)}]")
+    expr = " + ".join(PROJECTION_COLUMNS[:degree])
+    return PROJECTION_SQL_TEMPLATE.format(expr=expr)
+
+
+def selection_sql(selectivity: float) -> str:
+    """SQL of the selection micro-benchmark: the degree-4 projection
+    behind three predicates whose thresholds are chosen per-column so
+    each has the requested individual selectivity."""
+    if not 0.0 < selectivity < 1.0:
+        raise ValueError("selectivity must be in (0, 1)")
+    predicates = " AND ".join(
+        f"{column} <= [q{selectivity:.2f} of {column}]"
+        for column in SELECTION_PREDICATE_COLUMNS
+    )
+    expr = " + ".join(PROJECTION_COLUMNS)
+    return f"SELECT SUM({expr}) FROM lineitem WHERE {predicates};"
+
+
+JOIN_SQL = {
+    "small": (
+        "SELECT SUM(s_acctbal + s_suppkey) "
+        "FROM supplier, nation WHERE s_nationkey = n_nationkey;"
+    ),
+    "medium": (
+        "SELECT SUM(ps_availqty + ps_supplycost) "
+        "FROM partsupp, supplier WHERE ps_suppkey = s_suppkey;"
+    ),
+    "large": (
+        "SELECT SUM(l_extendedprice + l_discount + l_tax + l_quantity) "
+        "FROM lineitem, orders WHERE l_orderkey = o_orderkey;"
+    ),
+}
+
+GROUPBY_SQL = (
+    "SELECT l_partkey, l_returnflag, SUM(l_extendedprice) "
+    "FROM lineitem GROUP BY l_partkey, l_returnflag;"
+)
+
+TPCH_SQL = {
+    "Q1": """\
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity)                                       AS sum_qty,
+       SUM(l_extendedprice)                                  AS sum_base_price,
+       SUM(l_extendedprice * (1 - l_discount))               AS sum_disc_price,
+       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       AVG(l_quantity), AVG(l_extendedprice), AVG(l_discount),
+       COUNT(*)                                              AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus;""",
+    "Q6": """\
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1994-01-01'
+  AND l_shipdate < DATE '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24;""",
+    "Q9": """\
+SELECT nation, o_year, SUM(amount) AS sum_profit
+FROM (SELECT n_name AS nation,
+             EXTRACT(YEAR FROM o_orderdate) AS o_year,
+             l_extendedprice * (1 - l_discount)
+               - ps_supplycost * l_quantity AS amount
+      FROM part, supplier, lineitem, partsupp, orders, nation
+      WHERE s_suppkey = l_suppkey
+        AND ps_suppkey = l_suppkey
+        AND ps_partkey = l_partkey
+        AND p_partkey = l_partkey
+        AND o_orderkey = l_orderkey
+        AND s_nationkey = n_nationkey
+        AND p_name LIKE '%green%') AS profit
+GROUP BY nation, o_year
+ORDER BY nation, o_year DESC;""",
+    "Q18": """\
+SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+       SUM(l_quantity)
+FROM customer, orders, lineitem
+WHERE o_orderkey IN (SELECT l_orderkey
+                     FROM lineitem
+                     GROUP BY l_orderkey
+                     HAVING SUM(l_quantity) > 300)
+  AND c_custkey = o_custkey
+  AND o_orderkey = l_orderkey
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+ORDER BY o_totalprice DESC, o_orderdate;""",
+}

@@ -1,0 +1,27 @@
+"""Experiment drivers for the paper's micro-benchmarks and TPC-H runs."""
+
+from repro.workloads.projection import (
+    DEGREES,
+    normalized_response_times,
+    run_projection_sweep,
+)
+from repro.workloads.selection import run_predication_comparison, run_selection_sweep
+from repro.workloads.join import join_chain_stats, normalized_large_join, run_join_sweep
+from repro.workloads.groupby import ChainComparison, hash_chain_comparison, run_groupby
+from repro.workloads.tpch_queries import run_predicated_q6, run_tpch
+
+__all__ = [
+    "ChainComparison",
+    "DEGREES",
+    "hash_chain_comparison",
+    "join_chain_stats",
+    "normalized_large_join",
+    "normalized_response_times",
+    "run_groupby",
+    "run_join_sweep",
+    "run_predicated_q6",
+    "run_predication_comparison",
+    "run_projection_sweep",
+    "run_selection_sweep",
+    "run_tpch",
+]

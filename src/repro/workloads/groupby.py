@@ -1,0 +1,63 @@
+"""Group-by micro-benchmark driver.
+
+Section 2 mentions a group-by micro-benchmark that behaves like the
+join at the micro-architectural level; Section 6 compares the *hash
+chain statistics* of group-by and join hash tables: group-by chains
+are much more irregular (lengths 0-7, mean 0.23, std 0.5) than join
+chains (lengths 0-1, mean 0.44, std 0.49) because groups sharing a
+common grouping attribute collide more than evenly-spread keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engines.base import Engine, JOIN_SPECS
+from repro.engines.hashtable import ChainedHashTable, ChainStats, GroupByHashTable
+from repro.core.profiler import MicroArchProfiler
+from repro.core.report import ProfileReport
+
+
+def run_groupby(
+    db, engines, profiler: MicroArchProfiler
+) -> dict[str, ProfileReport]:
+    """Profile the group-by micro-benchmark on every engine."""
+    results: dict[str, ProfileReport] = {}
+    reference = None
+    for engine in engines:
+        query = engine.run_groupby(db)
+        if reference is None:
+            reference = query.value
+        elif abs(query.value - reference) > 1e-6 * max(1.0, abs(reference)):
+            raise AssertionError(f"{engine.name} disagrees on the group-by result")
+        results[engine.name] = profiler.profile(engine, query)
+    return results
+
+
+@dataclass(frozen=True)
+class ChainComparison:
+    """Side-by-side hash-chain statistics (the Section 6 table)."""
+
+    join: ChainStats
+    groupby: ChainStats
+
+    @property
+    def groupby_more_irregular(self) -> bool:
+        """The paper's observation: group-by chains are longer-tailed
+        and relatively more dispersed than join chains."""
+        if not self.join.mean or not self.groupby.mean:
+            return False
+        join_cv = self.join.std / self.join.mean
+        groupby_cv = self.groupby.std / self.groupby.mean
+        return self.groupby.max > self.join.max and groupby_cv > join_cv
+
+
+def hash_chain_comparison(db) -> ChainComparison:
+    """Build the large join's and the group-by micro-benchmark's hash
+    tables and measure their chain-length distributions."""
+    spec = JOIN_SPECS["large"]
+    join_table = ChainedHashTable(db.table(spec.build_table)[spec.build_key])
+    lineitem = db.table("lineitem")
+    composite = lineitem["l_partkey"] * 4 + lineitem["l_returnflag"]
+    group_table = GroupByHashTable(composite)
+    return ChainComparison(join=join_table.chain_stats(), groupby=group_table.chain_stats())

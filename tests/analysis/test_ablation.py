@@ -1,0 +1,104 @@
+"""Ablation-study tests: robustness and attribution of the calibrated
+model parameters."""
+
+import pytest
+
+from repro.analysis import AblationStudy, METRICS, scalable_parameters
+
+
+@pytest.fixture(scope="module")
+def study(paper_db):
+    return AblationStudy(paper_db)
+
+
+class TestSetup:
+    def test_scalable_parameters_cover_the_calibration(self):
+        names = scalable_parameters()
+        assert "prefetch_residual_cycles" in names
+        assert "chain_op_latency" in names
+        assert "seq_queue_coeff" in names
+        # branch_penalty defaults to None and must not be scalable.
+        assert "branch_penalty" not in names
+
+    def test_metrics_have_claims(self):
+        for metric in METRICS:
+            assert metric.claim
+
+    def test_unknown_parameter_rejected(self, study):
+        with pytest.raises(ValueError, match="non-scalable"):
+            study.ablate("warp_factor")
+
+
+class TestBaseline:
+    def test_baseline_metrics_in_paper_bands(self, study):
+        baseline = study.baseline()
+        assert 0.25 <= baseline["typer_p4_stall_ratio"] <= 0.82
+        assert baseline["typer_stall_growth_p1_to_p4"] > 0
+        assert baseline["selection_branch_peak_at_50"] > 0
+        assert baseline["large_join_dcache_share"] > 0.5
+        assert baseline["tectorwise_over_typer_bandwidth"] < 1.0
+
+
+class TestRobustness:
+    """The paper's qualitative conclusions must survive halving or
+    doubling each calibrated constant."""
+
+    @pytest.mark.parametrize(
+        "parameter",
+        [
+            "store_pressure_cycles",
+            "prefetch_residual_cycles",
+            "mlp_random_independent",
+            "cached_access_stall",
+            "seq_queue_coeff",
+        ],
+    )
+    def test_conclusions_survive_scaling(self, study, parameter):
+        figure = study.ablate(parameter)
+        assert len(figure.rows) == 3  # 1.0, 0.5, 2.0
+        assert study.conclusions_survive(figure), figure.to_text()
+
+
+class TestAttribution:
+    def test_chain_latency_is_architectural_not_calibrated(self, study):
+        """chain_op_latency is Broadwell's 3-cycle FP-add latency, not a
+        free knob: doubling it makes the low-projectivity scan
+        chain-bound (p1 stalls exceed p4's), which is exactly why the
+        model pins it to the architectural value."""
+        figure = study.ablate("chain_op_latency")
+        assert figure.row_for(factor=1.0)["typer_stall_growth_p1_to_p4"] > 0
+        assert (
+            figure.row_for(factor=2.0)["typer_stall_growth_p1_to_p4"]
+            < figure.row_for(factor=0.5)["typer_stall_growth_p1_to_p4"]
+        )
+
+    def test_prefetch_residual_drives_scan_stalls(self, study):
+        figure = study.ablate("prefetch_residual_cycles")
+        base = figure.row_for(factor=1.0)["typer_p4_stall_ratio"]
+        doubled = figure.row_for(factor=2.0)["typer_p4_stall_ratio"]
+        assert doubled > base
+
+    def test_queueing_drives_superlinear_growth(self, study):
+        figure = study.ablate("seq_queue_coeff")
+        base = figure.row_for(factor=1.0)["typer_stall_growth_p1_to_p4"]
+        halved = figure.row_for(factor=0.5)["typer_stall_growth_p1_to_p4"]
+        assert halved <= base
+
+    def test_mlp_drives_join_dcache(self, study):
+        figure = study.ablate("mlp_random_independent")
+        more_mlp = figure.row_for(factor=2.0)["large_join_dcache_share"]
+        less_mlp = figure.row_for(factor=0.5)["large_join_dcache_share"]
+        assert less_mlp >= more_mlp
+
+    def test_materialization_cost_drives_tectorwise_bandwidth_gap(self, study):
+        figure = study.ablate("cached_access_stall")
+        cheap = figure.row_for(factor=0.5)["tectorwise_over_typer_bandwidth"]
+        expensive = figure.row_for(factor=2.0)["tectorwise_over_typer_bandwidth"]
+        assert cheap > expensive
+
+
+class TestRun:
+    def test_run_subset(self, study):
+        figures = study.run(parameters=("chain_op_latency",))
+        assert set(figures) == {"chain_op_latency"}
+        assert figures["chain_op_latency"].figure_id == "ablation-chain_op_latency"

@@ -1,0 +1,75 @@
+"""Figure export tests: Markdown, CSV, JSON round-trip."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis import FigureResult, from_json, to_csv, to_json, to_markdown, write_report
+
+
+@pytest.fixture
+def figure():
+    result = FigureResult("figX", "demo figure", ("engine", "value", "flag"))
+    result.add_row(engine="Typer", value=1.2345, flag=True)
+    result.add_row(engine="Tectorwise", value=2.5, flag=False)
+    result.note("a note")
+    return result
+
+
+class TestMarkdown:
+    def test_structure(self, figure):
+        text = to_markdown(figure)
+        lines = text.splitlines()
+        assert lines[0].startswith("### figX")
+        assert "| engine | value | flag |" in text
+        assert "| Typer | 1.234 | True |" in text
+        assert "> a note" in text
+
+    def test_float_format(self, figure):
+        assert "1.23450" in to_markdown(figure, float_format="{:.5f}")
+
+    def test_none_rendered_empty(self):
+        result = FigureResult("f", "t", ("a", "b"))
+        result.add_row(a=1)
+        assert "|  |" in to_markdown(result)
+
+
+class TestCsv:
+    def test_parsable(self, figure):
+        rows = list(csv.DictReader(io.StringIO(to_csv(figure))))
+        assert len(rows) == 2
+        assert rows[0]["engine"] == "Typer"
+        assert float(rows[1]["value"]) == 2.5
+
+
+class TestJson:
+    def test_roundtrip(self, figure):
+        recovered = from_json(to_json(figure))
+        assert recovered.figure_id == figure.figure_id
+        assert recovered.columns == figure.columns
+        assert recovered.rows == figure.rows
+        assert recovered.notes == figure.notes
+
+    def test_valid_json(self, figure):
+        payload = json.loads(to_json(figure))
+        assert payload["title"] == "demo figure"
+
+
+class TestWriteReport:
+    def test_markdown_report(self, figure, tmp_path):
+        path = tmp_path / "report.md"
+        count = write_report([figure, figure], str(path), fmt="markdown")
+        assert count == 2
+        content = path.read_text()
+        assert content.count("### figX") == 2
+
+    def test_csv_report(self, figure, tmp_path):
+        path = tmp_path / "report.csv"
+        write_report([figure], str(path), fmt="csv")
+        assert "engine,value,flag" in path.read_text()
+
+    def test_unknown_format(self, figure, tmp_path):
+        with pytest.raises(ValueError):
+            write_report([figure], str(tmp_path / "x"), fmt="yaml")

@@ -1,0 +1,68 @@
+"""Experiment-registry tests: completeness and executability."""
+
+import pytest
+
+from repro.analysis import EXPERIMENTS, FigureResult, run_experiment
+from repro.analysis.__main__ import main as cli_main
+from repro.hardware import SKYLAKE
+
+#: Every table/figure of the paper's evaluation plus the quantified
+#: text claims.
+EXPECTED_IDS = {
+    "table1",
+    *(f"fig{index:02d}" for index in range(1, 31)),
+    "sec4-bandwidth", "sec6-chains", "sec7-q6", "sec10-headroom",
+    # Results the paper describes but omits as graphs.
+    "sec2-groupby", "sec9-extended", "sec10-tpch-bw",
+    "sec6-commercial", "sec10-speedup",
+}
+
+
+class TestRegistryCompleteness:
+    def test_every_paper_artefact_registered(self):
+        assert set(EXPERIMENTS) == EXPECTED_IDS
+
+    def test_every_entry_has_title_and_claim(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.title
+            assert spec.paper_claim
+
+    def test_simd_experiments_run_on_skylake(self):
+        for experiment_id in ("fig22", "fig23", "fig24", "fig25"):
+            assert EXPERIMENTS[experiment_id].machine is SKYLAKE
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            run_experiment("fig99")
+
+
+class TestExecution:
+    @pytest.mark.parametrize(
+        "experiment_id",
+        ["table1", "fig03", "fig05", "fig10", "sec6-chains", "fig29"],
+    )
+    def test_selected_experiments_execute(self, experiment_id, small_db):
+        spec = EXPERIMENTS[experiment_id]
+        figure = spec.execute(db=small_db)
+        assert isinstance(figure, FigureResult)
+        assert figure.rows
+        assert figure.to_text()
+
+    def test_run_experiment_generates_data(self):
+        figure = run_experiment("fig05", scale_factor=0.005)
+        assert figure.rows
+
+    def test_execute_with_given_db_skips_generation(self, small_db):
+        figure = EXPERIMENTS["fig03"].execute(db=small_db)
+        assert len(figure.rows) == 8  # 2 engines x 4 degrees
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig03" in out and "fig30" in out
+
+    def test_run_single(self, capsys):
+        assert cli_main(["run", "table1", "--sf", "0.002"]) == 0
+        assert "Broadwell" in capsys.readouterr().out

@@ -1,0 +1,85 @@
+"""FigureResult and ASCII-chart tests."""
+
+import pytest
+
+from repro.analysis import (
+    FigureResult,
+    bandwidth_chart,
+    cycle_chart,
+    stacked_bar,
+    stall_chart,
+)
+
+
+class TestFigureResult:
+    def make(self):
+        figure = FigureResult("figX", "demo", ("engine", "value"))
+        figure.add_row(engine="A", value=1.5)
+        figure.add_row(engine="B", value=2.5)
+        return figure
+
+    def test_add_row_fills_missing_with_none(self):
+        figure = FigureResult("f", "t", ("a", "b"))
+        figure.add_row(a=1)
+        assert figure.rows[0] == {"a": 1, "b": None}
+
+    def test_column_accessor(self):
+        assert self.make().column("value") == [1.5, 2.5]
+
+    def test_row_for(self):
+        assert self.make().row_for(engine="B")["value"] == 2.5
+        with pytest.raises(KeyError):
+            self.make().row_for(engine="Z")
+
+    def test_to_text_contains_everything(self):
+        figure = self.make()
+        figure.note("hello")
+        text = figure.to_text()
+        assert "figX" in text
+        assert "engine" in text
+        assert "2.500" in text
+        assert "note: hello" in text
+
+
+class TestStackedBar:
+    def test_width_exact(self):
+        bar = stacked_bar({"retiring": 0.4, "dcache": 0.6}, width=50)
+        assert len(bar) == 50
+        assert bar.count("R") == 20
+        assert bar.count("D") == 30
+
+    def test_order_matches_legend(self):
+        bar = stacked_bar({"dcache": 0.5, "retiring": 0.5}, width=10)
+        assert bar.startswith("RRRRR")
+
+    def test_empty_shares(self):
+        assert stacked_bar({}, width=10) == " " * 10
+
+    def test_rounding_never_overflows(self):
+        bar = stacked_bar({"retiring": 1 / 3, "dcache": 1 / 3, "execution": 1 / 3}, width=10)
+        assert len(bar) == 10
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            stacked_bar({"retiring": 1.0}, width=0)
+
+
+class TestCharts:
+    def test_cycle_chart_labels_and_legend(self):
+        chart = cycle_chart([("p1", {"retiring": 0.5, "dcache": 0.5})], width=20)
+        assert "p1" in chart
+        assert "Retiring" in chart
+
+    def test_stall_chart_drops_retiring(self):
+        chart = stall_chart([("x", {"retiring": 0.9, "dcache": 0.1})], width=20)
+        bar_line = chart.splitlines()[0]
+        assert "R" not in bar_line.split("|")[1]
+
+    def test_bandwidth_chart_shows_max(self):
+        chart = bandwidth_chart([("Typer", 6.0)], max_gbps=12.0, width=20)
+        assert "MAX" in chart
+        assert "6.0 GB/s" in chart
+
+    def test_bandwidth_chart_validation(self):
+        with pytest.raises(ValueError):
+            bandwidth_chart([], max_gbps=0.0)

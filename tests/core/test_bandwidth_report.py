@@ -1,0 +1,121 @@
+"""Bandwidth-estimator and profile-report tests."""
+
+import pytest
+
+from repro.hardware import BROADWELL
+from repro.core import (
+    BandwidthEstimator,
+    CycleModel,
+    ExecutionContext,
+    MicroArchProfiler,
+    WorkProfile,
+    dominant_access_pattern,
+)
+from repro.core.report import COMPONENT_LABELS, ProfileReport
+from repro.engines import TyperEngine
+
+
+@pytest.fixture
+def estimator():
+    return BandwidthEstimator(CycleModel(BROADWELL))
+
+
+def make_profile(seq=1e8, random_count=0.0):
+    work = WorkProfile(tuples=1000)
+    work.record_work(instructions=1e7)
+    if seq:
+        work.record_sequential_read(seq)
+    if random_count:
+        work.record_random("r", random_count, 1 << 30)
+    return work
+
+
+class TestDominantPattern:
+    def test_streaming(self):
+        assert dominant_access_pattern(make_profile()) == "sequential"
+
+    def test_random(self):
+        work = make_profile(seq=1e4, random_count=1e6)
+        assert dominant_access_pattern(work) == "random"
+
+
+class TestUsage:
+    def test_bandwidth_is_traffic_over_time(self, estimator):
+        work = make_profile()
+        breakdown = estimator.model.breakdown(work)
+        usage = estimator.usage(work, breakdown)
+        seconds = BROADWELL.cycles_to_seconds(breakdown.total)
+        assert usage.gbps == pytest.approx(1e8 / seconds / 1e9)
+
+    def test_never_exceeds_per_core_roof_materially(self, estimator):
+        work = make_profile(seq=1e9)
+        breakdown = estimator.model.breakdown(work)
+        usage = estimator.usage(work, breakdown)
+        assert usage.gbps <= usage.max_gbps * 1.3  # overshoot traffic allowed
+
+    def test_saturated_flag(self, estimator):
+        from repro.core.bandwidth import BandwidthUsage
+
+        assert BandwidthUsage(11.0, 12.0, "sequential").saturated
+        assert not BandwidthUsage(6.0, 12.0, "sequential").saturated
+
+    def test_multicore_capped_at_socket(self, estimator):
+        work = make_profile(seq=1e9).scaled(1.0 / 14)
+        usage = estimator.multicore_usage(work, ExecutionContext(threads=14))
+        assert usage.max_gbps == 66.0
+        assert usage.gbps <= 66.0
+
+
+class TestProfileReport:
+    @pytest.fixture(scope="class")
+    def report(self, small_db):
+        profiler = MicroArchProfiler()
+        return profiler.run(TyperEngine(), "run_projection", small_db, 4)
+
+    def test_response_time_conversion(self, report):
+        assert report.response_time_ms == pytest.approx(
+            BROADWELL.cycles_to_ms(report.cycles)
+        )
+
+    def test_labels(self, report):
+        assert report.label == "Typer/projection-p4"
+        assert set(COMPONENT_LABELS) == {
+            "retiring", "branch_misp", "icache", "decoding", "dcache", "execution",
+        }
+
+    def test_time_breakdown_sums_to_response(self, report):
+        assert sum(report.time_breakdown_ms().values()) == pytest.approx(
+            report.response_time_ms
+        )
+
+    def test_stall_time_subset(self, report):
+        stall = report.stall_time_ms()
+        assert "retiring" not in stall
+        assert sum(stall.values()) == pytest.approx(
+            report.response_time_ms * report.stall_ratio, rel=1e-6
+        )
+
+    def test_normalized_to_self_is_one(self, report):
+        assert report.normalized_to(report).total == pytest.approx(1.0)
+
+    def test_speedup(self, report):
+        assert report.speedup_over(report) == pytest.approx(1.0)
+
+    def test_as_row_keys(self, report):
+        row = report.as_row()
+        assert row["engine"] == "Typer"
+        assert "share_retiring" in row
+        assert row["threads"] == 1
+
+
+class TestProfilerRun:
+    def test_run_executes_and_profiles(self, small_db):
+        profiler = MicroArchProfiler()
+        report = profiler.run(TyperEngine(), "run_projection", small_db, 2)
+        assert report.workload == "projection-p2"
+        assert report.cycles > 0
+
+    def test_run_rejects_non_query_methods(self, small_db):
+        profiler = MicroArchProfiler()
+        with pytest.raises(AttributeError):
+            profiler.run(TyperEngine(), "no_such_method", small_db)

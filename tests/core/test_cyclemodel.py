@@ -1,0 +1,219 @@
+"""Cycle-model tests: each TMAM component and their composition."""
+
+import pytest
+
+from repro.hardware import BROADWELL, CycleBreakdown, PrefetcherConfig
+from repro.core import (
+    CalibrationParams,
+    CycleModel,
+    ExecutionContext,
+    WorkProfile,
+)
+
+
+@pytest.fixture
+def model():
+    return CycleModel(BROADWELL)
+
+
+def streaming_profile(n_bytes=1e8, instructions=1e7):
+    work = WorkProfile()
+    work.record_work(instructions=instructions, alu=instructions / 4, loads=instructions / 4)
+    work.record_sequential_read(n_bytes)
+    return work
+
+
+class TestRetiring:
+    def test_issue_width_bound(self, model):
+        work = WorkProfile()
+        work.record_work(instructions=400)
+        assert model.retiring_cycles(work) == 100.0
+
+
+class TestBranch:
+    def test_uses_two_bit_rate(self, model):
+        work = WorkProfile()
+        work.record_branch_stream("b", 1000, 0.5)
+        expected = 1000 * 0.5 * BROADWELL.branch_mispredict_penalty
+        assert model.branch_cycles(work) == pytest.approx(expected)
+
+    def test_measured_rate_overrides(self, model):
+        work = WorkProfile()
+        work.record_branch_stream("b", 1000, 0.5, mispredict_rate=0.1)
+        expected = 1000 * 0.1 * BROADWELL.branch_mispredict_penalty
+        assert model.branch_cycles(work) == pytest.approx(expected)
+
+    def test_biased_branch_nearly_free(self, model):
+        work = WorkProfile()
+        work.record_branch_stream("loop", 1_000_000, 0.999)
+        assert model.branch_cycles(work) < 1_000_000 * 0.05
+
+
+class TestFrontEnd:
+    def test_small_code_has_no_icache_stalls(self, model):
+        work = WorkProfile(code_footprint_bytes=16 * 1024)
+        work.record_work(instructions=1e7)
+        assert model.icache_cycles(work) == 0.0
+        assert model.decoding_cycles(work) == 0.0
+
+    def test_interpreter_code_pays_but_is_not_bound(self, model):
+        """The paper: commercial OLAP is NOT Icache-bound."""
+        work = WorkProfile(code_footprint_bytes=768 * 1024)
+        work.record_work(instructions=1e7)
+        icache = model.icache_cycles(work)
+        assert icache > 0
+        assert icache < model.retiring_cycles(work) * 0.2
+
+    def test_icache_grows_with_footprint(self, model):
+        small = WorkProfile(code_footprint_bytes=64 * 1024)
+        small.record_work(instructions=1e6)
+        large = WorkProfile(code_footprint_bytes=2 * 1024 * 1024)
+        large.record_work(instructions=1e6)
+        assert model.icache_cycles(large) > model.icache_cycles(small)
+
+
+class TestExecution:
+    def test_no_stall_when_ports_idle(self, model):
+        work = WorkProfile()
+        work.record_work(instructions=1000, alu=500)
+        assert model.execution_cycles(work) == 0.0
+
+    def test_hash_pressure_creates_stalls(self, model):
+        work = WorkProfile()
+        work.record_work(instructions=1000, hash_ops=500)
+        assert model.execution_cycles(work) > 0
+
+    def test_serial_chain_creates_stalls(self, model):
+        work = WorkProfile()
+        work.record_work(instructions=1000, chain=1000)
+        # 1000 chained FP ops at 3 cycles vs 250 retiring cycles.
+        assert model.execution_cycles(work) == pytest.approx(3000 - 250)
+
+    def test_low_ilp_creates_stalls(self, model):
+        work = WorkProfile(effective_ilp=2.0)
+        work.record_work(instructions=1000)
+        assert model.execution_cycles(work) == pytest.approx(1000 / 2 - 250)
+
+
+class TestDcache:
+    def test_total_never_beats_bandwidth_floor(self, model):
+        work = streaming_profile(n_bytes=1.2e9, instructions=1e6)
+        breakdown = model.breakdown(work)
+        floor_seconds = 1.2e9 / (12.0 * 1e9)
+        floor_cycles = floor_seconds * BROADWELL.cycles_per_second
+        assert breakdown.total >= floor_cycles * 0.999
+
+    def test_compute_heavy_run_has_little_dcache(self, model):
+        work = streaming_profile(n_bytes=1e6, instructions=1e9)
+        breakdown = model.breakdown(work)
+        assert breakdown.dcache < 0.05 * breakdown.total
+
+    def test_prefetchers_off_raises_dcache(self, model):
+        work = streaming_profile()
+        on = model.breakdown(work, ExecutionContext(prefetchers=PrefetcherConfig.all_enabled()))
+        off = model.breakdown(work, ExecutionContext(prefetchers=PrefetcherConfig.all_disabled()))
+        assert off.dcache > 2 * on.dcache
+
+    def test_random_latency_mix(self, model):
+        l1 = model.random_latency_cycles(16 * 1024)
+        l2 = model.random_latency_cycles(128 * 1024)
+        l3 = model.random_latency_cycles(16 * 1024 * 1024)
+        mem = model.random_latency_cycles(1 << 30)
+        assert l1 == pytest.approx(BROADWELL.l1_access_cycles)
+        assert l1 < l2 < l3 < mem
+        assert mem <= BROADWELL.memory_latency_cycles
+
+    def test_dependent_accesses_stall_more(self, model):
+        def profile(dependent):
+            work = WorkProfile()
+            work.record_work(instructions=1e6)
+            work.record_random("r", 1e5, 1 << 28, dependent=dependent)
+            return model.breakdown(work).dcache
+
+        assert profile(True) > 1.5 * profile(False)
+
+    def test_mlp_hint_reduces_stalls(self, model):
+        def profile(hint):
+            work = WorkProfile()
+            work.record_work(instructions=1e6)
+            work.record_random("r", 1e5, 1 << 28, mlp_hint=hint)
+            return model.breakdown(work).dcache
+
+        assert profile(12.0) < profile(None)
+
+    def test_l1_resident_structures_free(self, model):
+        work = WorkProfile()
+        work.record_work(instructions=1e6)
+        work.record_random("tiny", 1e6, 1024)
+        assert model.breakdown(work).dcache == 0.0
+
+    def test_cached_traffic_split_between_dcache_and_execution(self, model):
+        work = WorkProfile()
+        work.record_work(instructions=1e6)
+        base = model.breakdown(work)
+        work.record_cached_traffic(read=8e6, write=8e6)
+        loaded = model.breakdown(work)
+        assert loaded.dcache > base.dcache
+        assert loaded.execution > base.execution
+
+
+class TestContext:
+    def test_threads_share_socket_bandwidth(self, model):
+        work = streaming_profile(n_bytes=1e9, instructions=1e6)
+        solo = model.breakdown(work, ExecutionContext(threads=1))
+        crowded = model.breakdown(work, ExecutionContext(threads=14))
+        assert crowded.total > solo.total
+
+    def test_hyper_threading_raises_per_core_bandwidth(self, model):
+        work = streaming_profile(n_bytes=1e9, instructions=1e6)
+        plain = model.breakdown(work, ExecutionContext())
+        ht = model.breakdown(work, ExecutionContext(hyper_threading=True))
+        assert ht.total < plain.total
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            ExecutionContext(threads=0)
+
+    def test_with_threads(self):
+        context = ExecutionContext().with_threads(8)
+        assert context.threads == 8
+
+
+class TestTraffic:
+    def test_sparse_overshoot_peaks_at_mid_density(self, model):
+        def traffic(density):
+            work = WorkProfile()
+            work.record_sparse_scan("g", 1e6, density)
+            return model.memory_traffic_bytes(work)
+
+        assert traffic(0.5) > traffic(0.95)
+        assert traffic(0.5) > traffic(0.05)
+
+    def test_l3_resident_random_accesses_create_no_dram_traffic(self, model):
+        work = WorkProfile()
+        work.record_random("r", 1e5, 1 << 20)  # 1 MB working set
+        assert model.memory_traffic_bytes(work) == 0.0
+
+    def test_dram_random_traffic_counted(self, model):
+        work = WorkProfile()
+        work.record_random("r", 1e5, 1 << 30)
+        assert model.memory_traffic_bytes(work) > 0
+
+
+class TestCalibrationParams:
+    def test_custom_params_respected(self):
+        params = CalibrationParams(chain_op_latency=10.0)
+        model = CycleModel(BROADWELL, params)
+        work = WorkProfile()
+        work.record_work(instructions=100, chain=100)
+        assert model.execution_cycles(work) == pytest.approx(1000 - 25)
+
+    def test_branch_penalty_override(self):
+        params = CalibrationParams(branch_penalty=20.0)
+        model = CycleModel(BROADWELL, params)
+        work = WorkProfile()
+        work.record_branch_stream("b", 100, 0.5)
+        assert model.branch_cycles(work) == pytest.approx(100 * 0.5 * 20.0)
+
+    def test_breakdown_type(self, model):
+        assert isinstance(model.breakdown(streaming_profile()), CycleBreakdown)

@@ -1,0 +1,130 @@
+"""Property-based invariants of the cycle model.
+
+These pin the *monotonicity* and *sanity* properties any cycle-
+accounting model must have, independent of calibration values.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import BROADWELL, PrefetcherConfig
+from repro.core import CycleModel, ExecutionContext, WorkProfile
+
+model = CycleModel(BROADWELL)
+
+instructions = st.floats(min_value=0.0, max_value=1e10)
+nbytes = st.floats(min_value=0.0, max_value=1e10)
+counts = st.floats(min_value=0.0, max_value=1e8)
+fractions = st.floats(min_value=0.0, max_value=1.0)
+
+
+def profile_of(instr=0.0, seq=0.0, random_count=0.0, ws=1 << 28, branches=0.0, taken=0.5):
+    work = WorkProfile()
+    if instr:
+        work.record_work(instructions=instr, alu=instr / 4, loads=instr / 4)
+    if seq:
+        work.record_sequential_read(seq)
+    if random_count:
+        work.record_random("r", random_count, ws)
+    if branches:
+        work.record_branch_stream("b", branches, taken)
+    return work
+
+
+@settings(max_examples=60, deadline=None)
+@given(instr=instructions, extra=st.floats(min_value=1.0, max_value=1e9))
+def test_more_instructions_never_faster(instr, extra):
+    base = model.breakdown(profile_of(instr=instr + 1))
+    more = model.breakdown(profile_of(instr=instr + 1 + extra))
+    assert more.total >= base.total - 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(seq=nbytes, extra=st.floats(min_value=1.0, max_value=1e9))
+def test_more_bytes_never_faster(seq, extra):
+    base = model.breakdown(profile_of(instr=1e6, seq=seq))
+    more = model.breakdown(profile_of(instr=1e6, seq=seq + extra))
+    assert more.total >= base.total - 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(count=counts, extra=st.floats(min_value=1.0, max_value=1e7))
+def test_more_random_accesses_never_faster(count, extra):
+    base = model.breakdown(profile_of(instr=1e6, random_count=count))
+    more = model.breakdown(profile_of(instr=1e6, random_count=count + extra))
+    assert more.total >= base.total - 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(instr=instructions, seq=nbytes, count=counts, taken=fractions)
+def test_all_components_non_negative(instr, seq, count, taken):
+    work = profile_of(instr=instr, seq=seq, random_count=count, branches=count, taken=taken)
+    breakdown = model.breakdown(work)
+    for value in breakdown.as_dict().values():
+        assert value >= 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(seq=st.floats(min_value=1e6, max_value=1e10))
+def test_total_respects_the_bandwidth_roof(seq):
+    """No execution can move bytes faster than the per-core roof."""
+    breakdown = model.breakdown(profile_of(instr=1.0, seq=seq))
+    floor_cycles = seq / BROADWELL.bytes_per_cycle(12.0)
+    assert breakdown.total >= floor_cycles * 0.999
+
+
+@settings(max_examples=40, deadline=None)
+@given(seq=st.floats(min_value=1e6, max_value=1e9), instr=st.floats(min_value=1.0, max_value=1e9))
+def test_prefetchers_never_hurt(seq, instr):
+    work = profile_of(instr=instr, seq=seq)
+    enabled = model.breakdown(work, ExecutionContext(prefetchers=PrefetcherConfig.all_enabled()))
+    disabled = model.breakdown(work, ExecutionContext(prefetchers=PrefetcherConfig.all_disabled()))
+    assert enabled.total <= disabled.total + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    count=st.floats(min_value=1e3, max_value=1e7),
+    ws=st.integers(min_value=1 << 16, max_value=1 << 30),
+)
+def test_dependent_accesses_never_cheaper(count, ws):
+    independent = WorkProfile()
+    independent.record_work(instructions=1e5)
+    independent.record_random("r", count, ws, dependent=False)
+    dependent = WorkProfile()
+    dependent.record_work(instructions=1e5)
+    dependent.record_random("r", count, ws, dependent=True)
+    assert model.breakdown(dependent).dcache >= model.breakdown(independent).dcache - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(ws_small=st.integers(min_value=1 << 10, max_value=1 << 24), factor=st.integers(min_value=2, max_value=64))
+def test_random_latency_monotone_in_working_set(ws_small, factor):
+    small = model.random_latency_cycles(ws_small)
+    large = model.random_latency_cycles(ws_small * factor)
+    assert large >= small - 1e-9
+    assert large <= BROADWELL.memory_latency_cycles + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(threads=st.integers(min_value=1, max_value=14), seq=st.floats(min_value=1e6, max_value=1e9))
+def test_contention_never_helps(threads, seq):
+    work = profile_of(instr=1e6, seq=seq)
+    solo = model.breakdown(work, ExecutionContext(threads=1))
+    crowded = model.breakdown(work, ExecutionContext(threads=threads))
+    assert crowded.total >= solo.total - 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    instr=st.floats(min_value=1e3, max_value=1e8),
+    seq=st.floats(min_value=0.0, max_value=1e8),
+    factor=st.floats(min_value=0.01, max_value=1.0),
+)
+def test_breakdown_scales_subadditively(instr, seq, factor):
+    """A fraction of the work never costs more than the same fraction
+    of the whole (floors and overlaps only help smaller profiles)."""
+    whole = model.breakdown(profile_of(instr=instr, seq=seq))
+    part = model.breakdown(profile_of(instr=instr, seq=seq).scaled(factor))
+    assert part.total <= whole.total + 1e-6

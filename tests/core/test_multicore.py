@@ -1,0 +1,85 @@
+"""Multi-core model tests (Section 10 mechanisms)."""
+
+import pytest
+
+from repro.core import MicroArchProfiler, MulticoreModel
+from repro.engines import TectorwiseEngine, TyperEngine
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MulticoreModel(MicroArchProfiler())
+
+
+@pytest.fixture(scope="module")
+def projection_result(small_db):
+    return TyperEngine().run_projection(small_db, 4)
+
+
+@pytest.fixture(scope="module")
+def join_result(big_db):
+    """SF 1.0: the hash table exceeds the L3 (the paper's regime)."""
+    return TyperEngine().run_join(big_db, "large")
+
+
+class TestRun:
+    def test_response_time_shrinks_with_threads(self, model, projection_result):
+        one = model.run("Typer", projection_result, 1)
+        four = model.run("Typer", projection_result, 4)
+        assert four.response_time_ms < one.response_time_ms
+
+    def test_speedup_bounded_by_thread_count(self, model, projection_result):
+        speedups = model.speedup_curve("Typer", projection_result, (1, 4, 8, 14))
+        for threads, speedup in speedups.items():
+            assert speedup <= threads + 1e-6
+        assert speedups[4] > 2.0  # reasonably parallel
+
+    def test_thread_limit_is_one_socket(self, model, projection_result):
+        with pytest.raises(ValueError):
+            model.run("Typer", projection_result, 15)
+        with pytest.raises(ValueError):
+            model.run("Typer", projection_result, 0)
+
+    def test_per_thread_report_carries_thread_count(self, model, projection_result):
+        run = model.run("Typer", projection_result, 8)
+        assert run.per_thread.threads == 8
+
+    def test_accepts_engine_instance(self, model, projection_result):
+        run = model.run(TyperEngine(), projection_result, 2)
+        assert run.per_thread.engine == "Typer"
+
+
+class TestBandwidthCurves:
+    def test_curve_monotone_nondecreasing(self, model, projection_result):
+        curve = model.bandwidth_curve("Typer", projection_result)
+        values = [curve[t] for t in sorted(curve)]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_projection_saturates_socket(self, model, projection_result):
+        curve = model.bandwidth_curve("Typer", projection_result)
+        assert curve[14] == pytest.approx(66.0)
+
+    def test_join_does_not_saturate(self, model, join_result):
+        curve = model.bandwidth_curve("Typer", join_result)
+        assert curve[14] < 0.95 * 60.0
+
+    def test_saturation_point_helper(self, model):
+        assert MulticoreModel.saturation_point({1: 5, 8: 60, 14: 66}, 66.0) == 8
+        assert MulticoreModel.saturation_point({1: 5, 14: 30}, 66.0) is None
+
+    def test_hyper_threading_raises_bandwidth(self, model, join_result):
+        plain = model.bandwidth_curve("Typer", join_result, (14,))
+        boosted = model.bandwidth_curve("Typer", join_result, (14,), hyper_threading=True)
+        assert boosted[14] > plain[14]
+
+
+class TestBreakdownStability:
+    def test_multicore_breakdown_tracks_single_core(self, model, paper_db):
+        """Figures 27/28: the per-thread composition is close to the
+        single-core one (the paper observes no significant change)."""
+        for engine in (TyperEngine(), TectorwiseEngine()):
+            result = engine.run_tpch(paper_db, "Q9")
+            solo = model.run(engine, result, 1).per_thread
+            crowd = model.run(engine, result, 14).per_thread
+            assert crowd.stall_ratio == pytest.approx(solo.stall_ratio, abs=0.2)
+            assert crowd.breakdown.dominant_stall() == solo.breakdown.dominant_stall()

@@ -1,0 +1,94 @@
+"""Per-operator profiling tests (Section 6: operator behaviour
+predicts query behaviour)."""
+
+import pytest
+
+from repro.core import MicroArchProfiler
+from repro.engines import TyperEngine
+from repro.engines.base import OperatorWork
+
+
+@pytest.fixture(scope="module")
+def q9_result(small_db):
+    return TyperEngine().run_q9(small_db)
+
+
+@pytest.fixture(scope="module")
+def join_result(small_db):
+    return TyperEngine().run_join(small_db, "large")
+
+
+class TestOperatorWork:
+    def test_operator_profiles_named_and_reused(self):
+        operators = OperatorWork(TyperEngine())
+        first = operators.operator("scan")
+        again = operators.operator("scan")
+        assert first is again
+        assert first.label == "scan"
+
+    def test_total_merges_linear_quantities(self):
+        operators = OperatorWork(TyperEngine())
+        operators.operator("a").record_work(instructions=100, alu=10)
+        operators.operator("b").record_work(instructions=50, stores=5)
+        operators.operator("b").record_sequential_read(640)
+        total = operators.total()
+        assert total.instructions == 150
+        assert total.alu_ops == 10
+        assert total.store_ops == 5
+        assert total.seq_read_bytes == 640
+
+
+class TestRecordedOperators:
+    def test_join_records_three_operators(self, join_result):
+        assert list(join_result.operator_work) == [
+            "hash build", "hash probe", "aggregate",
+        ]
+
+    def test_q9_records_the_plan_pipeline(self, q9_result):
+        names = list(q9_result.operator_work)
+        assert "scan lineitem" in names
+        assert "probe orders" in names
+        assert "aggregate" in names
+        assert len(names) == 7
+
+    def test_operator_work_sums_to_query_work(self, q9_result):
+        total = sum(p.instructions for p in q9_result.operator_work.values())
+        assert total == pytest.approx(q9_result.work.instructions)
+        total_bytes = sum(p.seq_bytes for p in q9_result.operator_work.values())
+        assert total_bytes == pytest.approx(q9_result.work.seq_bytes)
+
+    def test_projection_records_no_operators(self, small_db):
+        result = TyperEngine().run_projection(small_db, 2)
+        assert result.operator_work == {}
+
+
+class TestOperatorReports:
+    @pytest.fixture(scope="class")
+    def reports(self, q9_result):
+        return MicroArchProfiler().operator_reports(TyperEngine(), q9_result)
+
+    def test_reports_cover_all_operators(self, reports, q9_result):
+        assert set(reports) == set(q9_result.operator_work)
+
+    def test_workload_labels_are_scoped(self, reports):
+        assert reports["probe orders"].workload == "Q9/probe orders"
+
+    def test_scan_operator_is_bandwidth_streaming(self, reports):
+        scan = reports["scan lineitem"]
+        assert scan.bandwidth.access_pattern == "sequential"
+        assert scan.breakdown.dominant_stall() == "dcache"
+
+    def test_probe_operators_behave_like_the_join_micro(self, reports, small_db):
+        """The Section 6 point: the join-like operators inside Q9 show
+        the join micro-benchmark's profile."""
+        profiler = MicroArchProfiler()
+        engine = TyperEngine()
+        join = profiler.profile(engine, engine.run_join(small_db, "large"))
+        probe = reports["probe orders"]
+        assert probe.breakdown.dominant_stall() == join.breakdown.dominant_stall()
+
+    def test_missing_operators_raise(self, small_db):
+        profiler = MicroArchProfiler()
+        result = TyperEngine().run_projection(small_db, 2)
+        with pytest.raises(ValueError, match="no per-operator"):
+            profiler.operator_reports(TyperEngine(), result)

@@ -1,0 +1,89 @@
+"""Profile-driven trace simulation tests: the structural second opinion
+on the analytic model's memory behaviour."""
+
+import pytest
+
+from repro import BROADWELL, TyperEngine
+from repro.hardware import PrefetcherConfig
+from repro.core import CycleModel, WorkProfile, simulate_profile
+
+
+class TestConstruction:
+    def test_empty_profile(self):
+        estimate = simulate_profile(WorkProfile(), BROADWELL)
+        assert estimate.sample_accesses == 0
+        assert estimate.avg_latency_cycles == 0.0
+
+    def test_sample_size_respected(self):
+        work = WorkProfile()
+        work.record_sequential_read(1e7)
+        estimate = simulate_profile(work, BROADWELL, sample_accesses=5000)
+        assert estimate.sample_accesses == 5000
+
+    def test_deterministic(self):
+        work = WorkProfile()
+        work.record_random("r", 1e5, 1 << 24)
+        a = simulate_profile(work, BROADWELL, seed=3)
+        b = simulate_profile(work, BROADWELL, seed=3)
+        assert a == b
+
+
+class TestAgainstAnalyticModel:
+    def test_prefetched_scan_is_nearly_all_hits(self):
+        work = WorkProfile()
+        work.record_sequential_read(1e7)
+        estimate = simulate_profile(work, BROADWELL)
+        assert estimate.l1_hit_rate > 0.9
+        assert estimate.memory_miss_rate < 0.05
+
+    def test_unprefetched_scan_misses_every_line(self):
+        work = WorkProfile()
+        work.record_sequential_read(1e7)
+        estimate = simulate_profile(
+            work, BROADWELL, config=PrefetcherConfig.all_disabled()
+        )
+        # 8-byte loads on 64-byte lines: one miss per eight accesses.
+        assert estimate.memory_miss_rate == pytest.approx(1 / 8, abs=0.02)
+
+    def test_random_latency_tracks_the_capacity_mix(self):
+        model = CycleModel(BROADWELL)
+        for working_set in (1 << 21, 1 << 28):
+            work = WorkProfile()
+            work.record_random("r", 1e6, working_set)
+            estimate = simulate_profile(
+                work, BROADWELL, config=PrefetcherConfig.all_disabled(),
+                sample_accesses=40_000,
+            )
+            analytic = model.random_latency_cycles(working_set)
+            # Cold misses inflate the small-working-set case; demand a
+            # generous but shape-preserving agreement.
+            assert estimate.avg_latency_cycles == pytest.approx(analytic, rel=0.6)
+
+    def test_bigger_working_set_higher_trace_latency(self):
+        def latency(ws):
+            work = WorkProfile()
+            work.record_random("r", 1e6, ws)
+            return simulate_profile(work, BROADWELL, sample_accesses=20_000).avg_latency_cycles
+
+        assert latency(1 << 28) > latency(1 << 21) > latency(1 << 14)
+
+
+class TestOnRealWorkloads:
+    def test_join_is_miss_heavier_than_projection(self, small_db):
+        engine = TyperEngine()
+        projection = simulate_profile(
+            engine.run_projection(small_db, 4).work, BROADWELL
+        )
+        join = simulate_profile(engine.run_join(small_db, "large").work, BROADWELL)
+        assert join.avg_latency_cycles > 2 * projection.avg_latency_cycles
+        assert join.memory_miss_rate > projection.memory_miss_rate
+
+    def test_sparse_scan_between_dense_and_random(self, small_db):
+        engine = TyperEngine()
+        branched = engine.run_selection(small_db, 0.1).work
+        assert branched.sparse_scans
+        estimate = simulate_profile(branched, BROADWELL)
+        dense = WorkProfile()
+        dense.record_sequential_read(branched.seq_bytes)
+        dense_estimate = simulate_profile(dense, BROADWELL)
+        assert estimate.avg_latency_cycles >= dense_estimate.avg_latency_cycles - 0.5

@@ -1,0 +1,113 @@
+"""Trace-simulator tests: the structural models validate the analytic
+effective parameters."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import BROADWELL, PrefetcherConfig, two_bit_mispredict_rate
+from repro.core import (
+    CycleModel,
+    TraceSimulator,
+    bernoulli_outcomes,
+    gshare_mispredict_rate,
+    random_trace,
+    sequential_trace,
+    sparse_trace,
+)
+
+
+class TestTraceGenerators:
+    def test_sequential(self):
+        trace = sequential_trace(10, stride_bytes=8, start=100)
+        assert trace.tolist() == [100 + 8 * i for i in range(10)]
+
+    def test_sequential_validation(self):
+        with pytest.raises(ValueError):
+            sequential_trace(10, stride_bytes=0)
+
+    def test_random_within_working_set(self):
+        trace = random_trace(1000, 4096)
+        assert trace.min() >= 0
+        assert trace.max() < 4096
+        assert (trace % 8 == 0).all()
+
+    def test_random_deterministic(self):
+        assert np.array_equal(random_trace(100, 1 << 20, seed=3), random_trace(100, 1 << 20, seed=3))
+
+    def test_random_validation(self):
+        with pytest.raises(ValueError):
+            random_trace(10, 4)
+
+    def test_sparse_density(self):
+        trace = sparse_trace(10_000, 0.3)
+        assert len(trace) == pytest.approx(3000, rel=0.15)
+        with pytest.raises(ValueError):
+            sparse_trace(100, 0.0)
+
+
+class TestSequentialCoverage:
+    @pytest.fixture(scope="class")
+    def coverages(self):
+        return {
+            name: TraceSimulator(BROADWELL, config).sequential_coverage(20_000)
+            for name, config in PrefetcherConfig.figure26_configs().items()
+        }
+
+    def test_disabled_has_zero_coverage(self, coverages):
+        assert coverages["All disabled"] == 0.0
+
+    def test_next_line_covers_about_half(self, coverages):
+        assert coverages["L1 NL"] == pytest.approx(0.5, abs=0.1)
+        assert coverages["L2 NL"] == pytest.approx(0.5, abs=0.1)
+
+    def test_streamers_cover_most(self, coverages):
+        assert coverages["L1 Str."] > 0.8
+        assert coverages["L2 Str."] > 0.9
+
+    def test_ordering_matches_analytic_table(self, coverages):
+        """The trace-measured ordering agrees with the calibrated
+        PrefetcherConfig.sequential_coverage table."""
+        analytic = {
+            name: config.sequential_coverage()
+            for name, config in PrefetcherConfig.figure26_configs().items()
+        }
+        for a in ("All disabled", "L1 NL", "L2 Str."):
+            for b in ("All disabled", "L1 NL", "L2 Str."):
+                if analytic[a] < analytic[b]:
+                    assert coverages[a] <= coverages[b] + 0.05
+
+
+class TestRandomLatency:
+    @pytest.mark.parametrize(
+        "working_set", [16 * 1024, 2 * 1024 * 1024, 128 * 1024 * 1024]
+    )
+    def test_matches_analytic_mix(self, working_set):
+        simulator = TraceSimulator(BROADWELL, PrefetcherConfig.all_disabled())
+        measured = simulator.random_latency(working_set, n_accesses=6000)
+        analytic = CycleModel(BROADWELL).random_latency_cycles(working_set)
+        assert measured == pytest.approx(analytic, rel=0.45)
+
+    def test_latency_grows_with_working_set(self):
+        simulator = TraceSimulator(BROADWELL, PrefetcherConfig.all_disabled())
+        small = simulator.random_latency(16 * 1024, n_accesses=4000)
+        large = simulator.random_latency(256 * 1024 * 1024, n_accesses=4000)
+        assert large > 5 * small
+
+
+class TestGshareValidation:
+    @pytest.mark.parametrize("p", [0.1, 0.5, 0.9])
+    def test_bernoulli_agrees_with_two_bit_model(self, p):
+        outcomes = bernoulli_outcomes(8000, p, seed=13)
+        measured = gshare_mispredict_rate(outcomes)
+        assert measured == pytest.approx(two_bit_mispredict_rate(p), abs=0.08)
+
+    def test_outcomes_validation(self):
+        with pytest.raises(ValueError):
+            bernoulli_outcomes(10, 1.5)
+
+    def test_replay_result_fields(self):
+        simulator = TraceSimulator(BROADWELL)
+        result = simulator.replay(sequential_trace(2000, 64))
+        assert result.stats.accesses == 2000
+        assert 0.0 <= result.demand_memory_rate <= 1.0
+        assert result.avg_latency_cycles >= BROADWELL.l1_access_cycles

@@ -1,0 +1,87 @@
+"""Model-validation harness tests."""
+
+import pytest
+
+from repro.core import ModelValidator, ValidationReport, ValidationRow
+
+
+class TestValidationRow:
+    def test_close_mode_within_tolerance(self):
+        row = ValidationRow("q", "c", analytic=1.0, trace=1.2, tolerance=0.3)
+        assert row.error == pytest.approx(0.2 / 1.2)
+        assert row.ok
+
+    def test_close_mode_outside_tolerance(self):
+        row = ValidationRow("q", "c", analytic=2.0, trace=1.0, tolerance=0.3)
+        assert not row.ok
+
+    def test_small_absolute_differences_always_ok(self):
+        row = ValidationRow("q", "c", analytic=0.05, trace=0.001, tolerance=0.1)
+        assert row.ok
+
+    def test_upper_bound_mode(self):
+        conservative = ValidationRow(
+            "q", "c", analytic=0.5, trace=0.2, tolerance=0.1, mode="upper_bound"
+        )
+        assert conservative.ok
+        violated = ValidationRow(
+            "q", "c", analytic=0.1, trace=0.5, tolerance=0.1, mode="upper_bound"
+        )
+        assert not violated.ok
+
+
+class TestValidationReport:
+    def test_summary_helpers(self):
+        rows = [
+            ValidationRow("a", "x", 1.0, 1.0, 0.1),
+            ValidationRow("b", "y", 5.0, 1.0, 0.1),
+        ]
+        report = ValidationReport(rows)
+        assert not report.passed
+        assert report.failures() == [rows[1]]
+        text = report.to_text()
+        assert "FAIL" in text and "NO" in text
+
+    def test_empty_report_passes(self):
+        assert ValidationReport([]).passed
+
+
+class TestModelValidator:
+    @pytest.fixture(scope="class")
+    def validator(self):
+        return ModelValidator()
+
+    def test_prefetcher_coverage_validates(self, validator):
+        rows = validator.validate_prefetcher_coverage(n_accesses=12_000)
+        assert len(rows) == 6
+        assert all(row.ok for row in rows)
+
+    def test_random_latency_validates(self, validator):
+        rows = validator.validate_random_latency(n_accesses=4_000)
+        assert len(rows) == 3
+        assert all(row.ok for row in rows)
+        # Latency rows must be ordered by working set.
+        assert rows[0].analytic < rows[-1].analytic
+
+    def test_branch_rates_validate(self, validator):
+        rows = validator.validate_branch_rates(n_branches=6_000)
+        assert all(row.ok for row in rows)
+        # The 50% row is the hardest in both models.
+        mid = next(row for row in rows if "0.50" in row.case)
+        assert mid.analytic == max(row.analytic for row in rows)
+        assert mid.trace == max(row.trace for row in rows)
+
+    def test_measured_streams_are_bounded_by_the_model(self, validator, small_db):
+        """Real clustered predicate streams predict *better* than the
+        Bernoulli model: the analytic rate is an upper bound."""
+        rows = validator.validate_measured_streams(small_db)
+        assert len(rows) == 3
+        for row in rows:
+            assert row.mode == "upper_bound"
+            assert row.ok
+            assert row.trace <= row.analytic * 1.1 + 0.02
+
+    def test_full_run_passes(self, validator, small_db):
+        report = validator.run(small_db)
+        assert report.passed
+        assert len(report.rows) >= 18

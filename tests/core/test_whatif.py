@@ -1,0 +1,126 @@
+"""What-if ("opportunities") analyzer tests."""
+
+import pytest
+
+from repro.core import SCENARIOS, MicroArchProfiler, WhatIfAnalyzer
+from repro.engines import TyperEngine
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return WhatIfAnalyzer(MicroArchProfiler())
+
+
+@pytest.fixture(scope="module")
+def projection(paper_db):
+    return TyperEngine().run_projection(paper_db, 4)
+
+
+@pytest.fixture(scope="module")
+def join(big_db):
+    return TyperEngine().run_join(big_db, "large")
+
+
+@pytest.fixture(scope="module")
+def selection(paper_db):
+    return TyperEngine().run_selection(paper_db, 0.5)
+
+
+class TestScenarios:
+    def test_registry_nonempty_with_descriptions(self):
+        assert len(SCENARIOS) >= 7
+        for scenario in SCENARIOS.values():
+            assert scenario.description
+
+    def test_unknown_scenario(self, analyzer, projection):
+        with pytest.raises(KeyError, match="available"):
+            analyzer.project(TyperEngine(), projection, "warp-drive")
+
+
+class TestBandwidthOpportunity:
+    def test_double_bandwidth_speeds_up_the_bandwidth_bound_scan(
+        self, analyzer, projection
+    ):
+        """Section 3: Typer's projection saturates the per-core roof, so
+        more bandwidth is the opportunity."""
+        result = analyzer.project(TyperEngine(), projection, "double-bandwidth")
+        assert result.speedup > 1.2
+        assert result.stall_reduction > 0.2
+
+    def test_double_bandwidth_hardly_helps_the_join(self, analyzer, join):
+        """Section 5: the join cannot even use the bandwidth it has."""
+        result = analyzer.project(TyperEngine(), join, "double-bandwidth")
+        assert result.speedup < 1.15
+
+
+class TestPrefetcherOpportunity:
+    def test_perfect_prefetchers_have_little_headroom_left(self, analyzer, projection):
+        """With the default prefetchers at ~95% coverage the scan is
+        bandwidth-bound: even perfect prefetchers barely help -- the
+        next wall is the roof (Sections 3/9)."""
+        result = analyzer.project(TyperEngine(), projection, "perfect-prefetchers")
+        assert 1.0 <= result.speedup < 1.1
+        bandwidth = analyzer.project(TyperEngine(), projection, "double-bandwidth")
+        assert bandwidth.speedup > result.speedup
+
+
+class TestCacheAndMlpOpportunities:
+    def test_bigger_l3_helps_the_join(self, analyzer, join):
+        result = analyzer.project(TyperEngine(), join, "quadruple-l3")
+        assert result.speedup > 1.1
+
+    def test_bigger_l3_does_not_help_the_scan(self, analyzer, projection):
+        result = analyzer.project(TyperEngine(), projection, "quadruple-l3")
+        assert result.speedup == pytest.approx(1.0, abs=0.02)
+
+    def test_double_mlp_helps_the_join(self, analyzer, join):
+        """The coroutine-interleaving opportunity [13, 21]."""
+        result = analyzer.project(TyperEngine(), join, "double-mlp")
+        assert result.speedup > 1.2
+
+
+class TestBranchAndHashOpportunities:
+    def test_oracle_predictor_helps_mid_selectivity_selection(self, analyzer, selection):
+        result = analyzer.project(TyperEngine(), selection, "perfect-branch-prediction")
+        assert result.speedup > 1.2
+        assert result.projected.breakdown.branch_misp == 0.0
+
+    def test_free_hashing_helps_the_join(self, analyzer, big_db):
+        small_join = TyperEngine().run_join(big_db, "small")
+        result = analyzer.project(TyperEngine(), small_join, "free-hashing")
+        assert result.speedup > 1.05
+        assert result.projected.work.hash_ops == 0.0
+
+    def test_low_latency_fp_helps_aggregation_heavy_q1(self, analyzer, paper_db):
+        """Q1's Execution stalls come from serial aggregate chains."""
+        q1 = TyperEngine().run_q1(paper_db)
+        result = analyzer.project(TyperEngine(), q1, "low-latency-fp")
+        assert result.speedup > 1.03
+        assert result.projected.breakdown.execution < result.baseline.breakdown.execution
+
+    def test_no_materialization_helps_tectorwise_more_than_typer(self, analyzer, paper_db):
+        from repro.engines import TectorwiseEngine
+
+        tw = TectorwiseEngine().run_projection(paper_db, 4)
+        ty = TyperEngine().run_projection(paper_db, 4)
+        tw_gain = analyzer.project(TectorwiseEngine(), tw, "no-materialization").speedup
+        ty_gain = analyzer.project(TyperEngine(), ty, "no-materialization").speedup
+        assert tw_gain > ty_gain
+
+
+class TestSweep:
+    def test_sweep_covers_all_scenarios(self, analyzer, projection):
+        results = analyzer.sweep(TyperEngine(), projection)
+        assert set(results) == set(SCENARIOS)
+
+    def test_best_opportunity_for_scan_is_memory_side(self, analyzer, projection):
+        """The paper's conclusion: scans are limited by the memory
+        subsystem, not the core."""
+        results = analyzer.sweep(TyperEngine(), projection)
+        best = WhatIfAnalyzer.best_opportunity(results)
+        assert best in ("double-bandwidth", "perfect-prefetchers")
+
+    def test_projection_does_not_mutate_original_work(self, analyzer, join):
+        hash_ops_before = join.work.hash_ops
+        analyzer.project(TyperEngine(), join, "free-hashing")
+        assert join.work.hash_ops == hash_ops_before

@@ -1,0 +1,97 @@
+"""Engine-interface helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.engines import (
+    JOIN_SPECS,
+    TyperEngine,
+    line_density,
+    projection_columns,
+    selection_predicate_masks,
+    selection_thresholds,
+)
+
+
+class TestProjectionColumns:
+    def test_degree_one_to_four(self):
+        assert projection_columns(1) == ("l_extendedprice",)
+        assert projection_columns(4) == (
+            "l_extendedprice", "l_discount", "l_tax", "l_quantity",
+        )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            projection_columns(0)
+        with pytest.raises(ValueError):
+            projection_columns(5)
+
+
+class TestSelectionThresholds:
+    @pytest.mark.parametrize("selectivity", [0.1, 0.5, 0.9])
+    def test_individual_selectivity_achieved(self, small_db, selectivity):
+        thresholds = selection_thresholds(small_db, selectivity)
+        assert set(thresholds) == {"l_shipdate", "l_commitdate", "l_receiptdate"}
+        for column, (name, mask) in zip(
+            thresholds, selection_predicate_masks(small_db, thresholds)
+        ):
+            assert name == column
+            assert mask.mean() == pytest.approx(selectivity, abs=0.02)
+
+    def test_rejects_degenerate_selectivity(self, small_db):
+        with pytest.raises(ValueError):
+            selection_thresholds(small_db, 0.0)
+        with pytest.raises(ValueError):
+            selection_thresholds(small_db, 1.0)
+
+
+class TestLineDensity:
+    def test_dense_gather(self):
+        assert line_density(np.arange(800), 800) == pytest.approx(1.0)
+
+    def test_sparse_gather(self):
+        # One value per line of 8: touches every line.
+        assert line_density(np.arange(0, 800, 8), 800) == pytest.approx(1.0)
+        # One value per 16: touches half the lines.
+        assert line_density(np.arange(0, 800, 16), 800) == pytest.approx(0.5)
+
+    def test_empty_indices(self):
+        assert line_density(np.array([], dtype=np.int64), 100) == 1.0
+
+    def test_bounded_by_one(self):
+        indices = np.repeat(np.arange(10), 50)
+        assert 0.0 < line_density(indices, 80) <= 1.0
+
+
+class TestJoinSpecs:
+    def test_paper_join_definitions(self):
+        """Section 2: the three join micro-benchmarks."""
+        assert JOIN_SPECS["small"].build_table == "nation"
+        assert JOIN_SPECS["small"].probe_table == "supplier"
+        assert JOIN_SPECS["medium"].build_table == "supplier"
+        assert JOIN_SPECS["medium"].probe_table == "partsupp"
+        assert JOIN_SPECS["large"].build_table == "orders"
+        assert JOIN_SPECS["large"].probe_table == "lineitem"
+        assert JOIN_SPECS["large"].sum_columns == (
+            "l_extendedprice", "l_discount", "l_tax", "l_quantity",
+        )
+
+
+class TestSimdGuard:
+    def test_engines_without_simd_reject_it(self, small_db):
+        engine = TyperEngine()
+        assert not engine.supports_simd
+        with pytest.raises(ValueError, match="SIMD"):
+            engine.run_projection(small_db, 2, simd=True)
+
+    def test_unsupported_query_rejected(self, small_db):
+        with pytest.raises(ValueError):
+            TyperEngine().run_tpch(small_db, "Q3")
+
+    def test_predication_limited_to_q6(self, small_db):
+        with pytest.raises(ValueError):
+            TyperEngine().run_tpch(small_db, "Q1", predicated=True)
+
+    def test_unknown_join_size(self, small_db):
+        with pytest.raises(ValueError):
+            TyperEngine().run_join(small_db, "huge")

@@ -1,0 +1,140 @@
+"""Cross-engine correctness: all four engines must compute identical
+query results (they differ only in *how* and at what cost)."""
+
+import numpy as np
+import pytest
+
+from repro.engines import (
+    ALL_ENGINES,
+    ColumnStoreEngine,
+    RowStoreEngine,
+    TectorwiseEngine,
+    TyperEngine,
+)
+from repro.tpch import (
+    q1_reference,
+    q6_reference,
+    q9_reference,
+    q18_reference,
+)
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return [engine_cls() for engine_cls in ALL_ENGINES]
+
+
+def reference_projection(db, degree):
+    from repro.engines import projection_columns
+
+    lineitem = db["lineitem"]
+    total = np.zeros(lineitem.n_rows)
+    for column in projection_columns(degree):
+        total = total + lineitem[column]
+    return float(total.sum())
+
+
+class TestProjectionAgreement:
+    @pytest.mark.parametrize("degree", [1, 2, 3, 4])
+    def test_all_engines_match_reference(self, small_db, engines, degree):
+        expected = reference_projection(small_db, degree)
+        for engine in engines:
+            result = engine.run_projection(small_db, degree)
+            assert result.value == pytest.approx(expected, rel=1e-9), engine.name
+            assert result.tuples == small_db["lineitem"].n_rows
+
+
+class TestSelectionAgreement:
+    @pytest.mark.parametrize("selectivity", [0.1, 0.5, 0.9])
+    @pytest.mark.parametrize("predicated", [False, True])
+    def test_all_engines_agree(self, small_db, engines, selectivity, predicated):
+        values = [
+            engine.run_selection(small_db, selectivity, predicated=predicated).value
+            for engine in engines
+        ]
+        for value in values[1:]:
+            assert value == pytest.approx(values[0], rel=1e-9)
+
+    def test_higher_selectivity_larger_sum(self, small_db):
+        engine = TyperEngine()
+        low = engine.run_selection(small_db, 0.1).value
+        high = engine.run_selection(small_db, 0.9).value
+        assert high > low > 0
+
+
+class TestJoinAgreement:
+    @pytest.mark.parametrize("size", ["small", "medium", "large"])
+    def test_all_engines_agree(self, small_db, engines, size):
+        values = [engine.run_join(small_db, size).value for engine in engines]
+        for value in values[1:]:
+            assert value == pytest.approx(values[0], rel=1e-9)
+
+    def test_large_join_is_fk_join(self, small_db):
+        """Every lineitem matches an order."""
+        result = TyperEngine().run_join(small_db, "large")
+        assert result.details["hit_fraction"] == pytest.approx(1.0)
+
+    def test_small_join_sums_supplier_side(self, small_db):
+        supplier = small_db["supplier"]
+        expected = float((supplier["s_acctbal"] + supplier["s_suppkey"]).sum())
+        assert TyperEngine().run_join(small_db, "small").value == pytest.approx(expected)
+
+
+class TestGroupByAgreement:
+    def test_all_engines_agree(self, small_db, engines):
+        values = [engine.run_groupby(small_db).value for engine in engines]
+        for value in values[1:]:
+            assert value == pytest.approx(values[0], rel=1e-9)
+
+    def test_total_is_column_sum(self, small_db):
+        expected = float(small_db["lineitem"]["l_extendedprice"].sum())
+        assert TyperEngine().run_groupby(small_db).value == pytest.approx(expected)
+
+
+class TestTpchAgreement:
+    def test_q1_matches_reference(self, small_db):
+        reference = q1_reference(small_db)
+        for engine in (TyperEngine(), TectorwiseEngine()):
+            value = engine.run_q1(small_db).value
+            assert value["groups"] == len(reference) == 4
+            assert value["sum_qty"] == pytest.approx(
+                sum(group["sum_qty"] for group in reference.values())
+            )
+        for engine in (RowStoreEngine(), ColumnStoreEngine()):
+            assert engine.run_q1(small_db).value == reference
+
+    @pytest.mark.parametrize("predicated", [False, True])
+    def test_q6_matches_reference(self, small_db, predicated):
+        expected = q6_reference(small_db)
+        for engine_cls in ALL_ENGINES:
+            value = engine_cls().run_q6(small_db, predicated=predicated).value
+            assert value == pytest.approx(expected, rel=1e-9), engine_cls.name
+
+    def test_q9_matches_reference(self, small_db):
+        expected = sum(q9_reference(small_db).values())
+        for engine in (TyperEngine(), TectorwiseEngine()):
+            assert engine.run_q9(small_db).value == pytest.approx(expected, rel=1e-9)
+        for engine in (RowStoreEngine(), ColumnStoreEngine()):
+            assert sum(engine.run_q9(small_db).value.values()) == pytest.approx(
+                expected, rel=1e-9
+            )
+
+    def test_q18_matches_reference(self, small_db):
+        reference = q18_reference(small_db)
+        for engine in (TyperEngine(), TectorwiseEngine()):
+            value = engine.run_q18(small_db).value
+            assert value["winners"] == len(reference)
+            assert value["sum_winner_qty"] == pytest.approx(sum(reference.values()))
+        for engine in (RowStoreEngine(), ColumnStoreEngine()):
+            assert engine.run_q18(small_db).value == pytest.approx(reference)
+
+    def test_simd_does_not_change_results(self, small_db):
+        engine = TectorwiseEngine()
+        for method, args in (
+            ("run_projection", (small_db, 4)),
+            ("run_selection", (small_db, 0.5, True)),
+            ("run_join", (small_db, "large")),
+        ):
+            scalar = getattr(engine, method)(*args, simd=False)
+            simd = getattr(engine, method)(*args, simd=True)
+            assert simd.value == pytest.approx(scalar.value, rel=1e-12)

@@ -1,0 +1,218 @@
+"""Chained hash-table tests: structure, probes, exact work accounting,
+and the Section 6 chain statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engines import (
+    ChainedHashTable,
+    GroupByHashTable,
+    fibonacci_bucket,
+    next_power_of_two,
+    weak_composite_bucket,
+)
+
+
+class TestHelpers:
+    def test_next_power_of_two(self):
+        assert next_power_of_two(0) == 1
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(1025) == 2048
+
+    def test_fibonacci_bucket_range(self):
+        buckets = fibonacci_bucket(np.arange(1000, dtype=np.int64), 256)
+        assert buckets.min() >= 0
+        assert buckets.max() < 256
+
+    def test_fibonacci_spreads_dense_keys_evenly(self):
+        """Dense keys land almost collision-free: the join-table
+        regularity of Section 6."""
+        buckets = fibonacci_bucket(np.arange(1000, dtype=np.int64), 4096)
+        counts = np.bincount(buckets, minlength=4096)
+        assert counts.max() <= 2
+
+    def test_weak_composite_bucket_range(self):
+        buckets = weak_composite_bucket(np.arange(1000, dtype=np.int64) * 7, 256)
+        assert buckets.min() >= 0
+        assert buckets.max() < 256
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            fibonacci_bucket(np.arange(4), 100)
+        with pytest.raises(ValueError):
+            weak_composite_bucket(np.arange(4), 100)
+
+
+class TestBuild:
+    def test_rejects_duplicate_keys(self):
+        with pytest.raises(ValueError):
+            ChainedHashTable(np.array([1, 2, 2]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ChainedHashTable(np.zeros((2, 2), dtype=np.int64))
+
+    def test_rejects_bad_load(self):
+        with pytest.raises(ValueError):
+            ChainedHashTable(np.arange(4), target_load=0.0)
+
+    def test_bucket_count_honours_target_load(self):
+        table = ChainedHashTable(np.arange(1000), target_load=0.5)
+        assert table.n_buckets >= 2000
+        assert table.n_buckets == next_power_of_two(2000)
+
+    def test_chain_walk_finds_every_key(self):
+        keys = np.arange(100, dtype=np.int64) * 13 + 1
+        table = ChainedHashTable(keys)
+        for index, key in enumerate(keys):
+            assert index in table.chain_of(int(key))
+
+    def test_head_next_structure_consistent(self):
+        """Walking every chain visits every key exactly once."""
+        keys = np.arange(500, dtype=np.int64)
+        table = ChainedHashTable(keys)
+        visited = []
+        for bucket in range(table.n_buckets):
+            cursor = int(table.head[bucket])
+            while cursor != -1:
+                visited.append(cursor)
+                cursor = int(table.next[cursor])
+        assert sorted(visited) == list(range(500))
+
+    def test_working_set_bytes(self):
+        table = ChainedHashTable(np.arange(100))
+        assert table.working_set_bytes == table.n_buckets * 8 + 100 * 24
+
+    def test_empty_table(self):
+        table = ChainedHashTable(np.array([], dtype=np.int64))
+        result = table.probe(np.array([1, 2]))
+        assert not result.found.any()
+        assert result.comparisons == 0
+
+
+class TestProbe:
+    def test_found_matches_membership(self):
+        keys = np.array([2, 4, 6, 8, 10], dtype=np.int64)
+        table = ChainedHashTable(keys)
+        probes = np.array([1, 2, 3, 4, 10, 11])
+        result = table.probe(probes)
+        assert result.found.tolist() == [False, True, False, True, True, False]
+
+    def test_match_index_points_to_build_row(self):
+        keys = np.array([30, 10, 20], dtype=np.int64)
+        table = ChainedHashTable(keys)
+        result = table.probe(np.array([10, 20, 30, 40]))
+        assert result.match_index.tolist()[:3] == [1, 2, 0]
+        assert result.match_index[3] == -1
+
+    def test_hit_fraction(self):
+        table = ChainedHashTable(np.arange(10))
+        result = table.probe(np.array([0, 1, 100, 200]))
+        assert result.hit_fraction == pytest.approx(0.5)
+
+    def test_comparisons_exact_single_bucket(self):
+        """Force every key into one bucket and check the walk counts."""
+        keys = np.array([5, 9, 13], dtype=np.int64)
+        table = ChainedHashTable(keys, hash_fn=lambda k, n: np.zeros(len(k), np.int64))
+        # Head-insertion: probing key inserted last costs 1 comparison,
+        # first-inserted costs 3.
+        assert table.probe(np.array([13])).comparisons == 1
+        assert table.probe(np.array([9])).comparisons == 2
+        assert table.probe(np.array([5])).comparisons == 3
+        # A miss walks the full chain.
+        assert table.probe(np.array([99])).comparisons == 3
+
+    def test_extra_walk_counts_beyond_first(self):
+        keys = np.array([5, 9], dtype=np.int64)
+        table = ChainedHashTable(keys, hash_fn=lambda k, n: np.zeros(len(k), np.int64))
+        result = table.probe(np.array([5]))
+        assert result.comparisons == 2
+        assert result.extra_walk == 1
+
+
+class TestChainStats:
+    def test_join_table_chains_regular(self):
+        """Dense FK keys: chains 0-1, the paper's join shape."""
+        stats = ChainedHashTable(np.arange(1, 20_001)).chain_stats()
+        assert stats.max <= 2
+        assert 0.2 <= stats.mean <= 0.5
+        assert stats.std <= 0.55
+
+    def test_groupby_table_chains_irregular(self):
+        """Composite group keys: longer tails, the paper's group-by
+        shape (0-7, mean 0.23, std 0.5)."""
+        rng = np.random.default_rng(5)
+        composite = rng.integers(1, 50_000, 100_000) * 4 + rng.integers(0, 3, 100_000)
+        stats = GroupByHashTable(composite).chain_stats()
+        assert stats.max >= 4
+        assert 0.15 <= stats.mean <= 0.45
+        assert 0.3 <= stats.std <= 0.8
+
+    def test_load_factor(self):
+        table = ChainedHashTable(np.arange(1024), target_load=0.5)
+        assert table.chain_stats().load_factor == pytest.approx(0.5)
+
+
+class TestGroupByTable:
+    def test_aggregate_sum_matches_numpy(self):
+        keys = np.array([3, 1, 3, 2, 1, 3])
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        table = GroupByHashTable(keys)
+        sums = table.aggregate_sum(values)
+        assert table.distinct_keys.tolist() == [1, 2, 3]
+        assert sums.tolist() == [7.0, 4.0, 10.0]
+
+    def test_aggregate_count(self):
+        table = GroupByHashTable(np.array([1, 1, 2]))
+        assert table.aggregate_count().tolist() == [2, 1]
+
+    def test_update_comparisons_at_least_one_per_update(self):
+        table = GroupByHashTable(np.arange(1000) % 50)
+        assert table.update_comparisons() >= table.n_updates
+
+    def test_collision_fraction_bounds(self):
+        table = GroupByHashTable(np.arange(1000) % 50)
+        assert 0.0 <= table.collision_fraction() <= 1.0
+
+    def test_empty(self):
+        table = GroupByHashTable(np.array([], dtype=np.int64))
+        assert table.n_groups == 0
+        assert table.collision_fraction() == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(
+        st.integers(min_value=-10_000, max_value=10_000),
+        min_size=1, max_size=300, unique=True,
+    ),
+    probes=st.lists(st.integers(min_value=-10_000, max_value=10_000), max_size=300),
+)
+def test_property_probe_equivalent_to_dict(keys, probes):
+    keys_arr = np.array(keys, dtype=np.int64)
+    probes_arr = np.array(probes, dtype=np.int64)
+    table = ChainedHashTable(keys_arr)
+    result = table.probe(probes_arr)
+    lookup = {key: index for index, key in enumerate(keys)}
+    for i, probe in enumerate(probes):
+        assert result.found[i] == (probe in lookup)
+        if probe in lookup:
+            assert result.match_index[i] == lookup[probe]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=5_000), min_size=1, max_size=400)
+)
+def test_property_groupby_sums_match_bincount(keys):
+    keys_arr = np.array(keys, dtype=np.int64)
+    values = np.ones(len(keys))
+    table = GroupByHashTable(keys_arr)
+    sums = table.aggregate_sum(values)
+    assert sums.sum() == pytest.approx(len(keys))
+    assert (sums >= 1).all()
+    assert table.bucket_counts.sum() == table.n_groups

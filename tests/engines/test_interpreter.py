@@ -1,0 +1,107 @@
+"""Interpreter-engine internals: the cost-model mechanics that make
+"DBMS R" and "DBMS C" behave like the paper's commercial systems."""
+
+import pytest
+
+from repro.engines import ColumnStoreEngine, RowStoreEngine
+
+
+class TestGranularity:
+    def test_row_store_pays_dispatch_per_tuple(self, small_db):
+        """Tuple-at-a-time: the next() tax lands on every tuple."""
+        work = RowStoreEngine().run_projection(small_db, 1).work
+        n = small_db["lineitem"].n_rows
+        # Plan of 3 operators at 250 instructions per next() call.
+        assert work.instructions >= n * 3 * RowStoreEngine.NEXT_COST
+
+    def test_column_store_amortises_dispatch_per_block(self, small_db):
+        """Block-at-a-time: the same tax divided by ~1000."""
+        row = RowStoreEngine().run_projection(small_db, 1).work
+        column = ColumnStoreEngine().run_projection(small_db, 1).work
+        assert column.instructions < row.instructions / 4
+
+    def test_block_size_is_vector_scale(self):
+        assert RowStoreEngine.BLOCK_SIZE == 1.0
+        assert ColumnStoreEngine.BLOCK_SIZE == 1024.0
+
+    def test_expression_cost_scales_with_terms(self, small_db):
+        engine = RowStoreEngine()
+        p1 = engine.run_projection(small_db, 1).work.instructions
+        p4 = engine.run_projection(small_db, 4).work.instructions
+        n = small_db["lineitem"].n_rows
+        # Three extra columns -> six extra term evaluations per tuple.
+        expected_delta = n * 6 * RowStoreEngine.EXPR_COST
+        assert p4 - p1 == pytest.approx(expected_delta, rel=0.01)
+
+
+class TestShortCircuitFilter:
+    def test_later_predicates_run_on_survivors_only(self, small_db):
+        """Branched interpretation short-circuits, so the low-selectivity
+        run interprets fewer terms than the high-selectivity one."""
+        engine = RowStoreEngine()
+        low = engine.run_selection(small_db, 0.1).work.instructions
+        high = engine.run_selection(small_db, 0.9).work.instructions
+        assert low < high
+
+    def test_predicated_interpretation_evaluates_everything(self, small_db):
+        engine = RowStoreEngine()
+        branched = engine.run_selection(small_db, 0.1).work
+        predicated = engine.run_selection(small_db, 0.1, predicated=True).work
+        assert predicated.instructions > branched.instructions
+        # The data-dependent predicate branches are gone; the
+        # interpreter's own dispatch/check branches remain.
+        assert not [
+            stream for stream in predicated.branch_streams
+            if "predicate" in stream.name
+        ]
+
+    def test_filter_records_conditional_streams(self, small_db):
+        work = RowStoreEngine().run_selection(small_db, 0.5).work
+        predicate_streams = [
+            stream for stream in work.branch_streams if "predicate" in stream.name
+        ]
+        assert len(predicate_streams) == 3
+        # The first predicate sees the raw 50% selectivity.
+        assert predicate_streams[0].taken_fraction == pytest.approx(0.5, abs=0.02)
+
+
+class TestInterpreterStalls:
+    def test_dispatch_branches_carry_measured_rate(self, small_db):
+        work = RowStoreEngine().run_projection(small_db, 1).work
+        dispatch = [s for s in work.branch_streams if "dispatch" in s.name]
+        assert dispatch
+        assert dispatch[0].mispredict_rate == RowStoreEngine.DISPATCH_MISPREDICT
+
+    def test_value_checks_recorded(self, small_db):
+        work = ColumnStoreEngine().run_projection(small_db, 2).work
+        checks = [s for s in work.branch_streams if "value checks" in s.name]
+        assert checks
+        assert checks[0].mispredict_rate == ColumnStoreEngine.VALUE_CHECK_MISPREDICT
+
+    def test_state_working_set_large(self, small_db):
+        work = RowStoreEngine().run_projection(small_db, 1).work
+        state = [p for p in work.random_patterns if "state" in p.name][0]
+        assert state.working_set_bytes == RowStoreEngine.STATE_WS_BYTES
+        assert state.working_set_bytes > 32 * 1024 * 1024
+
+    def test_column_store_ilp_better_than_row_store(self):
+        assert ColumnStoreEngine.EFFECTIVE_ILP > RowStoreEngine.EFFECTIVE_ILP
+
+    def test_interpreter_hash_tables_fatter(self, small_db):
+        """Commercial hash joins drag bigger entries."""
+        work = RowStoreEngine().run_join(small_db, "large").work
+        probes = [p for p in work.random_patterns if "probe" in p.name][0]
+        from repro.engines import ChainedHashTable
+
+        lean = ChainedHashTable(small_db["orders"]["o_orderkey"]).working_set_bytes
+        assert probes.working_set_bytes == pytest.approx(
+            lean * RowStoreEngine.HT_SIZE_FACTOR
+        )
+
+
+class TestCommercialTpch:
+    @pytest.mark.parametrize("query_id", ["Q1", "Q6", "Q9", "Q18"])
+    def test_interpretation_dominates_every_query(self, small_db, profiler, query_id):
+        report = profiler.run(RowStoreEngine(), "run_tpch", small_db, query_id)
+        assert report.work.instructions_per_tuple() > 100
+        assert report.cycle_shares()["icache"] < 0.15

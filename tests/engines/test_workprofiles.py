@@ -1,0 +1,169 @@
+"""Work-profile structure tests: each engine's *recorded work* must
+reflect its execution model (the paper's explanatory mechanisms)."""
+
+import pytest
+
+from repro.engines import (
+    ColumnStoreEngine,
+    RowStoreEngine,
+    TectorwiseEngine,
+    TyperEngine,
+)
+
+
+class TestInstructionFootprints:
+    def test_interpreters_execute_orders_of_magnitude_more_instructions(self, small_db):
+        """The paper's central commercial-system observation."""
+        per_tuple = {}
+        for engine in (TyperEngine(), TectorwiseEngine(), ColumnStoreEngine(), RowStoreEngine()):
+            work = engine.run_projection(small_db, 4).work
+            per_tuple[engine.name] = work.instructions_per_tuple()
+        assert per_tuple["DBMS R"] > 50 * per_tuple["Typer"]
+        assert per_tuple["DBMS C"] > 5 * per_tuple["Typer"]
+        assert per_tuple["DBMS R"] > 5 * per_tuple["DBMS C"]
+
+    def test_hpe_instruction_streams_tight(self, small_db):
+        for engine in (TyperEngine(), TectorwiseEngine()):
+            work = engine.run_projection(small_db, 4).work
+            assert work.instructions_per_tuple() < 40
+
+    def test_code_footprints(self):
+        """HPE code is L1I-resident; interpreters are not -- yet
+        (the paper's point) nobody is Icache-bound."""
+        assert TyperEngine.code_footprint_bytes <= 32 * 1024
+        assert RowStoreEngine.code_footprint_bytes > 32 * 1024
+        assert ColumnStoreEngine.code_footprint_bytes > 32 * 1024
+
+
+class TestMaterialization:
+    def test_tectorwise_materializes_intermediates(self, small_db):
+        work = TectorwiseEngine().run_projection(small_db, 4).work
+        assert work.cached_write_bytes > 0
+        assert work.cached_access_events > 0
+
+    def test_typer_fused_pipeline_has_no_intermediates(self, small_db):
+        work = TyperEngine().run_projection(small_db, 4).work
+        assert work.cached_write_bytes == 0
+
+    def test_materialization_grows_with_projectivity(self, small_db):
+        engine = TectorwiseEngine()
+        p2 = engine.run_projection(small_db, 2).work.cached_write_bytes
+        p4 = engine.run_projection(small_db, 4).work.cached_write_bytes
+        assert p4 > p2
+
+    def test_simd_moves_cached_bytes_in_fewer_events(self, small_db):
+        engine = TectorwiseEngine()
+        scalar = engine.run_projection(small_db, 4).work
+        simd = engine.run_projection(small_db, 4, simd=True).work
+        assert simd.cached_write_bytes == scalar.cached_write_bytes
+        assert simd.cached_access_events < scalar.cached_access_events / 4
+
+
+class TestMemoryTraffic:
+    def test_scan_bytes_match_touched_columns(self, small_db):
+        lineitem = small_db["lineitem"]
+        for engine in (TyperEngine(), TectorwiseEngine()):
+            for degree in (1, 4):
+                work = engine.run_projection(small_db, degree).work
+                from repro.engines import projection_columns
+
+                expected = lineitem.bytes_for(projection_columns(degree))
+                assert work.seq_read_bytes == pytest.approx(expected)
+
+    def test_row_store_reads_full_rows(self, small_db):
+        typer = TyperEngine().run_projection(small_db, 1).work
+        rowstore = RowStoreEngine().run_projection(small_db, 1).work
+        assert rowstore.seq_read_bytes > 5 * typer.seq_read_bytes
+
+    def test_column_store_reads_only_needed_columns(self, small_db):
+        column = ColumnStoreEngine().run_projection(small_db, 2).work
+        expected = small_db["lineitem"].bytes_for(["l_extendedprice", "l_discount"])
+        assert column.seq_read_bytes == pytest.approx(expected)
+
+    def test_branched_selection_gathers_sparsely(self, small_db):
+        work = TyperEngine().run_selection(small_db, 0.1).work
+        assert work.sparse_scans, "low-selectivity projection should be a gather"
+        assert all(0 < scan.density <= 1 for scan in work.sparse_scans)
+
+    def test_predicated_selection_scans_everything(self, small_db):
+        work = TyperEngine().run_selection(small_db, 0.1, predicated=True).work
+        assert not work.sparse_scans
+        lineitem = small_db["lineitem"]
+        assert work.seq_read_bytes == pytest.approx(lineitem.bytes_for(
+            ["l_shipdate", "l_commitdate", "l_receiptdate",
+             "l_extendedprice", "l_discount", "l_tax", "l_quantity"]
+        ))
+
+
+class TestBranchStreams:
+    def test_predication_removes_data_dependent_branches(self, small_db):
+        for engine in (TyperEngine(), TectorwiseEngine()):
+            branched = engine.run_selection(small_db, 0.5).work
+            predicated = engine.run_selection(small_db, 0.5, predicated=True).work
+            assert branched.branch_streams
+            assert not predicated.branch_streams
+
+    def test_typer_sees_combined_selectivity(self, small_db):
+        """Section 4: the compiled conjunction's branch sees ~s^3."""
+        work = TyperEngine().run_selection(small_db, 0.1).work
+        (stream,) = work.branch_streams
+        assert stream.taken_fraction < 0.1
+
+    def test_tectorwise_sees_individual_selectivities(self, small_db):
+        """Section 4: the vectorized engine evaluates each predicate."""
+        work = TectorwiseEngine().run_selection(small_db, 0.1).work
+        assert len(work.branch_streams) == 3
+        first = work.branch_streams[0]
+        assert first.taken_fraction == pytest.approx(0.1, abs=0.02)
+
+    def test_typer_branch_easier_than_tectorwise_at_low_selectivity(self, small_db):
+        typer = TyperEngine().run_selection(small_db, 0.1).work
+        tectorwise = TectorwiseEngine().run_selection(small_db, 0.1).work
+        assert typer.branch_streams[0].taken_fraction < \
+            tectorwise.branch_streams[0].taken_fraction
+
+
+class TestRandomAccessPatterns:
+    def test_join_probes_recorded_with_table_working_set(self, small_db):
+        result = TyperEngine().run_join(small_db, "large")
+        probes = [p for p in result.work.random_patterns if "probe" in p.name]
+        assert probes
+        assert probes[0].count == small_db["lineitem"].n_rows
+        assert probes[0].working_set_bytes == result.details["hash_table_bytes"]
+
+    def test_chain_walks_are_dependent(self, small_db):
+        result = TyperEngine().run_groupby(small_db)
+        walks = [p for p in result.work.random_patterns if "walk" in p.name]
+        assert all(pattern.dependent for pattern in walks)
+
+    def test_projection_has_no_random_accesses(self, small_db):
+        work = TyperEngine().run_projection(small_db, 4).work
+        assert not work.random_patterns
+
+    def test_simd_probe_gets_gather_mlp_hint(self, small_db):
+        engine = TectorwiseEngine()
+        scalar = engine.run_join(small_db, "large").work
+        simd = engine.run_join(small_db, "large", simd=True).work
+        scalar_probe = [p for p in scalar.random_patterns if "probe" in p.name][0]
+        simd_probe = [p for p in simd.random_patterns if "probe" in p.name][0]
+        assert scalar_probe.mlp_hint is None
+        assert simd_probe.mlp_hint is not None and simd_probe.mlp_hint > 4
+
+    def test_interpreter_state_accesses_dependent(self, small_db):
+        work = RowStoreEngine().run_projection(small_db, 1).work
+        state = [p for p in work.random_patterns if "state" in p.name]
+        assert state and state[0].dependent
+
+
+class TestSimdWork:
+    def test_simd_cuts_instructions(self, small_db):
+        engine = TectorwiseEngine()
+        scalar = engine.run_projection(small_db, 4).work
+        simd = engine.run_projection(small_db, 4, simd=True).work
+        assert simd.instructions < scalar.instructions / 3
+        assert simd.simd_ops > 0
+        assert scalar.simd_ops == 0
+
+    def test_interpreters_report_low_ilp(self, small_db):
+        assert RowStoreEngine().run_projection(small_db, 1).work.effective_ilp < 4
+        assert TyperEngine().run_projection(small_db, 1).work.effective_ilp is None

@@ -1,0 +1,155 @@
+"""Trace-driven cache tests: hits, LRU, associativity, prefetch
+bookkeeping, plus hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import CacheSpec, SetAssociativeCache
+
+
+def make_cache(size=4096, ways=4, line=64):
+    return SetAssociativeCache(
+        CacheSpec("test", size, miss_latency_cycles=10.0, associativity=ways, line_bytes=line)
+    )
+
+
+class TestBasics:
+    def test_first_access_misses_then_hits(self):
+        cache = make_cache()
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_different_bytes_hit(self):
+        cache = make_cache()
+        cache.access(0)
+        assert cache.access(63)
+        assert not cache.access(64)  # next line
+
+    def test_line_of(self):
+        cache = make_cache()
+        assert cache.line_of(0) == 0
+        assert cache.line_of(63) == 0
+        assert cache.line_of(64) == 1
+
+    def test_contains(self):
+        cache = make_cache()
+        cache.access(128)
+        assert cache.contains(128 + 8)
+        assert not cache.contains(4096 * 10)
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ValueError):
+            make_cache(size=60 * 4, ways=4, line=60)
+
+
+class TestEviction:
+    def test_lru_victim(self):
+        # 16 lines, 4 ways -> 4 sets; lines 0, 4, 8, 12 map to set 0.
+        cache = make_cache(size=16 * 64, ways=4)
+        set0_lines = [0, 4, 8, 12, 16]
+        for line in set0_lines[:4]:
+            cache.access_line(line)
+        cache.access_line(0)  # refresh line 0: LRU is now line 4
+        cache.access_line(16)  # evicts line 4
+        assert cache.contains_line(0)
+        assert not cache.contains_line(4)
+        assert cache.stats.evictions == 1
+
+    def test_capacity_never_exceeded(self):
+        cache = make_cache(size=16 * 64, ways=4)
+        for line in range(100):
+            cache.access_line(line)
+        assert cache.occupancy <= 16
+
+    def test_working_set_within_capacity_all_hits_second_pass(self):
+        cache = make_cache(size=64 * 64, ways=8)
+        lines = range(32)
+        for line in lines:
+            cache.access_line(line)
+        before = cache.stats.hits
+        for line in lines:
+            assert cache.access_line(line)
+        assert cache.stats.hits == before + 32
+
+
+class TestPrefetchBookkeeping:
+    def test_prefetch_installs_line(self):
+        cache = make_cache()
+        assert cache.prefetch_line(5)
+        assert cache.contains_line(5)
+        assert cache.stats.prefetch_inserts == 1
+
+    def test_redundant_prefetch_reports_false(self):
+        cache = make_cache()
+        cache.access_line(5)
+        assert not cache.prefetch_line(5)
+
+    def test_prefetch_hit_counted_once(self):
+        cache = make_cache()
+        cache.prefetch_line(9)
+        cache.access_line(9)
+        cache.access_line(9)
+        assert cache.stats.prefetch_hits == 1
+        assert cache.stats.hits == 2
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.access_line(3)
+        assert cache.invalidate_line(3)
+        assert not cache.contains_line(3)
+        assert not cache.invalidate_line(3)
+
+    def test_reset(self):
+        cache = make_cache()
+        cache.access_line(1)
+        cache.prefetch_line(2)
+        cache.reset()
+        assert cache.occupancy == 0
+        assert cache.stats.accesses == 0
+
+
+class TestStats:
+    def test_miss_and_hit_rates(self):
+        cache = make_cache()
+        cache.access_line(0)
+        cache.access_line(0)
+        cache.access_line(1)
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_empty_rates(self):
+        cache = make_cache()
+        assert cache.stats.miss_rate == 0.0
+        assert cache.stats.hit_rate == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(lines=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=300))
+def test_property_residents_are_subset_of_touched(lines):
+    cache = make_cache(size=32 * 64, ways=4)
+    for line in lines:
+        cache.access_line(line)
+    touched = set(lines)
+    assert set(cache.resident_lines()) <= touched
+
+
+@settings(max_examples=50, deadline=None)
+@given(lines=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=300))
+def test_property_occupancy_bounded_and_counts_consistent(lines):
+    cache = make_cache(size=32 * 64, ways=4)
+    for line in lines:
+        cache.access_line(line)
+    assert cache.occupancy <= 32
+    assert cache.stats.hits + cache.stats.misses == len(lines)
+
+
+@settings(max_examples=30, deadline=None)
+@given(lines=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=200))
+def test_property_immediate_reaccess_always_hits(lines):
+    cache = make_cache(size=32 * 64, ways=4)
+    for line in lines:
+        cache.access_line(line)
+        assert cache.access_line(line)

@@ -1,0 +1,92 @@
+"""Cache-hierarchy tests: level latencies, stats and prefetcher effects."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import BROADWELL, CacheHierarchy, PrefetcherConfig
+
+
+def no_prefetch_hierarchy():
+    return CacheHierarchy(BROADWELL, PrefetcherConfig.all_disabled())
+
+
+class TestLatencies:
+    def test_cold_miss_pays_full_memory_latency(self):
+        hierarchy = no_prefetch_hierarchy()
+        latency = hierarchy.access(0)
+        assert latency == pytest.approx(BROADWELL.memory_latency_cycles)
+
+    def test_l1_hit_latency(self):
+        hierarchy = no_prefetch_hierarchy()
+        hierarchy.access(0)
+        assert hierarchy.access(0) == pytest.approx(BROADWELL.l1_access_cycles)
+
+    def test_l2_hit_latency_after_l1_eviction(self):
+        hierarchy = no_prefetch_hierarchy()
+        hierarchy.access(0)
+        # Evict line 0 from L1 (32KB, 8-way, 64 sets): touch 8 more
+        # lines mapping to set 0 (stride = 64 sets * 64B).
+        stride = 64 * 64
+        for k in range(1, 9):
+            hierarchy.access(k * stride)
+        latency = hierarchy.access(0)
+        assert latency == pytest.approx(BROADWELL.l2_hit_latency)
+
+    def test_stats_accumulate(self):
+        hierarchy = no_prefetch_hierarchy()
+        hierarchy.access(0)
+        hierarchy.access(0)
+        stats = hierarchy.stats
+        assert stats.accesses == 2
+        assert stats.l1_hits == 1
+        assert stats.memory_accesses == 1
+        assert stats.avg_latency_cycles == pytest.approx(
+            (BROADWELL.memory_latency_cycles + BROADWELL.l1_access_cycles) / 2
+        )
+
+
+class TestPrefetcherEffect:
+    def test_streamers_hide_sequential_misses(self):
+        addresses = np.arange(0, 20_000, 8, dtype=np.int64)
+        off = no_prefetch_hierarchy()
+        off.replay(addresses)
+        on = CacheHierarchy(BROADWELL, PrefetcherConfig.all_enabled())
+        on.replay(addresses)
+        assert on.stats.memory_accesses < off.stats.memory_accesses / 3
+        assert on.prefetches_issued() > 0
+
+    def test_disabled_issues_no_prefetches(self):
+        hierarchy = no_prefetch_hierarchy()
+        hierarchy.replay(np.arange(0, 4096, 64))
+        assert hierarchy.prefetches_issued() == 0
+
+    def test_l2_streamer_alone_close_to_all(self):
+        """The Figure 26 headline at the structural level."""
+        addresses = np.arange(0, 30_000, 8, dtype=np.int64)
+        l2_only = CacheHierarchy(BROADWELL, PrefetcherConfig.only("l2_streamer"))
+        l2_only.replay(addresses)
+        everything = CacheHierarchy(BROADWELL, PrefetcherConfig.all_enabled())
+        everything.replay(addresses)
+        assert l2_only.stats.memory_accesses <= everything.stats.memory_accesses * 1.5 + 10
+
+
+class TestReplayAndReset:
+    def test_replay_returns_stats(self):
+        hierarchy = no_prefetch_hierarchy()
+        stats = hierarchy.replay([0, 64, 128])
+        assert stats.accesses == 3
+
+    def test_reset_clears_everything(self):
+        hierarchy = CacheHierarchy(BROADWELL)
+        hierarchy.replay(np.arange(0, 8192, 64))
+        hierarchy.reset()
+        assert hierarchy.stats.accesses == 0
+        assert hierarchy.prefetches_issued() == 0
+        assert not hierarchy.l1.occupancy
+
+    def test_miss_rates(self):
+        hierarchy = no_prefetch_hierarchy()
+        hierarchy.access(0)
+        hierarchy.access(0)
+        assert hierarchy.stats.l1_miss_rate == pytest.approx(0.5)
+        assert hierarchy.stats.memory_miss_rate == pytest.approx(0.5)

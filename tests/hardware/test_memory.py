@@ -1,0 +1,104 @@
+"""Memory-system and MLC-tool tests."""
+
+import pytest
+
+from repro.hardware import BROADWELL, SKYLAKE, MemoryLatencyChecker, MemorySystem
+
+
+class TestMaxBandwidth:
+    def test_single_core(self):
+        memory = MemorySystem(BROADWELL)
+        assert memory.max_bandwidth_gbps("sequential", 1) == 12.0
+        assert memory.max_bandwidth_gbps("random", 1) == 7.0
+
+    def test_scales_linearly_then_hits_socket_roof(self):
+        memory = MemorySystem(BROADWELL)
+        assert memory.max_bandwidth_gbps("sequential", 4) == 48.0
+        assert memory.max_bandwidth_gbps("sequential", 8) == 66.0
+        assert memory.max_bandwidth_gbps("sequential", 14) == 66.0
+
+    def test_random_roof(self):
+        memory = MemorySystem(BROADWELL)
+        assert memory.max_bandwidth_gbps("random", 14) == 60.0
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            MemorySystem(BROADWELL).max_bandwidth_gbps("sequential", 0)
+
+
+class TestUtilizationAndQueueing:
+    def test_utilization(self):
+        memory = MemorySystem(BROADWELL)
+        assert memory.utilization(6.0, "sequential") == pytest.approx(0.5)
+
+    def test_utilization_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MemorySystem(BROADWELL).utilization(-1.0, "sequential")
+
+    def test_queueing_monotone(self):
+        memory = MemorySystem(BROADWELL)
+        factors = [memory.queueing_factor(u) for u in (0.0, 0.3, 0.6, 0.9, 1.0)]
+        assert factors[0] == pytest.approx(1.0)
+        assert all(a <= b for a, b in zip(factors, factors[1:]))
+
+    def test_queueing_capped(self):
+        memory = MemorySystem(BROADWELL)
+        assert memory.queueing_factor(5.0) <= MemorySystem.MAX_QUEUE_FACTOR
+
+    def test_loaded_latency_grows_with_demand(self):
+        memory = MemorySystem(BROADWELL)
+        idle = memory.loaded_latency_cycles(0.0, "sequential")
+        loaded = memory.loaded_latency_cycles(11.0, "sequential")
+        assert idle == pytest.approx(BROADWELL.memory_latency_cycles)
+        assert loaded > idle
+
+
+class TestTransferCycles:
+    def test_at_roof(self):
+        memory = MemorySystem(BROADWELL)
+        # 12 GB at 12 GB/s = 1 s = 2.4e9 cycles.
+        assert memory.transfer_cycles(12e9, "sequential") == pytest.approx(2.4e9)
+
+    def test_demand_paced(self):
+        memory = MemorySystem(BROADWELL)
+        slow = memory.transfer_cycles(12e9, "sequential", demand_gbps=6.0)
+        assert slow == pytest.approx(4.8e9)
+
+    def test_demand_capped_at_roof(self):
+        memory = MemorySystem(BROADWELL)
+        capped = memory.transfer_cycles(12e9, "sequential", demand_gbps=100.0)
+        assert capped == pytest.approx(2.4e9)
+
+
+class TestMemoryLatencyChecker:
+    def test_latency_report(self):
+        report = MemoryLatencyChecker(BROADWELL).measure_latencies()
+        assert report.l1_cycles == 4.0
+        assert report.l2_cycles == 20.0
+        assert report.l3_cycles == 46.0
+        assert report.memory_cycles == 206.0
+        assert report.memory_ns == pytest.approx(206.0 / 2.4)
+
+    def test_bandwidth_report_matches_table1(self):
+        report = MemoryLatencyChecker(BROADWELL).measure_bandwidths()
+        assert report.per_core_sequential == 12.0
+        assert report.per_core_random == 7.0
+        assert report.per_socket_sequential == 66.0
+        assert report.per_socket_random == 60.0
+
+    def test_table1_rows_complete(self):
+        rows = MemoryLatencyChecker(BROADWELL).table1_rows()
+        assert rows["#cores per socket"] == "14"
+        assert rows["Clock speed"] == "2.40GHz"
+        assert "12GB/s (sequential)" in rows["Per-core bandwidth"]
+        assert "66GB/s (sequential)" in rows["Per-socket bandwidth"]
+        assert "(inclusive) 35MB" in rows["L3 (shared)"]
+        assert rows["Hyper-threading"] == "Off"
+        assert rows["Turbo-boost"] == "Off"
+        assert rows["Memory"] == "256GB"
+
+    def test_skylake_rows_differ(self):
+        rows = MemoryLatencyChecker(SKYLAKE).table1_rows()
+        assert "87GB/s (sequential)" in rows["Per-socket bandwidth"]
+        assert "16MB" in rows["L3 (shared)"]
+        assert "(inclusive)" not in rows["L3 (shared)"]

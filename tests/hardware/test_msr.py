@@ -1,0 +1,92 @@
+"""Emulated MSR 0x1A4 prefetcher-control tests (Section 9 mechanism)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import (
+    ALL_PREFETCHERS_MASK,
+    MSR_MISC_FEATURE_CONTROL,
+    MsrFile,
+    PrefetcherConfig,
+    config_from_msr,
+    msr_from_config,
+)
+
+
+class TestEncoding:
+    def test_zero_means_all_enabled(self):
+        """Hardware convention: a set bit *disables* its prefetcher."""
+        assert config_from_msr(0x0) == PrefetcherConfig.all_enabled()
+
+    def test_all_bits_means_all_disabled(self):
+        assert config_from_msr(0xF) == PrefetcherConfig.all_disabled()
+
+    def test_bit0_controls_l2_streamer(self):
+        config = config_from_msr(0b0001)
+        assert not config.l2_streamer
+        assert config.l2_next_line and config.l1_streamer and config.l1_next_line
+
+    def test_bit3_controls_l1_next_line(self):
+        config = config_from_msr(0b1000)
+        assert not config.l1_next_line
+        assert config.l2_streamer
+
+    def test_roundtrip_all_sixteen_values(self):
+        for value in range(16):
+            assert msr_from_config(config_from_msr(value)) == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            config_from_msr(-1)
+
+
+class TestMsrFile:
+    def test_defaults_to_all_enabled(self):
+        assert MsrFile().prefetchers == PrefetcherConfig.all_enabled()
+
+    def test_disable_enable_cycle(self):
+        msr = MsrFile()
+        msr.disable_all_prefetchers()
+        assert msr.prefetchers == PrefetcherConfig.all_disabled()
+        assert msr.read(MSR_MISC_FEATURE_CONTROL) == ALL_PREFETCHERS_MASK
+        msr.enable_all_prefetchers()
+        assert msr.prefetchers == PrefetcherConfig.all_enabled()
+
+    def test_apply_config(self):
+        msr = MsrFile()
+        target = PrefetcherConfig.only("l2_streamer")
+        msr.apply(target)
+        assert msr.prefetchers == target
+
+    def test_write_validation(self):
+        msr = MsrFile()
+        with pytest.raises(ValueError):
+            msr.write(MSR_MISC_FEATURE_CONTROL, 0x10)
+        with pytest.raises(PermissionError):
+            msr.write(0x1A0, 1)
+
+    def test_unknown_register_reads_zero(self):
+        assert MsrFile().read(0x611) == 0
+
+    def test_negative_core_rejected(self):
+        with pytest.raises(ValueError):
+            MsrFile(core=-1)
+
+    def test_paper_workflow(self):
+        """The Section 9 experiment loop: flip MSR, observe config."""
+        msr = MsrFile(core=3)
+        seen = []
+        for name, config in PrefetcherConfig.figure26_configs().items():
+            msr.apply(config)
+            seen.append(msr.prefetchers)
+        assert seen == list(PrefetcherConfig.figure26_configs().values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    flags=st.tuples(st.booleans(), st.booleans(), st.booleans(), st.booleans())
+)
+def test_property_roundtrip_any_config(flags):
+    config = PrefetcherConfig(*flags)
+    assert config_from_msr(msr_from_config(config)) == config

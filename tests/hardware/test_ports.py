@@ -1,0 +1,52 @@
+"""Execution-port pressure model tests."""
+
+import pytest
+
+from repro.hardware import ExecutionPorts, OpCounts, PortSpec
+
+
+@pytest.fixture
+def ports():
+    return ExecutionPorts(PortSpec())
+
+
+class TestOpCounts:
+    def test_scaled(self):
+        counts = OpCounts(alu_ops=4, load_ops=2, store_ops=1, simd_ops=8, hash_ops=3)
+        half = counts.scaled(0.5)
+        assert half.alu_ops == 2
+        assert half.simd_ops == 4
+        assert half.hash_ops == 1.5
+
+
+class TestPortCycles:
+    def test_alu_throughput_four_per_cycle(self, ports):
+        assert ports.alu_cycles(OpCounts(alu_ops=400)) == pytest.approx(100)
+
+    def test_loads_two_per_cycle(self, ports):
+        assert ports.load_cycles(OpCounts(load_ops=400)) == pytest.approx(200)
+
+    def test_stores_one_per_cycle(self, ports):
+        assert ports.store_cycles(OpCounts(store_ops=400)) == pytest.approx(400)
+
+    def test_simd_two_per_cycle(self, ports):
+        assert ports.simd_cycles(OpCounts(simd_ops=400)) == pytest.approx(200)
+
+    def test_hash_ops_occupy_the_multiply_port(self, ports):
+        """One hash op costs several cycles on the single imul port --
+        the Section 5/6 'costly hash computations' mechanism."""
+        hash_cycles = ports.alu_cycles(OpCounts(hash_ops=100))
+        plain_cycles = ports.alu_cycles(OpCounts(alu_ops=100))
+        assert hash_cycles >= 4 * plain_cycles
+
+    def test_min_issue_is_binding_group(self, ports):
+        counts = OpCounts(alu_ops=4, load_ops=2, store_ops=10)
+        assert ports.min_issue_cycles(counts) == pytest.approx(10.0)
+        assert ports.binding_port_group(counts) == "store"
+
+    def test_binding_group_alu_with_hashes(self, ports):
+        counts = OpCounts(alu_ops=1, load_ops=1, hash_ops=10)
+        assert ports.binding_port_group(counts) == "alu"
+
+    def test_empty_counts(self, ports):
+        assert ports.min_issue_cycles(OpCounts()) == 0.0

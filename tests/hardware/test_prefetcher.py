@@ -1,0 +1,157 @@
+"""Prefetcher tests: configurations (Figure 26) and trace behaviour."""
+
+import pytest
+
+from repro.hardware import (
+    CacheSpec,
+    NextLinePrefetcher,
+    PrefetcherConfig,
+    SetAssociativeCache,
+    StreamerPrefetcher,
+)
+from repro.hardware.prefetcher import LINES_PER_PAGE
+
+
+def make_cache():
+    return SetAssociativeCache(
+        CacheSpec("L2", 256 * 1024, miss_latency_cycles=26.0)
+    )
+
+
+class TestPrefetcherConfig:
+    def test_default_all_enabled(self):
+        config = PrefetcherConfig.all_enabled()
+        assert config.enabled_names() == PrefetcherConfig.NAMES
+        assert config.any_enabled
+
+    def test_all_disabled(self):
+        config = PrefetcherConfig.all_disabled()
+        assert config.enabled_names() == ()
+        assert not config.any_enabled
+
+    def test_only(self):
+        config = PrefetcherConfig.only("l2_streamer")
+        assert config.enabled_names() == ("l2_streamer",)
+
+    def test_only_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            PrefetcherConfig.only("l3_magic")
+
+    def test_figure26_configs_in_paper_order(self):
+        names = list(PrefetcherConfig.figure26_configs())
+        assert names == [
+            "All disabled", "L1 NL", "L1 Str.", "L2 NL", "L2 Str.", "All enabled",
+        ]
+
+    def test_coverage_ordering(self):
+        """Disabled < next-line < streamer; L2 streamer ~ all enabled
+        (the Figure 26 result)."""
+        cov = {
+            name: config.sequential_coverage()
+            for name, config in PrefetcherConfig.figure26_configs().items()
+        }
+        assert cov["All disabled"] == 0.0
+        assert cov["All disabled"] < cov["L1 NL"] < cov["L1 Str."]
+        assert cov["L1 NL"] < cov["L2 Str."]
+        assert cov["L2 Str."] >= 0.9
+        assert cov["All enabled"] >= cov["L2 Str."]
+        assert cov["All enabled"] - cov["L2 Str."] <= 0.05
+
+    def test_random_coverage_small(self):
+        assert PrefetcherConfig.all_disabled().random_coverage() == 0.0
+        assert 0.0 < PrefetcherConfig.all_enabled().random_coverage() <= 0.3
+
+
+class TestNextLinePrefetcher:
+    def test_miss_prefetches_next_line(self):
+        cache = make_cache()
+        prefetcher = NextLinePrefetcher(cache)
+        hit = cache.access_line(10)
+        prefetcher.on_access(10, hit)
+        assert cache.contains_line(11)
+        assert prefetcher.issued == 1
+
+    def test_hit_does_not_prefetch(self):
+        cache = make_cache()
+        prefetcher = NextLinePrefetcher(cache)
+        cache.access_line(10)
+        prefetcher.on_access(10, True)
+        assert not cache.contains_line(11)
+
+    def test_covers_roughly_half_a_stream(self):
+        cache = make_cache()
+        prefetcher = NextLinePrefetcher(cache)
+        hits = 0
+        for line in range(200):
+            hit = cache.access_line(line)
+            prefetcher.on_access(line, hit)
+            hits += hit
+        assert hits == pytest.approx(100, abs=2)
+
+
+class TestStreamerPrefetcher:
+    def test_detects_ascending_stream(self):
+        cache = make_cache()
+        streamer = StreamerPrefetcher(cache, degree=4)
+        for line in range(3):
+            hit = cache.access_line(line)
+            streamer.on_access(line, hit)
+        # After two same-direction steps the streamer runs ahead.
+        assert cache.contains_line(3)
+        assert streamer.issued > 0
+
+    def test_detects_descending_stream(self):
+        cache = make_cache()
+        streamer = StreamerPrefetcher(cache, degree=2)
+        for line in (40, 39, 38):
+            streamer.on_access(line, False)
+        assert cache.contains_line(37)
+
+    def test_does_not_cross_page_boundary(self):
+        cache = make_cache()
+        streamer = StreamerPrefetcher(cache, degree=8)
+        last = LINES_PER_PAGE - 1
+        for line in (last - 2, last - 1, last):
+            streamer.on_access(line, False)
+        assert not cache.contains_line(LINES_PER_PAGE)
+
+    def test_high_degree_covers_stream(self):
+        cache = make_cache()
+        streamer = StreamerPrefetcher(cache, degree=8)
+        hits = 0
+        for line in range(300):
+            hit = cache.access_line(line)
+            streamer.on_access(line, hit)
+            hits += hit
+        assert hits / 300 > 0.9
+
+    def test_tracker_eviction_bounded(self):
+        cache = make_cache()
+        streamer = StreamerPrefetcher(cache, degree=2, max_trackers=4)
+        for page in range(10):
+            streamer.on_access(page * LINES_PER_PAGE, False)
+        assert len(list(streamer.tracked_pages())) <= 4
+
+    def test_random_accesses_trigger_few_prefetches(self):
+        cache = make_cache()
+        streamer = StreamerPrefetcher(cache, degree=4)
+        import random
+
+        rng = random.Random(3)
+        for _ in range(300):
+            streamer.on_access(rng.randrange(100_000), False)
+        # Random traffic should not look like streams.
+        assert streamer.issued < 100
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            StreamerPrefetcher(make_cache(), degree=0)
+
+    def test_reset(self):
+        cache = make_cache()
+        streamer = StreamerPrefetcher(cache, degree=2)
+        for line in range(5):
+            streamer.on_access(line, False)
+        streamer.reset()
+        assert streamer.issued == 0
+        assert not list(streamer.tracked_pages())

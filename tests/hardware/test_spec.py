@@ -1,0 +1,151 @@
+"""Machine-spec tests: Table 1 parameters and derived quantities."""
+
+import pytest
+
+from repro.hardware import (
+    BROADWELL,
+    SKYLAKE,
+    BandwidthSpec,
+    CacheSpec,
+    PortSpec,
+    ServerSpec,
+)
+from repro.hardware.spec import KB, MB
+
+
+class TestCacheSpec:
+    def test_line_and_set_counts(self):
+        spec = CacheSpec("L1D", 32 * KB, miss_latency_cycles=16.0, associativity=8)
+        assert spec.n_lines == 512
+        assert spec.n_sets == 64
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            CacheSpec("bad", 0, miss_latency_cycles=1.0)
+
+    def test_rejects_size_not_multiple_of_line(self):
+        with pytest.raises(ValueError):
+            CacheSpec("bad", 1000, miss_latency_cycles=1.0)
+
+    def test_rejects_lines_not_divisible_by_ways(self):
+        with pytest.raises(ValueError):
+            CacheSpec("bad", 64 * 3, miss_latency_cycles=1.0, associativity=2)
+
+
+class TestBandwidthSpec:
+    def test_pattern_selection(self):
+        bw = BROADWELL.bandwidth
+        assert bw.per_core("sequential") == 12.0
+        assert bw.per_core("random") == 7.0
+        assert bw.per_socket("sequential") == 66.0
+        assert bw.per_socket("random") == 60.0
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            BROADWELL.bandwidth.per_core("strided")
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            BandwidthSpec(0.0, 1.0, 1.0, 1.0)
+
+
+class TestPortSpec:
+    def test_simd_lanes(self):
+        assert PortSpec(simd_width_bits=256).simd_lanes_64 == 4
+        assert PortSpec(simd_width_bits=512).simd_lanes_64 == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PortSpec(alu_ports=0)
+        with pytest.raises(ValueError):
+            PortSpec(simd_width_bits=100)
+
+
+class TestBroadwellTable1:
+    """Pin the Table 1 parameters exactly."""
+
+    def test_core_counts(self):
+        assert BROADWELL.sockets == 2
+        assert BROADWELL.cores_per_socket == 14
+        assert BROADWELL.total_cores == 28
+
+    def test_clock(self):
+        assert BROADWELL.clock_ghz == 2.40
+
+    def test_cache_sizes(self):
+        assert BROADWELL.l1i.size_bytes == 32 * KB
+        assert BROADWELL.l1d.size_bytes == 32 * KB
+        assert BROADWELL.l2.size_bytes == 256 * KB
+        assert BROADWELL.l3.size_bytes == 35 * MB
+
+    def test_miss_latencies(self):
+        assert BROADWELL.l1d.miss_latency_cycles == 16.0
+        assert BROADWELL.l2.miss_latency_cycles == 26.0
+        assert BROADWELL.l3.miss_latency_cycles == 160.0
+
+    def test_l3_inclusive(self):
+        assert BROADWELL.l3.inclusive
+
+    def test_smt_and_turbo_disabled(self):
+        """The paper disables both (they jeopardise counter values)."""
+        assert not BROADWELL.hyper_threading
+        assert not BROADWELL.turbo_boost
+
+    def test_derived_latencies_accumulate(self):
+        assert BROADWELL.l2_hit_latency == pytest.approx(20.0)
+        assert BROADWELL.l3_hit_latency == pytest.approx(46.0)
+        assert BROADWELL.memory_latency_cycles == pytest.approx(206.0)
+
+    def test_memory_latency_in_dram_range(self):
+        assert 60.0 <= BROADWELL.memory_latency_ns <= 120.0
+
+
+class TestSkylakeDifferences:
+    """Section 2: Skylake has a larger L2, smaller non-inclusive L3,
+    lower per-core and higher per-socket sequential bandwidth."""
+
+    def test_l2_larger(self):
+        assert SKYLAKE.l2.size_bytes > BROADWELL.l2.size_bytes
+        assert SKYLAKE.l2.size_bytes == 1 * MB
+
+    def test_l3_smaller_and_non_inclusive(self):
+        assert SKYLAKE.l3.size_bytes == 16 * MB
+        assert not SKYLAKE.l3.inclusive
+
+    def test_sequential_bandwidths(self):
+        assert SKYLAKE.bandwidth.per_core_seq_gbps == 10.0
+        assert SKYLAKE.bandwidth.per_socket_seq_gbps == 87.0
+
+    def test_random_bandwidth_similar(self):
+        assert SKYLAKE.bandwidth.per_core_rand_gbps == BROADWELL.bandwidth.per_core_rand_gbps
+
+    def test_avx512(self):
+        assert SKYLAKE.ports.simd_width_bits == 512
+        assert BROADWELL.ports.simd_width_bits == 256
+
+
+class TestConversions:
+    def test_cycles_to_seconds(self):
+        assert BROADWELL.cycles_to_seconds(2.4e9) == pytest.approx(1.0)
+
+    def test_cycles_to_ms(self):
+        assert BROADWELL.cycles_to_ms(2.4e6) == pytest.approx(1.0)
+
+    def test_bytes_per_cycle_roundtrip(self):
+        bpc = BROADWELL.bytes_per_cycle(12.0)
+        assert BROADWELL.gbps(bpc) == pytest.approx(12.0)
+        assert bpc == pytest.approx(5.0)
+
+    def test_with_hyper_threading_returns_copy(self):
+        ht = BROADWELL.with_hyper_threading()
+        assert ht.hyper_threading and not BROADWELL.hyper_threading
+        assert ht.clock_ghz == BROADWELL.clock_ghz
+
+    def test_invalid_server_spec(self):
+        with pytest.raises(ValueError):
+            ServerSpec(
+                name="bad", clock_ghz=0.0, sockets=1, cores_per_socket=1,
+                l1i=BROADWELL.l1i, l1d=BROADWELL.l1d, l2=BROADWELL.l2,
+                l3=BROADWELL.l3, bandwidth=BROADWELL.bandwidth,
+                memory_bytes=1,
+            )

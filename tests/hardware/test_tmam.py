@@ -1,0 +1,108 @@
+"""TMAM cycle-container tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import COMPONENTS, STALL_COMPONENTS, CycleBreakdown
+
+positive = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+
+
+def breakdowns():
+    return st.builds(
+        CycleBreakdown,
+        retiring=positive, branch_misp=positive, icache=positive,
+        decoding=positive, dcache=positive, execution=positive,
+    )
+
+
+class TestBasics:
+    def test_total_and_stalls(self):
+        breakdown = CycleBreakdown(retiring=40, dcache=30, execution=20, branch_misp=10)
+        assert breakdown.total == 100
+        assert breakdown.stall_cycles == 60
+        assert breakdown.stall_ratio == pytest.approx(0.6)
+        assert breakdown.retiring_ratio == pytest.approx(0.4)
+
+    def test_zero_breakdown_ratios(self):
+        zero = CycleBreakdown.zero()
+        assert zero.total == 0
+        assert zero.stall_ratio == 0.0
+        assert zero.cycle_shares() == {name: 0.0 for name in COMPONENTS}
+        assert zero.stall_shares() == {name: 0.0 for name in STALL_COMPONENTS}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CycleBreakdown(retiring=-1)
+
+    def test_dominant_stall(self):
+        breakdown = CycleBreakdown(retiring=10, dcache=5, branch_misp=7)
+        assert breakdown.dominant_stall() == "branch_misp"
+
+    def test_component_order_matches_paper_legend(self):
+        assert COMPONENTS[0] == "retiring"
+        assert set(STALL_COMPONENTS) == {
+            "execution", "dcache", "decoding", "icache", "branch_misp",
+        }
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = CycleBreakdown(retiring=1, dcache=2)
+        b = CycleBreakdown(retiring=3, execution=4)
+        c = a + b
+        assert c.retiring == 4
+        assert c.dcache == 2
+        assert c.execution == 4
+
+    def test_sum(self):
+        parts = [CycleBreakdown(retiring=1)] * 5
+        assert CycleBreakdown.sum(parts).retiring == 5
+
+    def test_scaled(self):
+        assert CycleBreakdown(retiring=10).scaled(0.5).retiring == 5
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CycleBreakdown(retiring=1).scaled(-1)
+
+    def test_normalized_to(self):
+        breakdown = CycleBreakdown(retiring=50, dcache=50)
+        normalized = breakdown.normalized_to(200)
+        assert normalized.total == pytest.approx(0.5)
+
+    def test_normalized_rejects_non_positive_base(self):
+        with pytest.raises(ValueError):
+            CycleBreakdown(retiring=1).normalized_to(0)
+
+    def test_with_components(self):
+        breakdown = CycleBreakdown(retiring=1).with_components(dcache=9)
+        assert breakdown.dcache == 9
+        assert breakdown.retiring == 1
+
+    def test_as_dict_roundtrip(self):
+        breakdown = CycleBreakdown(retiring=1, icache=2)
+        assert CycleBreakdown(**breakdown.as_dict()) == breakdown
+
+
+@settings(max_examples=80, deadline=None)
+@given(breakdown=breakdowns())
+def test_property_shares_sum_to_one(breakdown):
+    if breakdown.total > 0:
+        assert sum(breakdown.cycle_shares().values()) == pytest.approx(1.0)
+    if breakdown.stall_cycles > 0:
+        assert sum(breakdown.stall_shares().values()) == pytest.approx(1.0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(breakdown=breakdowns(), factor=st.floats(min_value=0.0, max_value=100.0))
+def test_property_scaling_is_linear(breakdown, factor):
+    assert breakdown.scaled(factor).total == pytest.approx(breakdown.total * factor)
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=breakdowns(), b=breakdowns())
+def test_property_addition_preserves_totals(a, b):
+    assert (a + b).total == pytest.approx(a.total + b.total)
+    assert (a + b).stall_cycles == pytest.approx(a.stall_cycles + b.stall_cycles)

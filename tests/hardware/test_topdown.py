@@ -1,0 +1,104 @@
+"""Top-Down hierarchy tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import CycleBreakdown, TopDownNode, TopDownTree
+
+positive = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+
+
+def sample_breakdown():
+    return CycleBreakdown(
+        retiring=40, branch_misp=10, icache=5, decoding=3, dcache=30, execution=12
+    )
+
+
+class TestNode:
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            TopDownNode("x", -1.0)
+
+    def test_child_lookup(self):
+        tree = TopDownTree.from_breakdown(sample_breakdown())
+        assert tree.root.child("Retiring").cycles == 40
+        with pytest.raises(KeyError):
+            tree.root.child("Nope")
+
+    def test_walk_preorder(self):
+        tree = TopDownTree.from_breakdown(sample_breakdown())
+        names = [node.name for _, node in tree.root.walk()]
+        assert names[0] == "Pipeline Slots"
+        assert "Memory Bound (Dcache)" in names
+
+    def test_leaf_flag(self):
+        tree = TopDownTree.from_breakdown(sample_breakdown())
+        assert tree.root.child("Retiring").is_leaf
+        assert not tree.root.is_leaf
+
+
+class TestTree:
+    def test_level1_structure(self):
+        tree = TopDownTree.from_breakdown(sample_breakdown())
+        assert [child.name for child in tree.root.children] == list(TopDownTree.LEVEL1)
+
+    def test_level1_shares(self):
+        tree = TopDownTree.from_breakdown(sample_breakdown())
+        shares = tree.level1_shares()
+        assert shares["Retiring"] == pytest.approx(0.4)
+        assert shares["Backend Bound"] == pytest.approx(0.42)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_mapping_to_paper_classes(self):
+        """Bad Speculation <-> Branch misp., Frontend <-> Icache+Decoding,
+        Backend <-> Dcache+Execution."""
+        breakdown = sample_breakdown()
+        tree = TopDownTree.from_breakdown(breakdown)
+        assert tree.root.child("Bad Speculation").cycles == breakdown.branch_misp
+        assert tree.root.child("Frontend Bound").cycles == pytest.approx(
+            breakdown.icache + breakdown.decoding
+        )
+        assert tree.root.child("Backend Bound").cycles == pytest.approx(
+            breakdown.dcache + breakdown.execution
+        )
+
+    def test_dominant_category(self):
+        assert TopDownTree.from_breakdown(sample_breakdown()).dominant_category() == (
+            "Backend Bound"
+        )
+
+    def test_validate(self):
+        assert TopDownTree.from_breakdown(sample_breakdown()).validate()
+
+    def test_validate_detects_inconsistency(self):
+        bad = TopDownTree(
+            TopDownNode("root", 100, (TopDownNode("child", 10),))
+        )
+        assert not bad.validate()
+
+    def test_render_contains_all_nodes(self):
+        text = TopDownTree.from_breakdown(sample_breakdown()).render()
+        for name in ("Retiring", "Core Bound (Execution)", "Fetch Latency (Icache)"):
+            assert name in text
+
+    def test_zero_breakdown(self):
+        tree = TopDownTree.from_breakdown(CycleBreakdown.zero())
+        assert tree.level1_shares() == {name: 0.0 for name in TopDownTree.LEVEL1}
+        assert tree.render()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    breakdown=st.builds(
+        CycleBreakdown,
+        retiring=positive, branch_misp=positive, icache=positive,
+        decoding=positive, dcache=positive, execution=positive,
+    )
+)
+def test_property_roundtrip_and_consistency(breakdown):
+    tree = TopDownTree.from_breakdown(breakdown)
+    assert tree.validate()
+    recovered = tree.to_breakdown()
+    assert recovered.total == pytest.approx(breakdown.total)
+    assert recovered.as_dict() == pytest.approx(breakdown.as_dict())

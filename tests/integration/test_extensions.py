@@ -1,0 +1,85 @@
+"""Extension features beyond the paper: Zipf-skewed data and the
+NUMA-remote scenario the paper's numactl setup avoids."""
+
+import numpy as np
+import pytest
+
+from repro import MicroArchProfiler, TyperEngine, generate_database
+from repro.core import WhatIfAnalyzer
+from repro.engines import GroupByHashTable
+
+
+class TestSkewedGeneration:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        uniform = generate_database(scale_factor=0.05, seed=9, tables=("lineitem",))
+        skewed = generate_database(
+            scale_factor=0.05, seed=9, tables=("lineitem",), skew=1.2
+        )
+        return uniform, skewed
+
+    def test_skew_validation(self):
+        with pytest.raises(ValueError, match="Zipf"):
+            generate_database(scale_factor=0.01, tables=("lineitem",), skew=0.5)
+
+    def test_skew_concentrates_keys(self, pair):
+        uniform, skewed = pair
+        def top_share(db):
+            counts = np.bincount(db["lineitem"]["l_partkey"])
+            return counts.max() / counts.sum()
+
+        assert top_share(skewed) > 10 * top_share(uniform)
+
+    def test_keys_stay_in_range(self, pair):
+        _, skewed = pair
+        partkeys = skewed["lineitem"]["l_partkey"]
+        assert partkeys.min() >= 1
+        assert partkeys.max() <= 10_000  # parts at SF 0.05
+
+    def test_skew_deepens_hot_group_chains(self, pair):
+        """With insert-at-head chaining, the hot keys (seen first) sink
+        deep into their chains, so skewed aggregation walks further per
+        update on average."""
+        uniform, skewed = pair
+        def walk_per_update(db):
+            table = GroupByHashTable(db["lineitem"]["l_partkey"])
+            return table.update_comparisons() / table.n_updates
+
+        assert walk_per_update(skewed) > walk_per_update(uniform)
+
+    def test_engines_still_agree_on_skewed_data(self, pair):
+        from repro.engines import TectorwiseEngine
+
+        _, skewed = pair
+        typer = TyperEngine().run_groupby(skewed).value
+        tectorwise = TectorwiseEngine().run_groupby(skewed).value
+        assert typer == pytest.approx(tectorwise)
+
+
+class TestNumaRemoteScenario:
+    def test_remote_socket_slows_the_scan(self, paper_db):
+        analyzer = WhatIfAnalyzer(MicroArchProfiler())
+        projection = TyperEngine().run_projection(paper_db, 4)
+        result = analyzer.project(TyperEngine(), projection, "numa-remote")
+        # A "speedup" below 1 is a slowdown: remote memory hurts.
+        assert result.speedup < 0.9
+
+    def test_remote_socket_slows_the_join(self, big_db):
+        analyzer = WhatIfAnalyzer(MicroArchProfiler())
+        join = TyperEngine().run_join(big_db, "large")
+        result = analyzer.project(TyperEngine(), join, "numa-remote")
+        assert result.speedup < 0.95
+
+    def test_numa_localization_matters_more_for_bandwidth_bound_work(
+        self, paper_db, big_db
+    ):
+        """The paper numa-localises every experiment; the scan (which
+        lives at the bandwidth roof) pays the most for remote memory."""
+        analyzer = WhatIfAnalyzer(MicroArchProfiler())
+        scan = analyzer.project(
+            TyperEngine(), TyperEngine().run_projection(paper_db, 4), "numa-remote"
+        )
+        join = analyzer.project(
+            TyperEngine(), TyperEngine().run_join(big_db, "large"), "numa-remote"
+        )
+        assert scan.speedup < join.speedup

@@ -1,0 +1,110 @@
+"""Robustness and failure-injection tests: wrong inputs must fail
+loudly and degenerate inputs must not crash."""
+
+import numpy as np
+import pytest
+
+from repro import MicroArchProfiler, TyperEngine, TectorwiseEngine, generate_database
+from repro.engines import ALL_ENGINES, ChainedHashTable, RowStoreEngine
+from repro.storage import ColumnTable, Database
+from repro.core import ExecutionContext, WorkProfile
+from repro.workloads import run_projection_sweep
+
+
+class TestDegenerateDatabases:
+    @pytest.fixture(scope="class")
+    def minimal_db(self):
+        """The smallest generatable database (floor of one row/table)."""
+        return generate_database(scale_factor=1e-6, seed=5)
+
+    def test_all_workloads_run_on_minimal_database(self, minimal_db, profiler):
+        for engine_cls in ALL_ENGINES:
+            engine = engine_cls()
+            for method, args in (
+                ("run_projection", (minimal_db, 4)),
+                ("run_selection", (minimal_db, 0.5)),
+                ("run_join", (minimal_db, "large")),
+                ("run_groupby", (minimal_db,)),
+            ):
+                report = profiler.run(engine, method, *args)
+                assert report.cycles >= 0
+
+    def test_tpch_runs_on_minimal_database(self, minimal_db, profiler):
+        for query_id in ("Q1", "Q6", "Q9", "Q18"):
+            report = profiler.run(TyperEngine(), "run_tpch", minimal_db, query_id)
+            assert np.isfinite(report.cycles)
+
+    def test_missing_table_fails_with_clear_error(self, profiler):
+        db = Database("broken")
+        db.add_table(ColumnTable("lineitem", {"l_orderkey": np.array([1], dtype=np.int64)}))
+        with pytest.raises(KeyError):
+            TyperEngine().run_projection(db, 4)  # no l_extendedprice column
+        with pytest.raises(KeyError):
+            TyperEngine().run_join(db, "large")  # no orders table
+
+
+class TestCorruptedInputs:
+    def test_negative_work_rejected_at_recording_time(self):
+        work = WorkProfile()
+        with pytest.raises(ValueError):
+            work.record_sequential_read(-1.0)
+        with pytest.raises(ValueError):
+            work.record_random("r", -1, 100)
+
+    def test_breakdown_of_empty_profile_is_zero(self, profiler):
+        breakdown = profiler.model.breakdown(WorkProfile())
+        assert breakdown.total == 0.0
+
+    def test_duplicate_build_keys_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            ChainedHashTable(np.array([7, 7, 8]))
+
+    def test_cross_engine_divergence_detected(self, small_db, profiler):
+        """The sweep verifiers must catch a lying engine."""
+
+        class BrokenEngine(TyperEngine):
+            name = "Broken"
+
+            def run_projection(self, db, degree, simd=False):
+                result = super().run_projection(db, degree, simd=simd)
+                result.value *= 1.001
+                return result
+
+        with pytest.raises(AssertionError, match="disagrees"):
+            run_projection_sweep(
+                small_db, (TyperEngine(), BrokenEngine()), profiler, degrees=(2,)
+            )
+
+    def test_tpch_result_verification_catches_wrong_answers(self, small_db, profiler):
+        from repro.workloads import run_tpch
+
+        class WrongQ6(TectorwiseEngine):
+            def run_q6(self, db, predicated=False):
+                result = super().run_q6(db, predicated=predicated)
+                result.value *= 2.0
+                return result
+
+        with pytest.raises(AssertionError, match="wrong result"):
+            run_tpch(small_db, (WrongQ6(),), profiler, queries=("Q6",))
+
+
+class TestExtremeContexts:
+    def test_many_threads_context_valid_until_socket_limit(self, small_db, profiler):
+        result = TyperEngine().run_projection(small_db, 1)
+        report = profiler.profile(TyperEngine(), result, ExecutionContext(threads=14))
+        assert report.cycles > 0
+
+    def test_selectivity_bounds_enforced_everywhere(self, small_db):
+        for engine_cls in (TyperEngine, RowStoreEngine):
+            with pytest.raises(ValueError):
+                engine_cls().run_selection(small_db, 0.0)
+            with pytest.raises(ValueError):
+                engine_cls().run_selection(small_db, 1.0)
+
+    def test_reports_are_finite(self, small_db, profiler):
+        for engine_cls in ALL_ENGINES:
+            engine = engine_cls()
+            report = profiler.run(engine, "run_projection", small_db, 4)
+            assert np.isfinite(report.response_time_ms)
+            assert np.isfinite(report.bandwidth.gbps)
+            assert 0.0 <= report.stall_ratio <= 1.0

@@ -1,0 +1,97 @@
+"""Columnar storage tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import Column, ColumnTable
+
+
+def make_table():
+    return ColumnTable(
+        "t",
+        {
+            "a": np.arange(10, dtype=np.int64),
+            "b": np.linspace(0.0, 1.0, 10),
+        },
+    )
+
+
+class TestColumn:
+    def test_length_and_bytes(self):
+        column = Column("a", np.arange(10, dtype=np.int64))
+        assert len(column) == 10
+        assert column.itemsize == 8
+        assert column.nbytes == 80
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Column("a", np.zeros((2, 2)))
+
+    def test_non_contiguous_made_contiguous(self):
+        values = np.arange(20)[::2]
+        column = Column("a", values)
+        assert column.values.flags.c_contiguous
+        assert np.array_equal(column.values, values)
+
+    def test_take(self):
+        column = Column("a", np.arange(10))
+        assert np.array_equal(column.take(np.array([1, 3])), [1, 3])
+
+
+class TestColumnTable:
+    def test_access(self):
+        table = make_table()
+        assert table.n_rows == 10
+        assert np.array_equal(table["a"], np.arange(10))
+        assert table.column_names == ("a", "b")
+        assert "a" in table and "z" not in table
+
+    def test_length_mismatch_rejected(self):
+        table = make_table()
+        with pytest.raises(ValueError):
+            table.add_column("c", np.arange(5))
+
+    def test_duplicate_rejected(self):
+        table = make_table()
+        with pytest.raises(ValueError):
+            table.add_column("a", np.arange(10))
+
+    def test_missing_column_has_helpful_error(self):
+        with pytest.raises(KeyError, match="available"):
+            make_table().column("zz")
+
+    def test_nbytes_and_bytes_for(self):
+        table = make_table()
+        assert table.nbytes == 10 * 8 * 2
+        assert table.bytes_for(["a"]) == 80
+        assert table.bytes_for(["a", "b"]) == 160
+
+    def test_select_with_mask(self):
+        table = make_table()
+        filtered = table.select(table["a"] % 2 == 0)
+        assert filtered.n_rows == 5
+        assert np.array_equal(filtered["a"], [0, 2, 4, 6, 8])
+
+    def test_select_with_indices(self):
+        filtered = make_table().select(np.array([0, 9]))
+        assert np.array_equal(filtered["a"], [0, 9])
+
+    def test_head(self):
+        head = make_table().head(3)
+        assert len(head["a"]) == 3
+
+    def test_empty_table_len(self):
+        assert len(ColumnTable("empty")) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=200))
+def test_property_select_preserves_filtered_rows(values):
+    array = np.array(values, dtype=np.int64)
+    table = ColumnTable("t", {"a": array})
+    mask = array > 0
+    filtered = table.select(mask)
+    assert filtered.n_rows == int(mask.sum())
+    assert np.array_equal(filtered["a"], array[mask])

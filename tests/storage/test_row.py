@@ -1,0 +1,86 @@
+"""Row (NSM) storage tests."""
+
+import numpy as np
+import pytest
+
+from repro.storage import ColumnTable, RowTable
+
+
+def make_column_table(n=100):
+    return ColumnTable(
+        "t",
+        {
+            "a": np.arange(n, dtype=np.int64),
+            "b": np.arange(n, dtype=np.float64) * 0.5,
+            "c": np.ones(n, dtype=np.int64),
+        },
+    )
+
+
+class TestLayout:
+    def test_same_data_as_column_table(self):
+        source = make_column_table()
+        rows = RowTable(source)
+        for name in source.column_names:
+            assert np.array_equal(rows[name], source[name])
+
+    def test_row_bytes(self):
+        rows = RowTable(make_column_table())
+        assert rows.row_bytes == 24  # three 8-byte attributes
+
+    def test_rows_structured_access(self):
+        rows = RowTable(make_column_table())
+        first = rows.rows()[0]
+        assert first["a"] == 0
+        assert first["c"] == 1
+
+    def test_column_names(self):
+        assert RowTable(make_column_table()).column_names == ("a", "b", "c")
+
+    def test_missing_column(self):
+        with pytest.raises(KeyError):
+            RowTable(make_column_table()).column("zz")
+
+
+class TestPages:
+    def test_rows_per_page(self):
+        rows = RowTable(make_column_table(), page_bytes=240)
+        assert rows.rows_per_page == 10
+        assert rows.n_pages == 10
+
+    def test_page_contents(self):
+        rows = RowTable(make_column_table(), page_bytes=240)
+        page = rows.page(1)
+        assert np.array_equal(page["a"], np.arange(10, 20))
+
+    def test_last_page_partial(self):
+        rows = RowTable(make_column_table(95), page_bytes=240)
+        assert len(rows.page(rows.n_pages - 1)) == 5
+
+    def test_page_out_of_range(self):
+        rows = RowTable(make_column_table(), page_bytes=240)
+        with pytest.raises(IndexError):
+            rows.page(rows.n_pages)
+
+    def test_invalid_page_bytes(self):
+        with pytest.raises(ValueError):
+            RowTable(make_column_table(), page_bytes=0)
+
+
+class TestScanTraffic:
+    def test_scan_reads_full_pages(self):
+        """A row-store scan drags whole rows: more traffic than the
+        column subset a column store would read."""
+        source = make_column_table(1000)
+        rows = RowTable(source)
+        assert rows.scan_bytes() >= source.nbytes
+        assert rows.scan_bytes() > source.bytes_for(["a"])
+
+    def test_nbytes_counts_page_slack(self):
+        rows = RowTable(make_column_table(95), page_bytes=240)
+        assert rows.nbytes == rows.n_pages * 240
+
+    def test_empty_table(self):
+        rows = RowTable(ColumnTable("empty", {"a": np.array([], dtype=np.int64)}))
+        assert rows.n_pages == 0
+        assert rows.scan_bytes() == 0

@@ -1,0 +1,139 @@
+"""Generator tests: determinism, population rules, referential
+integrity."""
+
+import numpy as np
+import pytest
+
+from repro.tpch import generate_database, rows_at_scale
+from repro.tpch import schema as sc
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate_database(scale_factor=0.005, seed=3)
+        b = generate_database(scale_factor=0.005, seed=3)
+        assert np.array_equal(a["lineitem"]["l_extendedprice"], b["lineitem"]["l_extendedprice"])
+        assert np.array_equal(a["orders"]["o_orderdate"], b["orders"]["o_orderdate"])
+
+    def test_different_seed_different_data(self):
+        a = generate_database(scale_factor=0.005, seed=3)
+        b = generate_database(scale_factor=0.005, seed=4)
+        assert not np.array_equal(a["lineitem"]["l_extendedprice"], b["lineitem"]["l_extendedprice"])
+
+
+class TestCardinalities:
+    def test_fixed_and_scaled_row_counts(self, tiny_db):
+        sf = tiny_db.scale_factor
+        assert tiny_db["nation"].n_rows == 25
+        assert tiny_db["region"].n_rows == 5
+        assert tiny_db["orders"].n_rows == rows_at_scale("orders", sf)
+        assert tiny_db["partsupp"].n_rows == 4 * tiny_db["part"].n_rows
+
+    def test_lineitem_fanout_one_to_seven(self, tiny_db):
+        counts = np.bincount(tiny_db["lineitem"]["l_orderkey"])[1:]
+        present = counts[counts > 0]
+        assert present.min() >= 1
+        assert present.max() <= 7
+        # Mean ~4 lines per order.
+        assert 3.0 <= counts.mean() <= 5.0
+
+    def test_table_subset_generation(self):
+        db = generate_database(scale_factor=0.005, seed=1, tables=("supplier", "nation"))
+        assert set(db.table_names) == {"supplier", "nation"}
+
+    def test_dependencies_added_automatically(self):
+        db = generate_database(scale_factor=0.005, seed=1, tables=("lineitem",))
+        assert "orders" in db
+        assert "customer" in db
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(ValueError):
+            generate_database(tables=("widgets",))
+
+
+class TestReferentialIntegrity:
+    def test_lineitem_orderkeys_reference_orders(self, tiny_db):
+        orderkeys = set(tiny_db["orders"]["o_orderkey"].tolist())
+        assert set(np.unique(tiny_db["lineitem"]["l_orderkey"]).tolist()) <= orderkeys
+
+    def test_lineitem_part_supp_keys_in_range(self, tiny_db):
+        lineitem = tiny_db["lineitem"]
+        assert lineitem["l_partkey"].min() >= 1
+        assert lineitem["l_partkey"].max() <= tiny_db["part"].n_rows
+        assert lineitem["l_suppkey"].max() <= tiny_db["supplier"].n_rows
+
+    def test_orders_custkeys_reference_customers(self, tiny_db):
+        assert tiny_db["orders"]["o_custkey"].max() <= tiny_db["customer"].n_rows
+
+    def test_only_two_thirds_of_customers_have_orders(self, tiny_db):
+        eligible = (tiny_db["customer"].n_rows * 2) // 3
+        assert tiny_db["orders"]["o_custkey"].max() <= eligible
+
+    def test_partsupp_key_pairs_unique(self, tiny_db):
+        partsupp = tiny_db["partsupp"]
+        composite = partsupp["ps_partkey"] * 1_000_003 + partsupp["ps_suppkey"]
+        assert len(np.unique(composite)) == partsupp.n_rows
+
+    def test_supplier_nations_valid(self, tiny_db):
+        assert tiny_db["supplier"]["s_nationkey"].max() < 25
+
+
+class TestPopulationRules:
+    def test_date_orderings(self, tiny_db):
+        lineitem = tiny_db["lineitem"]
+        assert (lineitem["l_receiptdate"] > lineitem["l_shipdate"]).all()
+        assert (lineitem["l_shipdate"] <= sc.DATE_MAX).all()
+        assert (lineitem["l_shipdate"] >= sc.DATE_MIN).all()
+
+    def test_shipdate_follows_orderdate(self, tiny_db):
+        lineitem = tiny_db["lineitem"]
+        orders = tiny_db["orders"]
+        orderdate = orders["o_orderdate"][lineitem["l_orderkey"] - 1]
+        delta = lineitem["l_shipdate"] - orderdate
+        assert delta.min() >= 1
+        assert delta.max() <= 121
+
+    def test_quantity_range(self, tiny_db):
+        quantity = tiny_db["lineitem"]["l_quantity"]
+        assert quantity.min() >= 1
+        assert quantity.max() <= 50
+
+    def test_discount_and_tax_ranges(self, tiny_db):
+        lineitem = tiny_db["lineitem"]
+        assert lineitem["l_discount"].min() >= 0.0
+        assert lineitem["l_discount"].max() <= 0.10 + 1e-9
+        assert lineitem["l_tax"].max() <= 0.08 + 1e-9
+
+    def test_returnflag_linestatus_rule(self, tiny_db):
+        """The R/A-before, N-after rule yields Q1's four groups."""
+        lineitem = tiny_db["lineitem"]
+        flags = lineitem["l_returnflag"]
+        status = lineitem["l_linestatus"]
+        old = lineitem["l_receiptdate"] <= sc.DATE_1995_06_17
+        assert set(np.unique(flags[old]).tolist()) <= {
+            sc.RETURNFLAG_CODES["R"], sc.RETURNFLAG_CODES["A"],
+        }
+        assert set(np.unique(flags[~old]).tolist()) <= {sc.RETURNFLAG_CODES["N"]}
+        combos = set(zip(flags.tolist(), status.tolist()))
+        assert len(combos) == 4
+
+    def test_part_name_categories(self, tiny_db):
+        categories = tiny_db["part"]["p_namecat"]
+        assert categories.min() >= 0
+        assert categories.max() < sc.N_PART_NAME_CATEGORIES
+        green = (categories == sc.GREEN_CATEGORY).mean()
+        assert 0.0 < green < 0.2
+
+    def test_money_rounded_to_cents(self, tiny_db):
+        price = tiny_db["lineitem"]["l_extendedprice"]
+        assert np.allclose(price, np.round(price, 2))
+
+
+class TestScaleInvariants:
+    @pytest.mark.parametrize("sf", [0.001, 0.003, 0.01])
+    def test_generation_valid_across_scales(self, sf):
+        db = generate_database(scale_factor=sf, seed=2, tables=("lineitem",))
+        lineitem = db["lineitem"]
+        assert lineitem.n_rows > 0
+        assert (lineitem["l_orderkey"] >= 1).all()
+        assert (lineitem["l_receiptdate"] > lineitem["l_shipdate"]).all()

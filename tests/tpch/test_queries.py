@@ -1,0 +1,138 @@
+"""Reference-query tests against independently computed results."""
+
+import numpy as np
+import pytest
+
+from repro.tpch import (
+    QUERY_SPECS,
+    q1_reference,
+    q6_predicates,
+    q6_reference,
+    q9_reference,
+    q18_group_count,
+    q18_reference,
+)
+from repro.tpch import schema as sc
+from repro.tpch.queries import Q18_QUANTITY_THRESHOLD
+
+
+class TestSpecs:
+    def test_four_profiled_queries(self):
+        assert set(QUERY_SPECS) == {"Q1", "Q6", "Q9", "Q18"}
+
+    def test_categories_match_paper(self):
+        assert "group by" in QUERY_SPECS["Q1"].category
+        assert "filter" in QUERY_SPECS["Q6"].category
+        assert "join" in QUERY_SPECS["Q9"].category
+        assert "group by" in QUERY_SPECS["Q18"].category
+
+
+class TestQ1:
+    def test_four_groups(self, small_db):
+        """Q1 is the paper's low-cardinality group by: 4 groups."""
+        assert len(q1_reference(small_db)) == 4
+
+    def test_counts_cover_filtered_rows(self, small_db):
+        groups = q1_reference(small_db)
+        lineitem = small_db["lineitem"]
+        expected = int((lineitem["l_shipdate"] <= sc.DATE_1998_09_02).sum())
+        assert sum(group["count"] for group in groups.values()) == expected
+
+    def test_aggregates_consistent(self, small_db):
+        groups = q1_reference(small_db)
+        lineitem = small_db["lineitem"]
+        mask = lineitem["l_shipdate"] <= sc.DATE_1998_09_02
+        total_quantity = sum(group["sum_qty"] for group in groups.values())
+        assert total_quantity == pytest.approx(float(lineitem["l_quantity"][mask].sum()))
+
+    def test_disc_price_below_base_price(self, small_db):
+        for group in q1_reference(small_db).values():
+            assert group["sum_disc_price"] <= group["sum_base_price"]
+            assert group["sum_charge"] >= group["sum_disc_price"]
+
+
+class TestQ6:
+    def test_matches_bruteforce(self, small_db):
+        lineitem = small_db["lineitem"]
+        mask = (
+            (lineitem["l_shipdate"] >= sc.DATE_1994_01_01)
+            & (lineitem["l_shipdate"] < sc.DATE_1995_01_01)
+            & (lineitem["l_discount"] >= 0.05)
+            & (lineitem["l_discount"] <= 0.07)
+            & (lineitem["l_quantity"] < 24.0)
+        )
+        expected = float((lineitem["l_extendedprice"] * lineitem["l_discount"])[mask].sum())
+        assert q6_reference(small_db) == pytest.approx(expected)
+
+    def test_highly_selective(self, small_db):
+        """The paper: Q6's overall selectivity is ~2%."""
+        predicates = q6_predicates(small_db)
+        combined = np.ones(small_db["lineitem"].n_rows, dtype=bool)
+        for _, mask in predicates:
+            combined &= mask
+        assert 0.005 <= combined.mean() <= 0.05
+
+    def test_five_individual_predicates(self, small_db):
+        predicates = q6_predicates(small_db)
+        assert len(predicates) == 5
+        for name, mask in predicates:
+            assert mask.dtype == bool
+            assert 0.0 < mask.mean() < 1.0
+
+
+class TestQ9:
+    def test_only_green_parts_contribute(self, small_db):
+        result = q9_reference(small_db)
+        assert result  # non-empty at this scale
+        for (nation, year) in result:
+            assert 0 <= nation < 25
+            assert 1992 <= year <= 1999
+
+    def test_total_matches_bruteforce(self, small_db):
+        lineitem = small_db["lineitem"]
+        part = small_db["part"]
+        partsupp = small_db["partsupp"]
+        green_parts = set(
+            part["p_partkey"][part["p_namecat"] == sc.GREEN_CATEGORY].tolist()
+        )
+        ps_cost = {
+            (int(p), int(s)): float(c)
+            for p, s, c in zip(
+                partsupp["ps_partkey"], partsupp["ps_suppkey"], partsupp["ps_supplycost"]
+            )
+        }
+        total = 0.0
+        for i in range(lineitem.n_rows):
+            pk = int(lineitem["l_partkey"][i])
+            if pk not in green_parts:
+                continue
+            key = (pk, int(lineitem["l_suppkey"][i]))
+            if key not in ps_cost:
+                continue
+            price = lineitem["l_extendedprice"][i]
+            disc = lineitem["l_discount"][i]
+            qty = lineitem["l_quantity"][i]
+            total += price * (1.0 - disc) - ps_cost[key] * qty
+        assert sum(q9_reference(small_db).values()) == pytest.approx(total, rel=1e-9)
+
+
+class TestQ18:
+    def test_threshold_respected(self, small_db):
+        result = q18_reference(small_db)
+        for total in result.values():
+            assert total > Q18_QUANTITY_THRESHOLD
+
+    def test_matches_bruteforce(self, small_db):
+        lineitem = small_db["lineitem"]
+        sums: dict[int, float] = {}
+        for key, qty in zip(lineitem["l_orderkey"].tolist(), lineitem["l_quantity"].tolist()):
+            sums[key] = sums.get(key, 0.0) + qty
+        expected = {k: v for k, v in sums.items() if v > Q18_QUANTITY_THRESHOLD}
+        assert q18_reference(small_db) == pytest.approx(expected)
+
+    def test_group_count_is_order_count(self, small_db):
+        """The high-cardinality group by has one group per order with
+        lineitems (1.5M at the paper's SF 5)."""
+        expected = len(np.unique(small_db["lineitem"]["l_orderkey"]))
+        assert q18_group_count(small_db) == expected
+        assert expected > 10_000  # genuinely high cardinality at SF 0.02

@@ -1,0 +1,70 @@
+"""TPC-H schema tests."""
+
+import numpy as np
+import pytest
+
+from repro.tpch import SCHEMAS, TableSchema, rows_at_scale
+from repro.tpch import schema as sc
+
+
+class TestSchemas:
+    def test_all_paper_tables_present(self):
+        expected = {
+            "nation", "region", "supplier", "part", "partsupp",
+            "customer", "orders", "lineitem",
+        }
+        assert set(SCHEMAS) == expected
+
+    def test_lineitem_has_benchmark_columns(self):
+        names = SCHEMAS["lineitem"].column_names
+        for column in sc.PROJECTION_COLUMNS + sc.SELECTION_PREDICATE_COLUMNS:
+            assert column in names
+
+    def test_every_attribute_is_eight_bytes(self):
+        for schema in SCHEMAS.values():
+            for name, dtype in schema.columns:
+                assert np.dtype(dtype).itemsize == 8, f"{schema.name}.{name}"
+
+    def test_dtype_of(self):
+        schema = SCHEMAS["lineitem"]
+        assert schema.dtype_of("l_extendedprice") == np.float64
+        with pytest.raises(KeyError):
+            schema.dtype_of("nope")
+
+    def test_table_schema_is_frozen(self):
+        with pytest.raises(AttributeError):
+            SCHEMAS["nation"].name = "x"  # type: ignore[misc]
+
+
+class TestDates:
+    def test_epoch_ordering(self):
+        assert sc.DATE_MIN < sc.DATE_1994_01_01 < sc.DATE_1995_01_01
+        assert sc.DATE_1995_06_17 < sc.DATE_1998_09_02 < sc.DATE_1998_12_01 <= sc.DATE_MAX
+
+    def test_1994_window_is_one_year(self):
+        assert sc.DATE_1995_01_01 - sc.DATE_1994_01_01 == 365
+
+    def test_q1_cutoff_is_90_days_before_end_of_1998_12_01(self):
+        assert sc.DATE_1998_12_01 - sc.DATE_1998_09_02 == 90
+
+
+class TestRowsAtScale:
+    def test_fixed_tables(self):
+        assert rows_at_scale("nation", 10.0) == 25
+        assert rows_at_scale("region", 0.001) == 5
+
+    def test_linear_tables(self):
+        assert rows_at_scale("orders", 1.0) == 1_500_000
+        assert rows_at_scale("supplier", 0.1) == 1_000
+
+    def test_floor_of_one(self):
+        assert rows_at_scale("supplier", 1e-9) == 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            rows_at_scale("orders", 0.0)
+
+    def test_green_category_fraction(self):
+        """The Q9 filter keeps ~1/17 of parts."""
+        assert sc.N_PART_NAME_CATEGORIES == 17
+        assert 0 <= sc.GREEN_CATEGORY < sc.N_PART_NAME_CATEGORIES

@@ -1,0 +1,77 @@
+"""SQL-documentation tests: the strings must agree with the executable
+definitions they document."""
+
+import pytest
+
+from repro.engines import JOIN_SPECS
+from repro.tpch import GROUPBY_SQL, JOIN_SQL, TPCH_SQL, projection_sql, selection_sql
+from repro.tpch.schema import PROJECTION_COLUMNS, SELECTION_PREDICATE_COLUMNS
+
+
+class TestProjectionSql:
+    def test_degree_one(self):
+        assert projection_sql(1) == "SELECT SUM(l_extendedprice) FROM lineitem;"
+
+    def test_degree_four_sums_the_paper_columns(self):
+        sql = projection_sql(4)
+        for column in PROJECTION_COLUMNS:
+            assert column in sql
+        assert sql.count("+") == 3
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            projection_sql(5)
+
+
+class TestSelectionSql:
+    def test_contains_all_predicate_columns(self):
+        sql = selection_sql(0.5)
+        for column in SELECTION_PREDICATE_COLUMNS:
+            assert column in sql
+        assert sql.count("AND") == 2
+
+    def test_invalid_selectivity(self):
+        with pytest.raises(ValueError):
+            selection_sql(1.0)
+
+
+class TestJoinSql:
+    def test_covers_the_three_sizes(self):
+        assert set(JOIN_SQL) == set(JOIN_SPECS)
+
+    @pytest.mark.parametrize("size", ["small", "medium", "large"])
+    def test_matches_join_spec(self, size):
+        sql = JOIN_SQL[size]
+        spec = JOIN_SPECS[size]
+        assert spec.build_table in sql
+        assert spec.probe_table in sql
+        assert spec.build_key in sql
+        assert spec.probe_key in sql
+        for column in spec.sum_columns:
+            assert column in sql
+
+
+class TestTpchSql:
+    def test_covers_the_four_profiled_queries(self):
+        assert set(TPCH_SQL) == {"Q1", "Q6", "Q9", "Q18"}
+
+    def test_q1_parameters(self):
+        assert "INTERVAL '90' DAY" in TPCH_SQL["Q1"]
+        assert "l_returnflag" in TPCH_SQL["Q1"]
+
+    def test_q6_parameters(self):
+        sql = TPCH_SQL["Q6"]
+        assert "1994-01-01" in sql and "1995-01-01" in sql
+        assert "BETWEEN 0.05 AND 0.07" in sql
+        assert "l_quantity < 24" in sql
+
+    def test_q9_filters_green_parts(self):
+        assert "'%green%'" in TPCH_SQL["Q9"]
+        for table in ("part", "supplier", "lineitem", "partsupp", "orders", "nation"):
+            assert table in TPCH_SQL["Q9"]
+
+    def test_q18_having_threshold(self):
+        assert "SUM(l_quantity) > 300" in TPCH_SQL["Q18"]
+
+    def test_groupby_micro_documents_the_composite_key(self):
+        assert "GROUP BY l_partkey, l_returnflag" in GROUPBY_SQL

@@ -4,6 +4,13 @@
 columns beyond the modelled L3).  The join-regime figures additionally
 use an SF 1.0 database whose large-join hash table (~68 MB) exceeds the
 L3 the way the paper's SF 5 setup does.
+
+Both fixtures are served through the dbgen cache
+(:mod:`repro.tpch.dbcache`): the first session generates and persists
+each database under ``~/.cache/repro`` (override with
+``REPRO_CACHE_DIR``), and every later session -- and the second of the
+two fixtures within one session, when their parameters coincide --
+memory-maps the persisted columns instead of regenerating them.
 """
 
 from __future__ import annotations

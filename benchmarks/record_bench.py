@@ -1,0 +1,181 @@
+"""Benchmark-trajectory recorder.
+
+Measures the wall-clock metrics this PR's performance work targets and
+writes them to ``BENCH_PR1.json`` at the repo root, so future PRs can
+compare against a recorded trajectory instead of folklore:
+
+- tier-1 suite seconds (one full ``pytest -x -q`` subprocess),
+- cache-hierarchy replay throughput (events/s), batch kernels vs. the
+  ``REPRO_REFERENCE_SIM=1`` per-event reference,
+- gshare predictor throughput (events/s), batch vs. reference,
+- figure regeneration rate (figures/minute) over the full registry.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_bench.py [--output BENCH_PR1.json]
+    PYTHONPATH=src python benchmarks/record_bench.py --skip-suite --skip-figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _time_suite(repo_root: Path = REPO_ROOT) -> float:
+    """One tier-1 run in a subprocess (the ROADMAP verify command)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_root / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    start = time.perf_counter()
+    completed = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q"],
+        cwd=repo_root,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    elapsed = time.perf_counter() - start
+    if completed.returncode != 0:
+        raise SystemExit(f"tier-1 suite failed (exit {completed.returncode})")
+    return elapsed
+
+
+def _replay_events_per_second(reference: bool) -> dict[str, float]:
+    from repro.hardware import BROADWELL, CacheHierarchy, PrefetcherConfig
+
+    n = 100_000
+    rng = np.random.default_rng(3)
+    traces = {
+        "sequential": 8 * np.arange(n, dtype=np.int64),
+        "random": rng.integers(0, 1 << 26, n, dtype=np.int64),
+    }
+    env_key = "REPRO_REFERENCE_SIM"
+    previous = os.environ.get(env_key)
+    os.environ[env_key] = "1" if reference else "0"
+    try:
+        rates = {}
+        for name, trace in traces.items():
+            for config_name, config in (
+                ("no_prefetch", PrefetcherConfig.all_disabled()),
+                ("all_prefetch", PrefetcherConfig.all_enabled()),
+            ):
+                hierarchy = CacheHierarchy(BROADWELL, config)
+                start = time.perf_counter()
+                hierarchy.replay(trace)
+                rates[f"{name}_{config_name}"] = n / (time.perf_counter() - start)
+        return rates
+    finally:
+        if previous is None:
+            os.environ.pop(env_key, None)
+        else:
+            os.environ[env_key] = previous
+
+
+def _gshare_events_per_second(reference: bool) -> float:
+    from repro.hardware.branch import GSharePredictor
+
+    n = 300_000
+    outcomes = np.random.default_rng(5).random(n) < 0.5
+    env_key = "REPRO_REFERENCE_SIM"
+    previous = os.environ.get(env_key)
+    os.environ[env_key] = "1" if reference else "0"
+    try:
+        predictor = GSharePredictor()
+        start = time.perf_counter()
+        predictor.run(0x4F21, outcomes)
+        return n / (time.perf_counter() - start)
+    finally:
+        if previous is None:
+            os.environ.pop(env_key, None)
+        else:
+            os.environ[env_key] = previous
+
+
+def _figures_per_minute(scale_factor: float) -> dict[str, float]:
+    from repro.analysis.registry import EXPERIMENTS, run_experiment
+
+    start = time.perf_counter()
+    for experiment_id in EXPERIMENTS:
+        run_experiment(experiment_id, scale_factor=scale_factor)
+    elapsed = time.perf_counter() - start
+    return {
+        "figures": len(EXPERIMENTS),
+        "seconds": elapsed,
+        "figures_per_minute": len(EXPERIMENTS) / elapsed * 60.0,
+        "scale_factor": scale_factor,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_PR1.json"))
+    parser.add_argument("--skip-suite", action="store_true")
+    parser.add_argument("--skip-figures", action="store_true")
+    parser.add_argument("--figure-sf", type=float, default=0.05,
+                        help="scale factor for the figure-regeneration timing")
+    parser.add_argument("--baseline-dir", default=None,
+                        help="checkout of the pre-PR repo to time for a "
+                        "same-machine baseline (e.g. a git worktree at the "
+                        "seed commit); machine speed drifts, so ratios only "
+                        "mean something when both suites run back to back")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+    record: dict = {
+        "pr": 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+    }
+
+    print("replay kernels ...", flush=True)
+    record["replay_events_per_second"] = {
+        "batch": {k: round(v) for k, v in _replay_events_per_second(False).items()},
+        "reference": {k: round(v) for k, v in _replay_events_per_second(True).items()},
+    }
+    print("gshare kernels ...", flush=True)
+    record["gshare_events_per_second"] = {
+        "batch": round(_gshare_events_per_second(False)),
+        "reference": round(_gshare_events_per_second(True)),
+    }
+
+    if not args.skip_figures:
+        print("figure regeneration ...", flush=True)
+        figures = _figures_per_minute(args.figure_sf)
+        figures["seconds"] = round(figures["seconds"], 2)
+        figures["figures_per_minute"] = round(figures["figures_per_minute"], 2)
+        record["figure_regeneration"] = figures
+
+    if not args.skip_suite:
+        print("tier-1 suite (this takes a while) ...", flush=True)
+        record["tier1_suite_seconds"] = round(_time_suite(), 2)
+        if args.baseline_dir:
+            print("baseline tier-1 suite ...", flush=True)
+            baseline = round(_time_suite(Path(args.baseline_dir)), 2)
+            record["baseline_suite_seconds"] = baseline
+            record["suite_speedup"] = round(
+                baseline / record["tier1_suite_seconds"], 2
+            )
+
+    output = Path(args.output)
+    output.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,8 +4,15 @@ Usage::
 
     python -m repro.analysis list
     python -m repro.analysis run fig03 [--sf 0.3] [--seed 42]
-    python -m repro.analysis run all   [--sf 0.3]
+    python -m repro.analysis run all   [--sf 0.3] [--jobs 4]
+    python -m repro.analysis all       [--sf 0.3] [--jobs 4]
     python -m repro.analysis validate  [--sf 0.05]
+
+``--jobs N`` fans the experiments across a process pool.  The parent
+pre-generates every distinct database the selected experiments need
+(via the dbgen cache), so forked workers inherit the arrays through
+copy-on-write pages instead of regenerating per process; results are
+printed in registry order regardless of completion order.
 """
 
 from __future__ import annotations
@@ -20,6 +27,38 @@ from repro.analysis.registry import (
     run_experiment,
 )
 
+#: (scale_factor, seed) the pool workers run at; set by the parent
+#: before forking (module-level so the worker function pickles by name).
+_WORKER_PARAMS = {"scale_factor": DEFAULT_SCALE_FACTOR, "seed": DEFAULT_SEED}
+
+
+def _run_one(experiment_id: str):
+    params = _WORKER_PARAMS
+    return run_experiment(
+        experiment_id,
+        scale_factor=params["scale_factor"],
+        seed=params["seed"],
+    )
+
+
+def _run_parallel(targets, scale_factor: float, seed: int, jobs: int):
+    """Run experiments on a fork pool; yield figures in target order."""
+    import multiprocessing as mp
+
+    from repro.tpch.dbgen import generate_database
+
+    # Warm the in-process dbgen memo with every distinct table set so
+    # fork children share the generated arrays copy-on-write.
+    distinct_tables = {EXPERIMENTS[t].tables for t in targets if EXPERIMENTS[t].tables}
+    for tables in sorted(distinct_tables):
+        generate_database(scale_factor=scale_factor, seed=seed, tables=tables)
+
+    _WORKER_PARAMS["scale_factor"] = scale_factor
+    _WORKER_PARAMS["seed"] = seed
+    context = mp.get_context("fork")
+    with context.Pool(processes=jobs) as pool:
+        yield from pool.imap(_run_one, targets)
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -28,11 +67,27 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list all experiments")
+
+    def add_run_arguments(subparser, with_experiment: bool):
+        if with_experiment:
+            subparser.add_argument(
+                "experiment", help="experiment id, e.g. fig03, or 'all'"
+            )
+        subparser.add_argument("--sf", type=float, default=DEFAULT_SCALE_FACTOR,
+                               help="TPC-H scale factor")
+        subparser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+        subparser.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes for multi-experiment runs (default 1)",
+        )
+
     runner = subparsers.add_parser("run", help="run one experiment (or 'all')")
-    runner.add_argument("experiment", help="experiment id, e.g. fig03, or 'all'")
-    runner.add_argument("--sf", type=float, default=DEFAULT_SCALE_FACTOR,
-                        help="TPC-H scale factor")
-    runner.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    add_run_arguments(runner, with_experiment=True)
+    everything = subparsers.add_parser(
+        "all", help="run every experiment (shorthand for 'run all')"
+    )
+    add_run_arguments(everything, with_experiment=False)
+
     validator = subparsers.add_parser(
         "validate",
         help="cross-validate the analytic model against the trace simulators",
@@ -60,9 +115,17 @@ def main(argv=None) -> int:
                 print(f"{' ' * width}  paper: {spec.paper_claim}")
         return 0
 
-    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for experiment_id in targets:
-        figure = run_experiment(experiment_id, scale_factor=args.sf, seed=args.seed)
+    experiment = "all" if args.command == "all" else args.experiment
+    targets = list(EXPERIMENTS) if experiment == "all" else [experiment]
+    jobs = max(1, args.jobs)
+    if jobs > 1 and len(targets) > 1:
+        figures = _run_parallel(targets, args.sf, args.seed, jobs)
+    else:
+        figures = (
+            run_experiment(experiment_id, scale_factor=args.sf, seed=args.seed)
+            for experiment_id in targets
+        )
+    for figure in figures:
         print(figure.to_text())
         print()
     return 0

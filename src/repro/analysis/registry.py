@@ -47,7 +47,14 @@ class ExperimentSpec:
     paper_claim: str = ""
 
     def execute(self, db=None, scale_factor: float | None = None, seed: int = DEFAULT_SEED) -> FigureResult:
-        """Run the experiment, generating data if none is supplied."""
+        """Run the experiment, generating data if none is supplied.
+
+        Engine runs served by the in-process execution cache are
+        counted and recorded as a figure note, so regenerated artefacts
+        always disclose how much of their input was memoized.
+        """
+        from repro.core.execcache import EXECUTION_CACHE
+
         if db is None:
             db = generate_database(
                 scale_factor=scale_factor or DEFAULT_SCALE_FACTOR,
@@ -55,7 +62,14 @@ class ExperimentSpec:
                 tables=self.tables,
             )
         profiler = MicroArchProfiler(spec=self.machine)
-        return self.run(db, profiler)
+        hits_before = EXECUTION_CACHE.hits
+        figure = self.run(db, profiler)
+        served = EXECUTION_CACHE.hits - hits_before
+        if served:
+            figure.note(
+                f"{served} engine runs served from the in-process execution cache"
+            )
+        return figure
 
 
 def _spec(experiment_id, title, run, machine=BROADWELL, tables=SCAN_TABLES, claim=""):

@@ -73,6 +73,7 @@ class MulticoreModel:
             work=share,
             spec=spec,
             threads=threads,
+            cached=bool(result.details.get("cached", False)),
         )
         socket = self.profiler.estimator.multicore_usage(share, context)
         return MulticoreRun(threads=threads, per_thread=per_thread, socket_bandwidth=socket)

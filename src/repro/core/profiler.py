@@ -49,6 +49,7 @@ class MicroArchProfiler:
             work=result.work,
             spec=self.spec,
             threads=context.threads,
+            cached=bool(result.details.get("cached", False)),
         )
 
     def run(
@@ -105,5 +106,6 @@ class MicroArchProfiler:
                 work=profile,
                 spec=self.spec,
                 threads=context.threads,
+                cached=bool(result.details.get("cached", False)),
             )
         return reports

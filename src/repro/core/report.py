@@ -28,7 +28,12 @@ COMPONENT_LABELS = {
 
 @dataclass(frozen=True)
 class ProfileReport:
-    """One profiled data point."""
+    """One profiled data point.
+
+    ``cached`` marks reports derived from a memoized execution
+    (:mod:`repro.core.execcache`), so exported figures never silently
+    mix fresh and cache-served measurements.
+    """
 
     engine: str
     workload: str
@@ -37,6 +42,7 @@ class ProfileReport:
     work: WorkProfile
     spec: ServerSpec
     threads: int = 1
+    cached: bool = False
 
     @property
     def label(self) -> str:
@@ -93,6 +99,7 @@ class ProfileReport:
             "engine": self.engine,
             "workload": self.workload,
             "threads": self.threads,
+            "cached": self.cached,
             "response_ms": round(self.response_time_ms, 3),
             "stall_ratio": round(self.stall_ratio, 4),
             "bandwidth_gbps": round(self.bandwidth.gbps, 2),

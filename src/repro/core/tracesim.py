@@ -213,11 +213,16 @@ def simulate_profile(
     # structures measure steady-state hits rather than cold misses.
     for base, working_set in warm_regions:
         lines = min(int(working_set) // CACHE_LINE_BYTES, 150_000)
-        for line in range(lines):
-            hierarchy.access(base + line * CACHE_LINE_BYTES)
+        hierarchy.replay(base + CACHE_LINE_BYTES * np.arange(lines, dtype=np.int64))
     hierarchy.stats = HierarchyStats()
-    for index in choices:
-        hierarchy.access(next(streams[index][1]))
+    # Materialise the interleaved trace first (the stream generators are
+    # cheap), then replay it in one batch.
+    addresses = np.fromiter(
+        (next(streams[index][1]) for index in choices),
+        dtype=np.int64,
+        count=len(choices),
+    )
+    hierarchy.replay(addresses)
     stats = hierarchy.stats
     return ProfileTraceEstimate(
         avg_latency_cycles=stats.avg_latency_cycles,

@@ -147,7 +147,14 @@ def line_density(indices: np.ndarray, total_rows: int, itemsize: int = 8) -> flo
 
 
 class Engine(ABC):
-    """Abstract profiled system."""
+    """Abstract profiled system.
+
+    Concrete ``run_*`` implementations are transparently memoized per
+    process through :mod:`repro.core.execcache` (keyed by engine class,
+    method, database identity and arguments), so the profiling drivers
+    stop re-executing identical runs.  Results served from the cache
+    carry ``details["cached"] = True``.
+    """
 
     #: Display name, e.g. "DBMS R", "Typer".
     name: str = "engine"
@@ -155,6 +162,18 @@ class Engine(ABC):
     code_footprint_bytes: float = 4096.0
     #: Whether the engine has a SIMD (AVX-512) implementation.
     supports_simd: bool = False
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        from repro.core.execcache import CACHED_METHODS, memoized_execution
+
+        for method_name in CACHED_METHODS:
+            func = cls.__dict__.get(method_name)
+            if func is None or getattr(func, "_execcache_wrapped", False):
+                continue
+            if getattr(func, "__isabstractmethod__", False):
+                continue
+            setattr(cls, method_name, memoized_execution(method_name, func))
 
     def _new_work(self) -> WorkProfile:
         return WorkProfile(code_footprint_bytes=self.code_footprint_bytes)

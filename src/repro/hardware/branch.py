@@ -131,11 +131,21 @@ class GSharePredictor:
 
     def run(self, pc: int, outcomes: np.ndarray) -> float:
         """Feed a boolean outcome stream for one static branch; returns
-        the misprediction rate over the stream."""
+        the misprediction rate over the stream.
+
+        Large streams use the batch kernel in
+        :mod:`repro.hardware.fastsim` (identical counts and final
+        state); ``REPRO_REFERENCE_SIM=1`` forces the per-event path.
+        """
+        from repro.hardware import fastsim
+
+        count = len(outcomes)
+        if count >= fastsim.MIN_BATCH_EVENTS and not fastsim.use_reference():
+            added = fastsim.gshare_run_batch(self, pc, outcomes)
+            return added / count
         before = self.mispredictions
         for taken in outcomes:
             self.predict_and_update(pc, bool(taken))
-        count = len(outcomes)
         return (self.mispredictions - before) / count if count else 0.0
 
     @property

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.hardware.cache import SetAssociativeCache
 from repro.hardware.prefetcher import (
     NextLinePrefetcher,
@@ -115,7 +117,19 @@ class CacheHierarchy:
         return latency
 
     def replay(self, addresses) -> HierarchyStats:
-        """Replay a full address stream; returns the aggregate stats."""
+        """Replay a full address stream; returns the aggregate stats.
+
+        Large streams are dispatched to the batch kernels in
+        :mod:`repro.hardware.fastsim`, which report statistics identical
+        to this per-event loop; set ``REPRO_REFERENCE_SIM=1`` to force
+        the reference path.
+        """
+        from repro.hardware import fastsim
+
+        addresses = np.asarray(addresses)
+        if len(addresses) >= fastsim.MIN_BATCH_EVENTS and not fastsim.use_reference():
+            fastsim.replay_hierarchy(self, addresses)
+            return self.stats
         for addr in addresses:
             self.access(int(addr))
         return self.stats

@@ -7,24 +7,46 @@ pay for the row copies.
 
 from __future__ import annotations
 
+import itertools
+
 from repro.storage.column import ColumnTable
 from repro.storage.row import RowTable
+
+_uid_counter = itertools.count()
 
 
 class Database:
     """A collection of named :class:`ColumnTable` instances with lazily
-    materialised row-layout twins."""
+    materialised row-layout twins.
+
+    ``cache_key`` names the content when the database came out of the
+    dbgen cache (:mod:`repro.tpch.dbcache`); hand-built or subsequently
+    mutated databases fall back to the per-object ``uid``, so
+    content-addressed consumers (the execution cache) never conflate
+    distinct data.
+    """
 
     def __init__(self, name: str = "db", scale_factor: float | None = None):
         self.name = name
         self.scale_factor = scale_factor
+        self.cache_key: str | None = None
+        self.uid = f"anondb-{next(_uid_counter)}"
         self._tables: dict[str, ColumnTable] = {}
         self._row_tables: dict[str, RowTable] = {}
+
+    @property
+    def identity(self) -> str:
+        """Stable content identity when cached, object identity otherwise."""
+        return self.cache_key or self.uid
 
     def add_table(self, table: ColumnTable) -> None:
         if table.name in self._tables:
             raise ValueError(f"duplicate table {table.name!r}")
         self._tables[table.name] = table
+        # Post-hoc mutation invalidates any previous identity (content
+        # key and uid alike) so memoized executions never alias.
+        self.cache_key = None
+        self.uid = f"anondb-{next(_uid_counter)}"
 
     def table(self, name: str) -> ColumnTable:
         try:

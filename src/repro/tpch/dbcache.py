@@ -1,0 +1,239 @@
+"""On-disk + in-process cache for generated TPC-H databases.
+
+Every pytest session, benchmark run and figure regeneration used to pay
+dbgen again for the same ``(scale_factor, seed, tables, skew)``
+combination -- tens of seconds at the benchmark scale factors.  This
+module persists generated databases under ``~/.cache/repro`` (override
+with ``REPRO_CACHE_DIR``; disable persistence with
+``REPRO_DISK_CACHE=0``) and memoises them in-process, so a warm machine
+pays once.
+
+Cache identity
+--------------
+The generator streams one ``numpy`` Generator across the tables in a
+fixed order, so the produced arrays depend on the *exact set* of tables
+generated -- including the dependencies ``generate_database`` adds
+automatically (lineitem pulls in orders, orders pulls in customer).
+The cache key therefore uses the dependency-expanded table set, in
+generation order, never the raw request.
+
+Disk layout
+-----------
+``<root>/dbgen/<key>/`` holds one ``<table>.<column>.npy`` file per
+column plus a ``meta.json`` describing the key and schema.  Directories
+are populated under a temporary name and renamed into place, so a
+killed writer never leaves a half-readable entry.  Columns load back
+memory-mapped (``mmap_mode="r"``): a cache hit costs page faults, not a
+full read, and parallel workers share the page cache.
+
+Databases smaller than :data:`MIN_PERSIST_BYTES` are not persisted
+(they regenerate faster than they deserialise, and the test-suite's
+tiny fixtures would otherwise litter the cache); they still hit the
+in-process memo.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from repro.storage import ColumnTable, Database
+
+#: Databases below this size are regenerated rather than persisted.
+MIN_PERSIST_BYTES = 8 * 1024 * 1024
+
+#: In-process memo capacity (distinct database identities per process).
+MEMO_ENTRIES = 8
+
+_FORMAT_VERSION = 1
+
+#: key -> {"meta": dict, "tables": {name: {column: ndarray}}}
+_memo: OrderedDict[str, dict] = OrderedDict()
+
+
+def cache_root() -> Path:
+    """Cache directory root (``REPRO_CACHE_DIR`` or ``~/.cache/repro``)."""
+    override = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def disk_cache_enabled() -> bool:
+    return os.environ.get("REPRO_DISK_CACHE", "1").strip().lower() not in {
+        "0", "false", "no", "off",
+    }
+
+
+def canonical_tables(tables) -> tuple[str, ...]:
+    """Dependency-expanded table set in generation order.
+
+    Mirrors the expansion in
+    :func:`repro.tpch.dbgen.generate_database`; the generated content is
+    a function of this set, not of the raw request.
+    """
+    from repro.tpch.dbgen import ALL_TABLES
+
+    requested = set(tables)
+    unknown = requested - set(ALL_TABLES)
+    if unknown:
+        raise ValueError(f"unknown tables: {sorted(unknown)}")
+    if "lineitem" in requested:
+        requested.add("orders")
+    if "orders" in requested:
+        requested.add("customer")
+    return tuple(name for name in ALL_TABLES if name in requested)
+
+
+def database_key(
+    scale_factor: float, seed: int, tables, skew: float | None
+) -> str:
+    """Stable, filesystem-safe identity of one generated database."""
+    expanded = canonical_tables(tables)
+    skew_part = "none" if skew is None else repr(float(skew))
+    return (
+        f"tpch-sf{float(scale_factor)!r}-seed{int(seed)}"
+        f"-skew{skew_part}-{'_'.join(expanded)}"
+    )
+
+
+def _entry_dir(key: str) -> Path:
+    return cache_root() / "dbgen" / key
+
+
+def _build_database(key: str, meta: dict, tables: dict) -> Database:
+    """Fresh Database/ColumnTable wrappers over (shared) column arrays.
+
+    Wrappers are rebuilt per call so callers that mutate their Database
+    (``add_table`` of derived tables, lazily materialised row twins)
+    never affect other holders of the same cached arrays.
+    """
+    db = Database(
+        name=meta["name"], scale_factor=meta["scale_factor"]
+    )
+    for table_name in meta["tables"]:
+        db.add_table(ColumnTable(table_name, dict(tables[table_name])))
+    db.cache_key = key
+    return db
+
+
+def _memo_put(key: str, meta: dict, tables: dict) -> None:
+    _memo[key] = {"meta": meta, "tables": tables}
+    _memo.move_to_end(key)
+    while len(_memo) > MEMO_ENTRIES:
+        _memo.popitem(last=False)
+
+
+def _extract(db: Database) -> tuple[dict, dict]:
+    meta = {
+        "format": _FORMAT_VERSION,
+        "name": db.name,
+        "scale_factor": db.scale_factor,
+        "tables": {
+            name: list(db.table(name).column_names) for name in db.table_names
+        },
+    }
+    tables = {
+        name: {
+            column: db.table(name)[column] for column in db.table(name).column_names
+        }
+        for name in db.table_names
+    }
+    return meta, tables
+
+
+def load(key: str) -> Database | None:
+    """Database for ``key`` from the in-process memo or disk, else None."""
+    entry = _memo.get(key)
+    if entry is not None:
+        _memo.move_to_end(key)
+        return _build_database(key, entry["meta"], entry["tables"])
+    if not disk_cache_enabled():
+        return None
+    directory = _entry_dir(key)
+    meta_path = directory / "meta.json"
+    try:
+        meta = json.loads(meta_path.read_text())
+    except (OSError, ValueError):
+        return None
+    if meta.get("format") != _FORMAT_VERSION:
+        return None
+    tables: dict[str, dict[str, np.ndarray]] = {}
+    try:
+        for table_name, columns in meta["tables"].items():
+            tables[table_name] = {
+                column: np.load(
+                    directory / f"{table_name}.{column}.npy", mmap_mode="r"
+                )
+                for column in columns
+            }
+    except (OSError, ValueError):
+        return None
+    _memo_put(key, meta, tables)
+    return _build_database(key, meta, tables)
+
+
+def store(key: str, db: Database) -> Database:
+    """Record a freshly generated database; returns a cache-backed view.
+
+    Always memoises in-process; persists to disk when enabled and the
+    database is worth serialising.  The returned Database is rebuilt
+    from the memoised arrays so every caller sees the same wrapper
+    semantics whether it hit or missed.
+    """
+    meta, tables = _extract(db)
+    _memo_put(key, meta, tables)
+    if disk_cache_enabled() and db.nbytes >= MIN_PERSIST_BYTES:
+        try:
+            _persist(key, meta, tables)
+        except OSError:
+            pass  # a full/read-only disk must never fail generation
+    return _build_database(key, meta, tables)
+
+
+def _persist(key: str, meta: dict, tables: dict) -> None:
+    directory = _entry_dir(key)
+    if (directory / "meta.json").exists():
+        return
+    directory.parent.mkdir(parents=True, exist_ok=True)
+    staging = Path(
+        tempfile.mkdtemp(prefix=f".{key}.tmp-", dir=directory.parent)
+    )
+    try:
+        for table_name, columns in tables.items():
+            for column, values in columns.items():
+                np.save(staging / f"{table_name}.{column}.npy", values)
+        (staging / "meta.json").write_text(json.dumps(meta))
+        try:
+            staging.rename(directory)
+        except OSError:
+            # Another process populated the entry first; keep theirs.
+            shutil.rmtree(staging, ignore_errors=True)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+
+
+def clear_memo() -> None:
+    """Drop the in-process memo (test isolation helper)."""
+    _memo.clear()
+
+
+def prewarm(*specs) -> None:
+    """Load (or generate) databases into the in-process memo.
+
+    Each spec is a ``(scale_factor, seed, tables, skew)`` tuple.  The
+    parallel figure driver calls this in the parent before forking so
+    workers inherit the arrays through copy-on-write pages instead of
+    regenerating per process.
+    """
+    from repro.tpch.dbgen import generate_database
+
+    for scale_factor, seed, tables, skew in specs:
+        generate_database(scale_factor, seed, tables=tables, skew=skew)

@@ -225,18 +225,35 @@ def generate_database(
     tables=ALL_TABLES,
     skew: float | None = None,
 ) -> Database:
-    """Generate a TPC-H database.
+    """Generate a TPC-H database (served from cache when possible).
 
     ``tables`` restricts generation (dependencies are added
     automatically: lineitem requires orders, partsupp requires
     part/supplier cardinalities).  ``skew`` Zipf-skews lineitem's
     part/supplier foreign keys (extension; TPC-H is uniform).  The
-    result is deterministic in ``(scale_factor, seed, skew)``.
+    result is deterministic in ``(scale_factor, seed, tables, skew)``,
+    which is exactly the identity :mod:`repro.tpch.dbcache` uses to
+    serve repeat requests from its in-process memo or the on-disk cache
+    instead of regenerating.
     """
+    from repro.tpch import dbcache
+
+    key = dbcache.database_key(scale_factor, seed, tables, skew)
+    cached = dbcache.load(key)
+    if cached is not None:
+        return cached
+    db = _generate_database(scale_factor, seed, tables, skew)
+    return dbcache.store(key, db)
+
+
+def _generate_database(
+    scale_factor: float,
+    seed: int,
+    tables,
+    skew: float | None,
+) -> Database:
+    """The actual generator (cache-free path)."""
     requested = set(tables)
-    unknown = requested - set(ALL_TABLES)
-    if unknown:
-        raise ValueError(f"unknown tables: {sorted(unknown)}")
     if "lineitem" in requested:
         requested.add("orders")
     if "orders" in requested:

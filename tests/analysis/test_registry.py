@@ -66,3 +66,27 @@ class TestCli:
     def test_run_single(self, capsys):
         assert cli_main(["run", "table1", "--sf", "0.002"]) == 0
         assert "Broadwell" in capsys.readouterr().out
+
+    def test_all_subcommand_with_jobs_matches_sequential(self, capsys, monkeypatch):
+        """`all --jobs N` must produce the same figure rows as the
+        sequential path (on a trimmed registry, to keep the test fast)."""
+        import repro.analysis.__main__ as cli
+        import repro.analysis.registry as registry
+
+        subset = {key: EXPERIMENTS[key] for key in ("table1", "fig05")}
+        monkeypatch.setattr(registry, "EXPERIMENTS", subset)
+        monkeypatch.setattr(cli, "EXPERIMENTS", subset)
+
+        assert cli_main(["all", "--sf", "0.005"]) == 0
+        sequential = capsys.readouterr().out
+        assert cli_main(["all", "--sf", "0.005", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+
+        def rows(text):
+            return [
+                line for line in text.splitlines()
+                if line and "execution cache" not in line
+            ]
+
+        assert rows(parallel) == rows(sequential)
+        assert "fig05" in sequential

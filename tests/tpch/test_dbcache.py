@@ -1,0 +1,109 @@
+"""Tests for the dbgen disk/memory cache (:mod:`repro.tpch.dbcache`)."""
+
+import numpy as np
+import pytest
+
+from repro.tpch import dbcache
+from repro.tpch.dbgen import ALL_TABLES, generate_database, _generate_database
+
+
+@pytest.fixture
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the cache at a private directory with a zero persist
+    threshold so tiny test databases exercise the disk path."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+    monkeypatch.setattr(dbcache, "MIN_PERSIST_BYTES", 0)
+    dbcache.clear_memo()
+    yield tmp_path
+    dbcache.clear_memo()
+
+
+class TestKeys:
+    def test_key_uses_dependency_expanded_tables(self):
+        assert dbcache.database_key(0.1, 42, ("lineitem",), None) == (
+            dbcache.database_key(0.1, 42, ("lineitem", "orders", "customer"), None)
+        )
+
+    def test_key_discriminates_every_parameter(self):
+        base = dbcache.database_key(0.1, 42, ALL_TABLES, None)
+        assert dbcache.database_key(0.2, 42, ALL_TABLES, None) != base
+        assert dbcache.database_key(0.1, 43, ALL_TABLES, None) != base
+        assert dbcache.database_key(0.1, 42, ("lineitem",), None) != base
+        assert dbcache.database_key(0.1, 42, ALL_TABLES, 1.5) != base
+
+    def test_canonical_tables_in_generation_order(self):
+        assert dbcache.canonical_tables(("lineitem", "nation")) == (
+            "nation", "customer", "orders", "lineitem",
+        )
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(ValueError, match="unknown tables"):
+            dbcache.database_key(0.1, 42, ("nope",), None)
+
+
+class TestRoundTrip:
+    def test_disk_hit_equals_fresh_generation(self, isolated_cache):
+        first = generate_database(0.005, seed=3, tables=("lineitem", "supplier"))
+        dbcache.clear_memo()  # force the disk path
+        second = generate_database(0.005, seed=3, tables=("lineitem", "supplier"))
+        reference = _generate_database(0.005, 3, ("lineitem", "supplier"), None)
+        assert second.table_names == first.table_names == reference.table_names
+        for name in reference.table_names:
+            for column in reference.table(name).column_names:
+                np.testing.assert_array_equal(second[name][column], reference[name][column])
+                np.testing.assert_array_equal(first[name][column], reference[name][column])
+
+    def test_memo_hit_shares_arrays_but_not_wrappers(self, isolated_cache):
+        first = generate_database(0.005, seed=5)
+        second = generate_database(0.005, seed=5)
+        assert first is not second
+        assert first.cache_key == second.cache_key is not None
+        # Same backing arrays (no regeneration), fresh Database wrappers.
+        assert np.shares_memory(first["lineitem"]["l_quantity"],
+                                second["lineitem"]["l_quantity"])
+
+    def test_persisted_entry_on_disk(self, isolated_cache):
+        db = generate_database(0.005, seed=7, tables=("supplier",))
+        entry = isolated_cache / "dbgen" / db.cache_key
+        assert (entry / "meta.json").exists()
+        assert (entry / "supplier.s_suppkey.npy").exists()
+
+    def test_mutation_invalidates_cache_key(self, isolated_cache):
+        from repro.storage import ColumnTable
+
+        db = generate_database(0.005, seed=9, tables=("supplier",))
+        assert db.cache_key is not None
+        db.add_table(ColumnTable("extra", {"x": np.arange(4)}))
+        assert db.cache_key is None
+        assert db.identity == db.uid
+
+    def test_small_databases_stay_off_disk(self, isolated_cache, monkeypatch):
+        monkeypatch.setattr(dbcache, "MIN_PERSIST_BYTES", 1 << 40)
+        db = generate_database(0.005, seed=11, tables=("supplier",))
+        assert not (isolated_cache / "dbgen" / db.cache_key).exists()
+        # ... but the in-process memo still serves repeats.
+        again = generate_database(0.005, seed=11, tables=("supplier",))
+        assert np.shares_memory(db["supplier"]["s_acctbal"],
+                                again["supplier"]["s_acctbal"])
+
+    def test_disk_cache_disable_env(self, isolated_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+        db = generate_database(0.005, seed=13, tables=("supplier",))
+        assert not (isolated_cache / "dbgen").exists()
+        assert db.cache_key is not None  # memo identity still applies
+
+    def test_corrupt_entry_falls_back_to_generation(self, isolated_cache):
+        db = generate_database(0.005, seed=15, tables=("supplier",))
+        entry = isolated_cache / "dbgen" / db.cache_key
+        (entry / "meta.json").write_text("{not json")
+        dbcache.clear_memo()
+        again = generate_database(0.005, seed=15, tables=("supplier",))
+        np.testing.assert_array_equal(db["supplier"]["s_acctbal"],
+                                      again["supplier"]["s_acctbal"])
+
+    def test_different_seeds_do_not_collide(self, isolated_cache):
+        a = generate_database(0.005, seed=17, tables=("supplier",))
+        b = generate_database(0.005, seed=18, tables=("supplier",))
+        assert not np.array_equal(a["supplier"]["s_acctbal"],
+                                  b["supplier"]["s_acctbal"])

@@ -5,6 +5,10 @@ of degree four on the compiled engine (Typer), and prints the VTune-
 style Top-Down breakdown plus bandwidth utilisation.
 
 Run:  python examples/quickstart.py [scale_factor]
+
+See also examples/sql_quickstart.py for driving the same engines
+through the SQL frontend (parse -> plan -> execute on all four), and
+``python -m repro.serve`` for the concurrent query service.
 """
 
 import sys

@@ -17,6 +17,9 @@ The package is organised around the paper's methodology:
   CPU-cycle breakdowns and bandwidth utilisation figures.
 - :mod:`repro.workloads` drives the paper's micro-benchmarks and TPC-H
   experiments; :mod:`repro.analysis` regenerates every table and figure.
+- :mod:`repro.sql` parses the documented SQL dialect into a logical plan
+  and lowers it onto the engines; :mod:`repro.serve` exposes the result
+  as a concurrent query service (``python -m repro.serve``).
 """
 
 from repro.hardware import BROADWELL, SKYLAKE, CycleBreakdown, PrefetcherConfig
@@ -32,6 +35,7 @@ from repro.engines import (
     TectorwiseEngine,
     TyperEngine,
 )
+from repro.sql import SqlError, compile_sql, execute_sql, parse_sql
 from repro.tpch import generate_database
 
 __version__ = "1.0.0"
@@ -46,9 +50,13 @@ __all__ = [
     "PrefetcherConfig",
     "ProfileReport",
     "RowStoreEngine",
+    "SqlError",
     "TectorwiseEngine",
     "TyperEngine",
     "WorkProfile",
+    "compile_sql",
+    "execute_sql",
     "generate_database",
+    "parse_sql",
     "__version__",
 ]

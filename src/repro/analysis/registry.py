@@ -20,6 +20,7 @@ from repro.analysis import (
     figures_multicore,
     figures_omitted,
     figures_optim,
+    figures_sql,
     figures_tpch,
 )
 
@@ -260,6 +261,13 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             figures_multicore.sec10_multicore_headroom, tables=JOIN_TABLES,
             claim="SIMD: 21->31.5 GB/s; hyper-threading: x1.3 -- still "
                   "below the random-access roof.",
+        ),
+        _spec(
+            "sqlpath", "SQL-path vs hand-wired execution",
+            figures_sql.sqlpath_equivalence, tables=TPCH_TABLES,
+            claim="The SQL frontend lowers every documented workload onto "
+                  "the hand-wired engine paths with identical results and "
+                  "modeled cycles.",
         ),
         _spec(
             "sec2-groupby", "Group-by micro-benchmark (omitted graph)",

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import inspect
 import os
+import threading
 from collections import OrderedDict
 from functools import wraps
 
@@ -77,36 +78,46 @@ def _snapshot(result, cached: bool):
 
 
 class ExecutionCache:
-    """Bounded LRU map of engine executions."""
+    """Bounded LRU map of engine executions.
+
+    Thread-safe: the query service executes on a worker pool, so
+    lookups, stores and stats all happen under one re-entrant lock
+    (the critical sections are tiny next to an engine execution).
+    """
 
     def __init__(self, max_entries: int = 512):
         self.max_entries = max_entries
         self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def lookup(self, key):
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return _snapshot(entry, cached=True)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return _snapshot(entry, cached=True)
 
     def store(self, key, result) -> None:
-        self._entries[key] = _snapshot(result, cached=False)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = _snapshot(result, cached=False)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 #: The process-wide cache instance.

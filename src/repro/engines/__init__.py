@@ -9,6 +9,7 @@ from repro.engines.base import (
     SELECTION_SELECTIVITIES,
     line_density,
     projection_columns,
+    resolve_selection,
     selection_predicate_masks,
     selection_thresholds,
 )
@@ -69,6 +70,7 @@ __all__ = [
     "line_density",
     "next_power_of_two",
     "projection_columns",
+    "resolve_selection",
     "selection_predicate_masks",
     "selection_thresholds",
     "weak_composite_bucket",

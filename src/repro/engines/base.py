@@ -124,6 +124,47 @@ def selection_thresholds(db: Database, selectivity: float) -> dict[str, float]:
     }
 
 
+def resolve_selection(
+    db: Database,
+    selectivity: float | None,
+    thresholds=None,
+) -> tuple[float, dict[str, float]]:
+    """Resolve the selection micro-benchmark's parameters.
+
+    The hand-wired drivers pass a ``selectivity`` and derive per-column
+    thresholds from the data; the SQL path parses literal thresholds
+    and passes them through unchanged (so a round-trip is exact) with
+    ``selectivity=None``, in which case the nominal per-predicate
+    selectivity is measured from the data for labelling.  ``thresholds``
+    may be a dict keyed by predicate column or a tuple in
+    :data:`SELECTION_PREDICATE_COLUMNS` order.
+    """
+    if thresholds is None:
+        if selectivity is None:
+            raise ValueError("need a selectivity or explicit thresholds")
+        return selectivity, selection_thresholds(db, selectivity)
+    if not isinstance(thresholds, dict):
+        if len(thresholds) != len(SELECTION_PREDICATE_COLUMNS):
+            raise ValueError(
+                f"expected {len(SELECTION_PREDICATE_COLUMNS)} thresholds "
+                f"(for {SELECTION_PREDICATE_COLUMNS}), got {len(thresholds)}"
+            )
+        thresholds = dict(zip(SELECTION_PREDICATE_COLUMNS, thresholds))
+    thresholds = {column: float(value) for column, value in thresholds.items()}
+    if set(thresholds) != set(SELECTION_PREDICATE_COLUMNS):
+        raise ValueError(
+            f"thresholds must cover exactly {SELECTION_PREDICATE_COLUMNS}"
+        )
+    if selectivity is None:
+        lineitem = db.table("lineitem")
+        fractions = [
+            float(np.mean(lineitem[column] <= threshold))
+            for column, threshold in thresholds.items()
+        ]
+        selectivity = min(max(float(np.mean(fractions)), 1e-9), 1.0 - 1e-9)
+    return selectivity, thresholds
+
+
 def selection_predicate_masks(
     db: Database, thresholds: dict[str, float]
 ) -> list[tuple[str, np.ndarray]]:
@@ -193,13 +234,16 @@ class Engine(ABC):
     def run_selection(
         self,
         db: Database,
-        selectivity: float,
+        selectivity: float | None,
         predicated: bool = False,
         simd: bool = False,
+        thresholds=None,
     ) -> QueryResult:
         """Projection of degree 4 with three predicates of the given
         individual selectivity; ``predicated`` selects the branch-free
-        variant (Section 7)."""
+        variant (Section 7).  ``thresholds`` (see
+        :func:`resolve_selection`) bypasses the quantile derivation --
+        the SQL frontend passes parsed literals through it."""
 
     @abstractmethod
     def run_join(self, db: Database, size: str, simd: bool = False) -> QueryResult:

@@ -25,7 +25,7 @@ from repro.engines.base import (
     QueryResult,
     projection_columns,
     selection_predicate_masks,
-    selection_thresholds,
+    resolve_selection,
 )
 from repro.engines.hashtable import ChainedHashTable, GroupByHashTable
 from repro.storage import Database
@@ -131,12 +131,13 @@ class InterpreterEngine(Engine):
     def run_selection(
         self,
         db: Database,
-        selectivity: float,
+        selectivity: float | None,
         predicated: bool = False,
         simd: bool = False,
+        thresholds=None,
     ) -> QueryResult:
         self._check_simd(simd)
-        thresholds = selection_thresholds(db, selectivity)
+        selectivity, thresholds = resolve_selection(db, selectivity, thresholds)
         masks = selection_predicate_masks(db, thresholds)
         lineitem = db.table("lineitem")
         n = lineitem.n_rows

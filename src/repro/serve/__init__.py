@@ -1,0 +1,22 @@
+"""Concurrent query service: SQL in, profiled engine executions out.
+
+``python -m repro.serve`` listens on TCP (line-delimited JSON) or, with
+``--repl``, reads SQL from stdin; every request picks one of the four
+engines and flows through admission control (bounded queue + deadline)
+into a worker pool that executes via :mod:`repro.sql` and the
+process-wide execution cache.
+"""
+
+from repro.serve.client import QueryClient, run_batch
+from repro.serve.server import QueryServer, run_repl
+from repro.serve.service import QueryService, ServiceConfig, ServiceStats
+
+__all__ = [
+    "QueryClient",
+    "QueryServer",
+    "QueryService",
+    "ServiceConfig",
+    "ServiceStats",
+    "run_batch",
+    "run_repl",
+]

@@ -1,0 +1,318 @@
+"""Concurrent query service: admission control + worker pool.
+
+The service owns one generated database and one engine instance per
+name; requests pick their engine (default configurable).  Admission is
+a bounded queue -- a full queue rejects immediately with
+``status="rejected"`` rather than building unbounded backlog -- and
+every admitted request carries a deadline; a request that misses it
+returns ``status="timeout"`` and is marked abandoned so a worker that
+later pops it drops it instead of executing dead work.
+
+Compiled plans are cached per normalized SQL text (the parse/plan/lower
+pipeline is pure), and the engine executions themselves hit the
+process-wide :mod:`repro.core.execcache`, so repeated statements -- the
+common case for a profiling service -- cost one dictionary lookup plus
+a result snapshot.  Responses carry ``cached`` so callers can see which
+tier served them.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.serve.protocol import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+    jsonable,
+)
+from repro.sql import SqlError, compile_sql, normalize_sql
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`QueryService`."""
+
+    workers: int = 4
+    queue_depth: int = 16
+    timeout_s: float = 30.0
+    default_engine: str = "Typer"
+    scale_factor: float = 0.01
+    seed: int = 7
+
+
+@dataclass
+class _Request:
+    """One admitted query and its completion rendezvous."""
+
+    sql: str
+    engine_name: str
+    options: dict
+    submitted_at: float
+    queued_depth: int
+    done: threading.Event = field(default_factory=threading.Event)
+    response: dict | None = None
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    abandoned: bool = False
+
+
+class ServiceStats:
+    """Counters and latency percentiles, all under one lock."""
+
+    KEEP_LATENCIES = 4096
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.ok = 0
+        self.errors = 0
+        self.rejected = 0
+        self.timeouts = 0
+        self.cache_hits = 0
+        self._latencies_ms: list[float] = []
+
+    def record(self, status: str, latency_ms: float | None, cached: bool) -> None:
+        with self._lock:
+            self.submitted += 1
+            if status == STATUS_OK:
+                self.ok += 1
+            elif status == STATUS_REJECTED:
+                self.rejected += 1
+            elif status == STATUS_TIMEOUT:
+                self.timeouts += 1
+            else:
+                self.errors += 1
+            if cached:
+                self.cache_hits += 1
+            if latency_ms is not None:
+                self._latencies_ms.append(latency_ms)
+                if len(self._latencies_ms) > self.KEEP_LATENCIES:
+                    del self._latencies_ms[: -self.KEEP_LATENCIES]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            latencies = sorted(self._latencies_ms)
+            summary = {}
+            if latencies:
+                def pct(p: float) -> float:
+                    index = min(len(latencies) - 1, int(p * len(latencies)))
+                    return round(latencies[index], 3)
+
+                summary = {
+                    "p50_ms": pct(0.50),
+                    "p90_ms": pct(0.90),
+                    "p99_ms": pct(0.99),
+                    "max_ms": round(latencies[-1], 3),
+                }
+            return {
+                "submitted": self.submitted,
+                "ok": self.ok,
+                "errors": self.errors,
+                "rejected": self.rejected,
+                "timeouts": self.timeouts,
+                "cache_hits": self.cache_hits,
+                "latency": summary,
+            }
+
+
+class QueryService:
+    """Thread-pooled SQL execution over the four engines."""
+
+    def __init__(self, config: ServiceConfig | None = None, db=None):
+        self.config = config or ServiceConfig()
+        self._db = db
+        self._db_lock = threading.Lock()
+        self._engines: dict[str, object] = {}
+        self._engines_lock = threading.Lock()
+        self._plans: dict[str, object] = {}
+        self._plans_lock = threading.Lock()
+        self.plan_hits = 0
+        self._queue: queue.Queue[_Request] = queue.Queue(
+            maxsize=self.config.queue_depth
+        )
+        self.stats = ServiceStats()
+        self._workers: list[threading.Thread] = []
+        self._stop = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "QueryService":
+        if self._workers:
+            raise RuntimeError("service already started")
+        self._stop.clear()
+        for index in range(self.config.workers):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"query-worker-{index}", daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        for _ in self._workers:
+            try:
+                self._queue.put_nowait(None)  # wake blocked workers
+            except queue.Full:
+                break
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        self._workers = []
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def db(self):
+        """The served database, generated lazily on first use."""
+        with self._db_lock:
+            if self._db is None:
+                from repro.tpch import generate_database
+
+                self._db = generate_database(
+                    scale_factor=self.config.scale_factor, seed=self.config.seed
+                )
+            return self._db
+
+    def engine(self, name: str):
+        with self._engines_lock:
+            if name not in self._engines:
+                from repro.engines import engine_by_name
+
+                self._engines[name] = engine_by_name(name)
+            return self._engines[name]
+
+    def compile(self, sql: str):
+        """Compile with the per-service plan cache (keyed on normalized
+        text, so formatting differences share one plan)."""
+        key = normalize_sql(sql)
+        with self._plans_lock:
+            bound = self._plans.get(key)
+            if bound is not None:
+                self.plan_hits += 1
+                return bound
+        bound = compile_sql(sql)
+        with self._plans_lock:
+            self._plans.setdefault(key, bound)
+        return bound
+
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # -- request path --------------------------------------------------
+    def submit(
+        self,
+        sql: str,
+        engine: str | None = None,
+        options: dict | None = None,
+        timeout: float | None = None,
+    ) -> dict:
+        """Run one statement; blocks the caller until a terminal status."""
+        deadline = timeout if timeout is not None else self.config.timeout_s
+        request = _Request(
+            sql=sql,
+            engine_name=engine or self.config.default_engine,
+            options=dict(options or {}),
+            submitted_at=time.perf_counter(),
+            queued_depth=self._queue.qsize(),
+        )
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            response = self._finish(
+                request,
+                status=STATUS_REJECTED,
+                error=(
+                    f"admission queue full "
+                    f"({self.config.queue_depth} requests queued)"
+                ),
+            )
+            return response
+        if request.done.wait(deadline):
+            return request.response
+        with request.lock:
+            if request.done.is_set():  # finished while we took the lock
+                return request.response
+            request.abandoned = True
+        return self._finish(
+            request,
+            status=STATUS_TIMEOUT,
+            error=f"request missed its {deadline:.3f}s deadline",
+        )
+
+    def _finish(
+        self, request: _Request, *, skip_if_abandoned: bool = False, **fields
+    ) -> dict | None:
+        """Publish a terminal response exactly once per request."""
+        with request.lock:
+            if request.done.is_set():
+                return request.response
+            if skip_if_abandoned and request.abandoned:
+                return None  # the submitter already reported a timeout
+            latency_ms = (time.perf_counter() - request.submitted_at) * 1e3
+            response = {
+                "status": STATUS_ERROR,
+                "engine": request.engine_name,
+                "latency_ms": round(latency_ms, 3),
+                "queued_depth": request.queued_depth,
+                "cached": False,
+                **fields,
+            }
+            self.stats.record(
+                response["status"],
+                latency_ms if response["status"] == STATUS_OK else None,
+                bool(response.get("cached")),
+            )
+            request.response = response
+            request.done.set()
+            return response
+
+    # -- workers -------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                request = self._queue.get(timeout=0.2)
+            except queue.Empty:
+                continue
+            if request is None:
+                continue
+            with request.lock:
+                if request.abandoned:
+                    continue
+            self._execute(request)
+
+    def _execute(self, request: _Request) -> None:
+        try:
+            bound = self.compile(request.sql)
+            engine = self.engine(request.engine_name)
+            result = bound.execute(engine, self.db, **request.options)
+        except SqlError as exc:
+            self._finish(request, skip_if_abandoned=True, status=STATUS_ERROR, error=str(exc))
+            return
+        except (ValueError, TypeError) as exc:
+            self._finish(request, skip_if_abandoned=True, status=STATUS_ERROR, error=str(exc))
+            return
+        self._finish(
+            request,
+            skip_if_abandoned=True,
+            status=STATUS_OK,
+            workload=bound.workload,
+            method=bound.method,
+            value=jsonable(result.value),
+            tuples=result.tuples,
+            cached=bool(result.details.get("cached")),
+        )
+
+    def stats_snapshot(self) -> dict:
+        snapshot = self.stats.snapshot()
+        snapshot["plan_cache_entries"] = len(self._plans)
+        snapshot["plan_cache_hits"] = self.plan_hits
+        snapshot["queue_depth"] = self.queue_depth()
+        snapshot["workers"] = self.config.workers
+        return snapshot

@@ -1,0 +1,91 @@
+"""Offline tour of the SQL frontend: ``python -m repro.sql``.
+
+Without arguments, parses every documented workload (TPC-H Q1/Q6/Q9/
+Q18, the join sizes, the group-by and the projection degrees), prints
+the logical plan and the engine path it lowers to.  With ``--sql`` it
+compiles an arbitrary statement; with ``--execute`` it also runs the
+statement on a tiny generated database across all four engines.
+
+Everything here works offline -- no service, no network.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sql import plan as ir
+from repro.sql.api import compile_sql, plan_sql
+from repro.sql.errors import SqlError
+from repro.sql.lower import lower
+from repro.sql.tokens import normalize_sql
+
+
+def _documented_workloads() -> list[tuple[str, str]]:
+    from repro.tpch.sql import GROUPBY_SQL, JOIN_SQL, TPCH_SQL, projection_sql
+
+    entries = [(f"TPC-H {qid}", sql) for qid, sql in TPCH_SQL.items()]
+    entries += [(f"join {size}", sql) for size, sql in JOIN_SQL.items()]
+    entries.append(("groupby", GROUPBY_SQL))
+    entries += [
+        (f"projection degree {degree}", projection_sql(degree))
+        for degree in (1, 4)
+    ]
+    return entries
+
+
+def _show(title: str, sql: str, execute: bool, scale_factor: float) -> int:
+    print(f"== {title} " + "=" * max(1, 66 - len(title)))
+    print(normalize_sql(sql))
+    try:
+        plan = plan_sql(sql)
+        bound = lower(plan, sql)
+    except SqlError as exc:
+        print(f"SqlError: {exc}", file=sys.stderr)
+        return 1
+    print()
+    print(ir.to_text(plan))
+    print(f"-> {bound}")
+    if execute:
+        _execute(sql, scale_factor)
+    print()
+    return 0
+
+
+def _execute(sql: str, scale_factor: float) -> None:
+    from repro.engines import ALL_ENGINES
+    from repro.tpch import generate_database
+
+    db = generate_database(scale_factor=scale_factor, seed=7)
+    bound = compile_sql(sql)
+    for engine_cls in ALL_ENGINES:
+        result = bound.execute(engine_cls(), db)
+        print(f"   {engine_cls.name:<12} value={result.value} tuples={result.tuples}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sql",
+        description="Parse, plan and lower SQL of the documented dialect.",
+    )
+    parser.add_argument("--sql", help="statement to compile (default: tour all documented workloads)")
+    parser.add_argument(
+        "--execute", action="store_true",
+        help="also run on a generated database across all four engines",
+    )
+    parser.add_argument(
+        "--scale-factor", type=float, default=0.002,
+        help="scale factor for --execute (default 0.002)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.sql is not None:
+        return _show("statement", args.sql, args.execute, args.scale_factor)
+    status = 0
+    for title, sql in _documented_workloads():
+        status |= _show(title, sql, args.execute, args.scale_factor)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,153 @@
+"""Abstract syntax tree produced by the parser.
+
+AST nodes carry their source offset (``pos``) so the planner can point
+at the offending token when validation fails; ``pos`` never takes part
+in equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    value: float
+    pos: int = field(default=-1, compare=False)
+
+
+@dataclass(frozen=True)
+class String(Expr):
+    value: str
+    pos: int = field(default=-1, compare=False)
+
+
+@dataclass(frozen=True)
+class DateLit(Expr):
+    """DATE 'yyyy-mm-dd' folded to days since the TPC-H epoch."""
+
+    days: int
+    pos: int = field(default=-1, compare=False)
+
+
+@dataclass(frozen=True)
+class IntervalLit(Expr):
+    """INTERVAL 'n' DAY folded to a day count."""
+
+    days: int
+    pos: int = field(default=-1, compare=False)
+
+
+@dataclass(frozen=True)
+class Column(Expr):
+    name: str
+    table: str | None = None
+    pos: int = field(default=-1, compare=False)
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Arithmetic (+ - * /) or comparison (= < <= > >= <>) operator."""
+
+    op: str
+    left: Expr
+    right: Expr
+    pos: int = field(default=-1, compare=False)
+
+
+@dataclass(frozen=True)
+class Logical(Expr):
+    """AND chain, flattened."""
+
+    op: str
+    terms: tuple[Expr, ...]
+    pos: int = field(default=-1, compare=False)
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    arg: Expr
+    pos: int = field(default=-1, compare=False)
+
+
+@dataclass(frozen=True)
+class Func(Expr):
+    """Aggregate call: SUM/COUNT/AVG/MIN/MAX; ``star`` for COUNT(*)."""
+
+    name: str
+    args: tuple[Expr, ...]
+    star: bool = False
+    pos: int = field(default=-1, compare=False)
+
+
+@dataclass(frozen=True)
+class ExtractYear(Expr):
+    arg: Expr
+    pos: int = field(default=-1, compare=False)
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    arg: Expr
+    low: Expr
+    high: Expr
+    pos: int = field(default=-1, compare=False)
+
+
+@dataclass(frozen=True)
+class InSelect(Expr):
+    arg: Expr
+    select: "Select"
+    pos: int = field(default=-1, compare=False)
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    arg: Expr
+    pattern: str
+    pos: int = field(default=-1, compare=False)
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+    pos: int = field(default=-1, compare=False)
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str | None = None
+    pos: int = field(default=-1, compare=False)
+
+
+@dataclass(frozen=True)
+class DerivedTable:
+    select: "Select"
+    alias: str
+    pos: int = field(default=-1, compare=False)
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+    pos: int = field(default=-1, compare=False)
+
+
+@dataclass(frozen=True)
+class Select:
+    items: tuple[SelectItem, ...]
+    tables: tuple[TableRef | DerivedTable, ...]
+    where: Expr | None = None
+    group_by: tuple[Column, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    pos: int = field(default=-1, compare=False)

@@ -1,0 +1,42 @@
+"""SQL frontend errors.
+
+Every failure in the tokenize -> parse -> plan -> lower pipeline raises
+:class:`SqlError`.  When the offending position in the source text is
+known the error carries it and renders a caret snippet, so a rejected
+query always tells the caller *where* it went wrong::
+
+    SqlError: line 1, column 8: expected expression, found 'FROM'
+      SELECT FROM lineitem;
+             ^
+"""
+
+from __future__ import annotations
+
+
+class SqlError(ValueError):
+    """A SQL query that could not be tokenized, parsed, planned or
+    lowered onto an engine, with position info when available."""
+
+    def __init__(self, message: str, sql: str | None = None, pos: int | None = None):
+        self.reason = message
+        self.sql = sql
+        self.pos = pos
+        self.line: int | None = None
+        self.column: int | None = None
+        if sql is not None and pos is not None:
+            clamped = max(0, min(pos, len(sql)))
+            before = sql[:clamped]
+            self.line = before.count("\n") + 1
+            self.column = clamped - (before.rfind("\n") + 1) + 1
+            source_line = sql.splitlines()[self.line - 1] if sql else ""
+            message = (
+                f"line {self.line}, column {self.column}: {message}\n"
+                f"  {source_line}\n"
+                f"  {' ' * (self.column - 1)}^"
+            )
+        super().__init__(message)
+
+
+def err(message: str, sql: str | None = None, pos: int | None = None) -> SqlError:
+    """Shorthand constructor used throughout the frontend."""
+    return SqlError(message, sql=sql, pos=pos)

@@ -1,0 +1,280 @@
+"""Lowering: logical plan -> a bound engine entry point.
+
+The engines execute hand-wired physical plans (``run_projection``,
+``run_selection``, ``run_join``, ``run_groupby``, ``run_tpch``); this
+module recognises which of those paths an incoming logical plan
+computes and binds the call.  Recognition is exact, in two layers:
+
+* **Template equality** -- the four TPC-H queries, the three join
+  sizes, the group-by and the four projection degrees are planned once
+  from their documented SQL (:mod:`repro.tpch.sql`) and matched by
+  structural plan equality, so anything the documentation says is
+  runnable *is* runnable.
+* **Structural matching** -- the micro-benchmarks additionally match by
+  shape with free parameters (projection degree, per-column selection
+  thresholds, join size), so e.g. a selection with thresholds taken
+  from a different scale factor still lowers.
+
+A plan that matches neither raises :class:`SqlError`: the engines model
+fixed workloads, they are not general executors, and pretending
+otherwise would silently profile the wrong thing.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+
+from repro.sql import plan as ir
+from repro.sql.errors import SqlError, err
+from repro.tpch.schema import PROJECTION_COLUMNS, SELECTION_PREDICATE_COLUMNS
+
+#: Engine methods a plan may bind to.
+BINDABLE_METHODS = (
+    "run_projection",
+    "run_selection",
+    "run_join",
+    "run_groupby",
+    "run_tpch",
+)
+
+
+@dataclass(frozen=True)
+class BoundQuery:
+    """A logical plan resolved to one engine method and its arguments.
+
+    ``kwargs`` is a tuple of (name, value) pairs so bound queries stay
+    hashable (the serve layer caches them per normalized SQL text).
+    """
+
+    workload: str
+    method: str
+    args: tuple = ()
+    kwargs: tuple = ()
+    plan: ir.PlanNode | None = field(default=None, compare=False)
+
+    def call_kwargs(self) -> dict:
+        return dict(self.kwargs)
+
+    def execute(self, engine, db, **overrides):
+        """Run the bound path on ``engine`` against ``db``.
+
+        ``overrides`` merge over the bound keyword arguments, so request
+        options like ``simd=True`` or ``predicated=True`` pass through
+        to engines that accept them.
+        """
+        merged = self.call_kwargs()
+        merged.update(overrides)
+        return getattr(engine, self.method)(db, *self.args, **merged)
+
+    def __str__(self) -> str:
+        parts = [repr(a) for a in self.args]
+        parts += [f"{k}={v!r}" for k, v in self.kwargs]
+        return f"{self.workload}: {self.method}({', '.join(parts)})"
+
+
+# ----------------------------------------------------------------------
+# Template plans from the documented SQL
+# ----------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=1)
+def _template_index() -> dict[ir.PlanNode, BoundQuery]:
+    """Stripped plan -> bound call, for every documented workload whose
+    SQL has no data-dependent literals (selection thresholds are the
+    one exception; they match structurally below)."""
+    # Imported here: tpch.sql and the parser/planner sit above this
+    # module in the package graph only at call time, never at import.
+    from repro.sql.parser import parse
+    from repro.sql.planner import Planner
+    from repro.tpch.sql import GROUPBY_SQL, JOIN_SQL, TPCH_SQL, projection_sql
+
+    planner = Planner()
+
+    def planned(sql: str) -> ir.PlanNode:
+        return ir.strip_decorations(planner.plan(parse(sql), sql))
+
+    index: dict[ir.PlanNode, BoundQuery] = {}
+    for query_id, sql in TPCH_SQL.items():
+        index[planned(sql)] = BoundQuery(
+            workload=f"tpch-{query_id}", method="run_tpch", args=(query_id,)
+        )
+    for size, sql in JOIN_SQL.items():
+        index[planned(sql)] = BoundQuery(
+            workload=f"join-{size}", method="run_join", args=(size,)
+        )
+    for degree in range(1, len(PROJECTION_COLUMNS) + 1):
+        index[planned(projection_sql(degree))] = BoundQuery(
+            workload=f"projection-{degree}", method="run_projection", args=(degree,)
+        )
+    index[planned(GROUPBY_SQL)] = BoundQuery(
+        workload="groupby", method="run_groupby"
+    )
+    return index
+
+
+# ----------------------------------------------------------------------
+# Structural matchers (micro-benchmarks with free parameters)
+# ----------------------------------------------------------------------
+
+
+def _sum_of_columns(outputs: tuple[ir.NamedExpr, ...]) -> tuple[str, ...] | None:
+    """Column names if ``outputs`` is a single SUM over a + of columns."""
+    if len(outputs) != 1:
+        return None
+    expr = outputs[0].expr
+    if not (isinstance(expr, ir.AggCall) and expr.func == "sum" and expr.arg is not None):
+        return None
+    columns = []
+    for term in ir.flatten_sum(expr.arg):
+        if not isinstance(term, ir.ColumnExpr):
+            return None
+        columns.append(term.ref.column)
+    return tuple(columns)
+
+
+def _match_projection(core: ir.PlanNode) -> BoundQuery | None:
+    if not (
+        isinstance(core, ir.Aggregate)
+        and not core.group_by
+        and core.having is None
+        and core.child == ir.Scan(table="lineitem")
+    ):
+        return None
+    columns = _sum_of_columns(core.outputs)
+    for degree in range(1, len(PROJECTION_COLUMNS) + 1):
+        if columns == PROJECTION_COLUMNS[:degree]:
+            return BoundQuery(
+                workload=f"projection-{degree}",
+                method="run_projection",
+                args=(degree,),
+            )
+    return None
+
+
+def _match_selection(core: ir.PlanNode) -> BoundQuery | None:
+    if not (
+        isinstance(core, ir.Aggregate)
+        and not core.group_by
+        and core.having is None
+        and isinstance(core.child, ir.Filter)
+        and core.child.child == ir.Scan(table="lineitem")
+    ):
+        return None
+    if _sum_of_columns(core.outputs) != PROJECTION_COLUMNS:
+        return None
+    if len(core.child.predicates) != len(SELECTION_PREDICATE_COLUMNS):
+        return None
+    thresholds: dict[str, float] = {}
+    for predicate in core.child.predicates:
+        if not (
+            isinstance(predicate, ir.Compare)
+            and predicate.op == "<="
+            and isinstance(predicate.left, ir.ColumnExpr)
+            and isinstance(predicate.right, ir.ConstExpr)
+        ):
+            return None
+        thresholds[predicate.left.ref.column] = predicate.right.value
+    if tuple(sorted(thresholds)) != tuple(sorted(SELECTION_PREDICATE_COLUMNS)):
+        return None
+    ordered = tuple(thresholds[column] for column in SELECTION_PREDICATE_COLUMNS)
+    return BoundQuery(
+        workload="selection",
+        method="run_selection",
+        kwargs=(("selectivity", None), ("thresholds", ordered)),
+    )
+
+
+def _match_join(core: ir.PlanNode) -> BoundQuery | None:
+    from repro.engines.base import JOIN_SPECS
+
+    if not (
+        isinstance(core, ir.Aggregate)
+        and not core.group_by
+        and core.having is None
+        and isinstance(core.child, ir.Join)
+        and isinstance(core.child.left, ir.Scan)
+        and isinstance(core.child.right, ir.Scan)
+        and len(core.child.pairs) == 1
+    ):
+        return None
+    columns = _sum_of_columns(core.outputs)
+    if columns is None:
+        return None
+    join = core.child
+    tables = {join.left.table, join.right.table}
+    (left_key, right_key), = join.pairs
+    keys = {left_key.column, right_key.column}
+    for size, spec in JOIN_SPECS.items():
+        if (
+            tables == {spec.build_table, spec.probe_table}
+            and keys == {spec.build_key, spec.probe_key}
+            and columns == spec.sum_columns
+        ):
+            return BoundQuery(
+                workload=f"join-{size}", method="run_join", args=(size,)
+            )
+    return None
+
+
+def _match_groupby(core: ir.PlanNode) -> BoundQuery | None:
+    if not (
+        isinstance(core, ir.Aggregate)
+        and core.having is None
+        and core.child == ir.Scan(table="lineitem")
+    ):
+        return None
+    group_columns = tuple(ref.column for ref in core.group_by)
+    if group_columns != ("l_partkey", "l_returnflag"):
+        return None
+    aggregates = [
+        out.expr for out in core.outputs if isinstance(out.expr, ir.AggCall)
+    ]
+    if len(aggregates) != 1:
+        return None
+    agg = aggregates[0]
+    if not (
+        agg.func == "sum"
+        and agg.arg == ir.ColumnExpr(ref=ir.ColRef(table="lineitem", column="l_extendedprice"))
+    ):
+        return None
+    return BoundQuery(workload="groupby", method="run_groupby")
+
+
+_MATCHERS = (_match_projection, _match_selection, _match_join, _match_groupby)
+
+
+def lower(plan: ir.PlanNode, sql: str | None = None) -> BoundQuery:
+    """Bind a logical plan onto an engine entry point, or raise."""
+    core = ir.strip_decorations(plan)
+    template = _template_index().get(core)
+    if template is not None:
+        return BoundQuery(
+            workload=template.workload,
+            method=template.method,
+            args=template.args,
+            kwargs=template.kwargs,
+            plan=plan,
+        )
+    for matcher in _MATCHERS:
+        bound = matcher(core)
+        if bound is not None:
+            return BoundQuery(
+                workload=bound.workload,
+                method=bound.method,
+                args=bound.args,
+                kwargs=bound.kwargs,
+                plan=plan,
+            )
+    raise _no_binding(plan, sql)
+
+
+def _no_binding(plan: ir.PlanNode, sql: str | None) -> SqlError:
+    known = sorted({bound.workload for bound in _template_index().values()})
+    message = (
+        "query is valid but does not match any profiled workload; the "
+        "engines execute the documented workloads only "
+        f"({', '.join(known)} and parameterised micro-benchmark shapes).\n"
+        f"plan was:\n{ir.to_text(plan)}"
+    )
+    return err(message, sql, None)

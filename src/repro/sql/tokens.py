@@ -1,0 +1,135 @@
+"""Tokenizer for the documented SQL dialect.
+
+The dialect is exactly what :mod:`repro.tpch.sql` documents: SELECT
+lists with arithmetic and SUM/COUNT/AVG aggregates, comma joins,
+AND-ed comparison predicates, BETWEEN/IN/LIKE, DATE and INTERVAL
+literals, GROUP BY / HAVING / ORDER BY / LIMIT.  Keywords are
+case-insensitive; identifiers are case-folded to lower case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sql.errors import err
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "GROUP", "BY",
+        "HAVING", "ORDER", "ASC", "DESC", "LIMIT", "AS", "SUM", "COUNT",
+        "AVG", "MIN", "MAX", "BETWEEN", "IN", "LIKE", "DATE", "INTERVAL",
+        "DAY", "MONTH", "YEAR", "EXTRACT",
+    }
+)
+
+#: Multi-character operators first so ``<=`` never lexes as ``<`` ``=``.
+OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/")
+PUNCTUATION = ("(", ")", ",", ";", ".")
+
+KIND_KEYWORD = "keyword"
+KIND_IDENT = "ident"
+KIND_NUMBER = "number"
+KIND_STRING = "string"
+KIND_OP = "op"
+KIND_EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source offset (for error carets)."""
+
+    kind: str
+    text: str
+    pos: int
+    value: object = None
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == KIND_KEYWORD and self.text in names
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind == KIND_OP and self.text in ops
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_part(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Lex ``sql`` into tokens, raising :class:`SqlError` on bad input."""
+    tokens: list[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):  # line comment
+            newline = sql.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if _is_ident_start(ch):
+            start = i
+            while i < n and _is_ident_part(sql[i]):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(KIND_KEYWORD, upper, start))
+            else:
+                tokens.append(Token(KIND_IDENT, word.lower(), start))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            start = i
+            while i < n and (sql[i].isdigit() or sql[i] == "."):
+                i += 1
+            text = sql[start:i]
+            if text.count(".") > 1:
+                raise err(f"malformed number {text!r}", sql, start)
+            tokens.append(Token(KIND_NUMBER, text, start, value=float(text)))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            while i < n and sql[i] != "'":
+                i += 1
+            if i >= n:
+                raise err("unterminated string literal", sql, start)
+            tokens.append(Token(KIND_STRING, sql[start:i + 1], start, value=sql[start + 1:i]))
+            i += 1
+            continue
+        matched = False
+        for op in OPERATORS + PUNCTUATION:
+            if sql.startswith(op, i):
+                tokens.append(Token(KIND_OP, op, i))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise err(f"unexpected character {ch!r}", sql, i)
+    tokens.append(Token(KIND_EOF, "", n))
+    return tokens
+
+
+def normalize_sql(sql: str) -> str:
+    """Whitespace/case-insensitive canonical text of a query.
+
+    The serve layer keys its compiled-plan cache on this string, so
+    requests that differ only in formatting share one plan (and, after
+    lowering, one execution-cache entry).
+    """
+    parts = []
+    for token in tokenize(sql):
+        if token.kind == KIND_EOF:
+            break
+        if token.kind == KIND_NUMBER:
+            parts.append(repr(float(token.text)))
+        else:
+            parts.append(token.text)
+    # A trailing semicolon is optional and never changes the statement.
+    while parts and parts[-1] == ";":
+        parts.pop()
+    return " ".join(parts)

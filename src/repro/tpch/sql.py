@@ -26,15 +26,35 @@ def projection_sql(degree: int) -> str:
     return PROJECTION_SQL_TEMPLATE.format(expr=expr)
 
 
-def selection_sql(selectivity: float) -> str:
+def selection_sql(selectivity: float, db=None) -> str:
     """SQL of the selection micro-benchmark: the degree-4 projection
     behind three predicates whose thresholds are chosen per-column so
-    each has the requested individual selectivity."""
+    each has the requested individual selectivity.
+
+    The thresholds are data-dependent (per-column quantiles), so a
+    :class:`~repro.storage.Database` is required to emit executable
+    literals; it is measured with numpy directly to keep this module
+    free of engine imports.  Without ``db`` the historical placeholder
+    form ``[q0.50 of l_shipdate]`` is produced -- documentation only,
+    rejected by the parser.
+    """
     if not 0.0 < selectivity < 1.0:
         raise ValueError("selectivity must be in (0, 1)")
+    if db is None:
+        thresholds = {
+            column: f"[q{selectivity:.2f} of {column}]"
+            for column in SELECTION_PREDICATE_COLUMNS
+        }
+    else:
+        import numpy as np
+
+        lineitem = db.table("lineitem")
+        thresholds = {
+            column: repr(float(np.quantile(lineitem[column], selectivity)))
+            for column in SELECTION_PREDICATE_COLUMNS
+        }
     predicates = " AND ".join(
-        f"{column} <= [q{selectivity:.2f} of {column}]"
-        for column in SELECTION_PREDICATE_COLUMNS
+        f"{column} <= {threshold}" for column, threshold in thresholds.items()
     )
     expr = " + ".join(PROJECTION_COLUMNS)
     return f"SELECT SUM({expr}) FROM lineitem WHERE {predicates};"

@@ -15,6 +15,8 @@ EXPECTED_IDS = {
     # Results the paper describes but omits as graphs.
     "sec2-groupby", "sec9-extended", "sec10-tpch-bw",
     "sec6-commercial", "sec10-speedup",
+    # SQL-path equivalence (repro.sql frontend vs hand-wired calls).
+    "sqlpath",
 }
 
 

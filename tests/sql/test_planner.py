@@ -1,0 +1,144 @@
+"""Planner: schema validation, filter pushdown, join trees, rewrites."""
+
+import pytest
+
+from repro.sql import SqlError, plan_sql
+from repro.sql import plan as ir
+from repro.tpch.schema import GREEN_CATEGORY
+from repro.tpch.sql import TPCH_SQL
+
+
+class TestValidation:
+    def test_unknown_table(self):
+        with pytest.raises(SqlError, match="unknown table 'nope'"):
+            plan_sql("SELECT a FROM nope")
+
+    def test_unknown_column_with_position(self):
+        with pytest.raises(SqlError, match="unknown column 'l_wrong'") as info:
+            plan_sql("SELECT l_wrong FROM lineitem")
+        assert info.value.column == len("SELECT ") + 1
+
+    def test_qualified_unknown_column(self):
+        with pytest.raises(SqlError, match="unknown column"):
+            plan_sql("SELECT lineitem.o_orderkey FROM lineitem")
+
+    def test_cross_join_rejected(self):
+        with pytest.raises(SqlError, match="cross joins"):
+            plan_sql("SELECT SUM(l_quantity) FROM lineitem, orders")
+
+    def test_aggregate_not_allowed_in_where(self):
+        with pytest.raises(SqlError, match="not allowed here"):
+            plan_sql("SELECT l_quantity FROM lineitem WHERE SUM(l_quantity) > 3")
+
+    def test_non_grouped_output_rejected(self):
+        with pytest.raises(SqlError, match="GROUP BY"):
+            plan_sql(
+                "SELECT l_partkey, SUM(l_quantity) FROM lineitem "
+                "GROUP BY l_returnflag"
+            )
+
+    def test_string_literal_outside_like(self):
+        with pytest.raises(SqlError, match="string literal"):
+            plan_sql("SELECT l_quantity FROM lineitem WHERE l_returnflag = 'A'")
+
+    def test_order_by_must_be_in_select_list(self):
+        with pytest.raises(SqlError, match="ORDER BY"):
+            plan_sql("SELECT l_partkey FROM lineitem ORDER BY l_quantity")
+
+    def test_duplicate_from_table(self):
+        with pytest.raises(SqlError, match="duplicate table"):
+            plan_sql("SELECT l_quantity FROM lineitem, lineitem")
+
+
+class TestPlanShapes:
+    def test_filter_pushed_below_join(self):
+        plan = plan_sql(
+            "SELECT SUM(l_quantity) FROM lineitem, orders "
+            "WHERE l_orderkey = o_orderkey AND o_totalprice < 1000"
+        )
+        join = plan.child
+        assert isinstance(join, ir.Join)
+        assert isinstance(join.right, ir.Filter)
+        (pred,) = join.right.predicates
+        assert pred.left.ref == ir.ColRef(table="orders", column="o_totalprice")
+
+    def test_constant_comparison_normalised_column_left(self):
+        plan = plan_sql("SELECT SUM(l_quantity) FROM lineitem WHERE 24 > l_quantity")
+        (pred,) = plan.child.predicates
+        assert isinstance(pred.left, ir.ColumnExpr)
+        assert pred.op == "<"
+
+    def test_like_rewrites_to_dictionary_code(self):
+        plan = plan_sql(
+            "SELECT SUM(p_retailprice) FROM part WHERE p_name LIKE '%green%'"
+        )
+        (pred,) = plan.child.predicates
+        assert pred == ir.Compare(
+            left=ir.ColumnExpr(ref=ir.ColRef(table="part", column="p_namecat")),
+            op="=",
+            right=ir.ConstExpr(value=float(GREEN_CATEGORY)),
+        )
+
+    def test_unsupported_like_pattern_rejected(self):
+        with pytest.raises(SqlError, match="unsupported LIKE"):
+            plan_sql("SELECT p_retailprice FROM part WHERE p_name LIKE '%red%'")
+
+    def test_p_name_outside_like_rejected(self):
+        with pytest.raises(SqlError, match="dictionary-encoded"):
+            plan_sql("SELECT p_name FROM part")
+
+    def test_c_name_resolves_through_functional_alias(self):
+        plan = plan_sql("SELECT c_name, c_custkey FROM customer")
+        outputs = plan.outputs
+        assert outputs[0].name == "c_name"
+        assert outputs[0].expr.ref == ir.ColRef(table="customer", column="c_custkey")
+
+    def test_q9_join_tree_is_left_deep_and_connected(self):
+        plan = plan_sql(TPCH_SQL["Q9"])
+        derived = ir.strip_decorations(plan).child
+        assert isinstance(derived, ir.SubqueryScan)
+        node = derived.plan.child
+        joins = 0
+        while isinstance(node, ir.Join):
+            joins += 1
+            node = node.left
+        assert joins == 5  # six tables, left-deep
+
+    def test_q18_in_subquery_filter_sits_on_orders(self):
+        plan = plan_sql(TPCH_SQL["Q18"])
+        aggregate = ir.strip_decorations(plan)
+
+        def find_filters(node):
+            if isinstance(node, ir.Filter):
+                yield node
+                yield from find_filters(node.child)
+            elif isinstance(node, ir.Join):
+                yield from find_filters(node.left)
+                yield from find_filters(node.right)
+
+        (filter_node,) = list(find_filters(aggregate.child))
+        (pred,) = filter_node.predicates
+        assert isinstance(pred, ir.InSubquery)
+        assert pred.expr.ref == ir.ColRef(table="orders", column="o_orderkey")
+
+    def test_between_becomes_two_compares(self):
+        plan = plan_sql(
+            "SELECT SUM(l_quantity) FROM lineitem "
+            "WHERE l_discount BETWEEN 0.05 AND 0.07"
+        )
+        ops = sorted(p.op for p in plan.child.predicates)
+        assert ops == ["<=", ">="]
+
+    def test_order_by_and_limit_wrap_plan(self):
+        plan = plan_sql(
+            "SELECT l_partkey, SUM(l_quantity) AS q FROM lineitem "
+            "GROUP BY l_partkey ORDER BY q DESC LIMIT 5"
+        )
+        assert isinstance(plan, ir.Limit) and plan.count == 5
+        assert isinstance(plan.child, ir.OrderBy)
+        assert plan.child.keys == (("q", True),)
+
+    def test_plans_are_hashable_and_equal(self):
+        sql = "SELECT SUM(l_quantity) FROM lineitem"
+        assert plan_sql(sql) == plan_sql(sql)
+        assert hash(plan_sql(sql)) == hash(plan_sql(sql))

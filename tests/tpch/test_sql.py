@@ -34,6 +34,19 @@ class TestSelectionSql:
         with pytest.raises(ValueError):
             selection_sql(1.0)
 
+    def test_without_db_documents_quantile_placeholders(self):
+        assert "[q0.50 of l_shipdate]" in selection_sql(0.5)
+
+    def test_with_db_emits_executable_literals(self, tiny_db):
+        from repro.sql import compile_sql
+
+        sql = selection_sql(0.5, tiny_db)
+        assert "[" not in sql  # real thresholds, not placeholders
+        bound = compile_sql(sql)
+        assert bound.method == "run_selection"
+        thresholds = bound.call_kwargs()["thresholds"]
+        assert all(isinstance(value, float) for value in thresholds)
+
 
 class TestJoinSql:
     def test_covers_the_three_sizes(self):

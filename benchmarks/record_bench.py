@@ -1,18 +1,22 @@
 """Benchmark-trajectory recorder.
 
-Measures the wall-clock metrics this PR's performance work targets and
-writes them to ``BENCH_PR1.json`` at the repo root, so future PRs can
+Measures the wall-clock metrics the performance PRs target and writes
+them to ``BENCH_PR<n>.json`` at the repo root, so future PRs can
 compare against a recorded trajectory instead of folklore:
 
 - tier-1 suite seconds (one full ``pytest -x -q`` subprocess),
 - cache-hierarchy replay throughput (events/s), batch kernels vs. the
   ``REPRO_REFERENCE_SIM=1`` per-event reference,
 - gshare predictor throughput (events/s), batch vs. reference,
-- figure regeneration rate (figures/minute) over the full registry.
+- figure regeneration rate (figures/minute) over the full registry,
+- query-service throughput (queries/s) of a CPU-bound SQL mix on the
+  thread executor vs. the morsel-parallel process executor at several
+  worker counts (the execution cache is disabled for these runs so
+  every query actually executes).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/record_bench.py [--output BENCH_PR1.json]
+    PYTHONPATH=src python benchmarks/record_bench.py [--output BENCH_PR3.json]
     PYTHONPATH=src python benchmarks/record_bench.py --skip-suite --skip-figures
 """
 
@@ -118,13 +122,139 @@ def _figures_per_minute(scale_factor: float) -> dict[str, float]:
     }
 
 
+def _service_mix() -> list[dict]:
+    """A CPU-bound SQL mix: the heavy TPC-H queries plus the large join,
+    round-robined over the four engines."""
+    from repro.tpch.sql import GROUPBY_SQL, JOIN_SQL, TPCH_SQL
+
+    statements = [
+        TPCH_SQL["Q1"],
+        TPCH_SQL["Q6"],
+        TPCH_SQL["Q9"],
+        TPCH_SQL["Q18"],
+        JOIN_SQL["large"],
+        GROUPBY_SQL,
+    ]
+    engines = ("Typer", "Tectorwise", "DBMS R", "DBMS C")
+    return [
+        {"sql": statements[i % len(statements)],
+         "engine": engines[i % len(engines)]}
+        for i in range(24)
+    ]
+
+
+def _service_queries_per_second(service, requests: list[dict]) -> dict:
+    """Submit ``requests`` concurrently (one client thread each) and
+    time the batch end to end."""
+    import threading
+
+    service.submit(requests[0]["sql"], engine=requests[0]["engine"])  # warm-up
+    responses: list[dict] = []
+    lock = threading.Lock()
+
+    def _client(request: dict) -> None:
+        response = service.submit(
+            request["sql"], engine=request["engine"], timeout=600.0
+        )
+        with lock:
+            responses.append(response)
+
+    threads = [
+        threading.Thread(target=_client, args=(request,))
+        for request in requests
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    ok = sum(1 for response in responses if response.get("status") == "ok")
+    if ok != len(requests):
+        bad = next(r for r in responses if r.get("status") != "ok")
+        raise SystemExit(f"service benchmark request failed: {bad}")
+    return {
+        "queries": len(requests),
+        "seconds": round(elapsed, 3),
+        "queries_per_second": round(len(requests) / elapsed, 3),
+    }
+
+
+def _parallel_service_throughput(scale_factor: float, worker_counts) -> dict:
+    """Thread-executor service vs morsel-parallel process-executor
+    service on the same database and SQL mix.
+
+    The execution cache is disabled so every query executes; otherwise
+    the repeated statements in the mix degenerate into memo lookups and
+    both executors just measure cache latency.
+    """
+    from repro.serve.service import QueryService, ServiceConfig
+    from repro.tpch.dbgen import generate_database
+
+    requests = _service_mix()
+    db = generate_database(scale_factor=scale_factor)
+    base = dict(workers=4, queue_depth=max(32, len(requests)),
+                timeout_s=600.0, scale_factor=scale_factor)
+
+    env_key = "REPRO_EXEC_CACHE"
+    previous = os.environ.get(env_key)
+    os.environ[env_key] = "0"
+    try:
+        def run(config) -> dict:
+            service = QueryService(config, db=db).start()
+            try:
+                return _service_queries_per_second(service, requests)
+            finally:
+                service.stop()
+
+        record: dict = {
+            "scale_factor": scale_factor,
+            "statements": len(requests),
+            "note": (
+                "speedup_vs_thread reflects real cores only: on hosts "
+                "with fewer cores than workers (see top-level 'cpus') "
+                "the process executor pays IPC overhead with no "
+                "parallelism to win, so ratios <= 1 are expected there"
+            ),
+            "thread_service": run(ServiceConfig(**base)),
+            "process_service": {},
+        }
+        thread_qps = record["thread_service"]["queries_per_second"]
+        for n_workers in worker_counts:
+            entry = run(ServiceConfig(
+                **base, executor="process", process_workers=n_workers
+            ))
+            entry["speedup_vs_thread"] = round(
+                entry["queries_per_second"] / thread_qps, 3
+            )
+            record["process_service"][str(n_workers)] = entry
+        return record
+    finally:
+        if previous is None:
+            os.environ.pop(env_key, None)
+        else:
+            os.environ[env_key] = previous
+
+
+def _parallel_worker_counts() -> tuple[int, ...]:
+    """2, 4, and N (the machine's cores), deduplicated and sorted.
+    On boxes with fewer than 4 cores the larger counts still run --
+    oversubscribed, which the recorded 'cpus' field makes visible."""
+    cpus = os.cpu_count() or 1
+    return tuple(sorted({2, 4, max(2, min(8, cpus))}))
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_PR1.json"))
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_PR3.json"))
     parser.add_argument("--skip-suite", action="store_true")
     parser.add_argument("--skip-figures", action="store_true")
+    parser.add_argument("--skip-parallel", action="store_true",
+                        help="skip the thread-vs-process service benchmark")
     parser.add_argument("--figure-sf", type=float, default=0.05,
                         help="scale factor for the figure-regeneration timing")
+    parser.add_argument("--parallel-sf", type=float, default=0.05,
+                        help="scale factor for the service-throughput benchmark")
     parser.add_argument("--baseline-dir", default=None,
                         help="checkout of the pre-PR repo to time for a "
                         "same-machine baseline (e.g. a git worktree at the "
@@ -135,11 +265,17 @@ def main(argv=None) -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
     record: dict = {
-        "pr": 1,
+        "pr": 3,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "cpus": os.cpu_count(),
     }
+
+    if not args.skip_parallel:
+        print("thread vs process service throughput ...", flush=True)
+        record["service_throughput"] = _parallel_service_throughput(
+            args.parallel_sf, _parallel_worker_counts()
+        )
 
     print("replay kernels ...", flush=True)
     record["replay_events_per_second"] = {

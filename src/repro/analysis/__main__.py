@@ -18,6 +18,7 @@ printed in registry order regardless of completion order.
 from __future__ import annotations
 
 import argparse
+import multiprocessing.context
 import sys
 
 from repro.analysis.registry import (
@@ -41,9 +42,27 @@ def _run_one(experiment_id: str):
     )
 
 
+class _NonDaemonProcess(multiprocessing.context.ForkProcess):
+    """Pool worker that may itself have children: the measured-scaling
+    experiment spawns a ``repro.core.parallel.WorkerPool`` inside its
+    pool worker, and daemonic processes cannot have children."""
+
+    @property
+    def daemon(self):
+        return False
+
+    @daemon.setter
+    def daemon(self, value):
+        pass  # Pool insists on daemonizing its workers; refuse quietly.
+
+
+class _NonDaemonContext(multiprocessing.context.ForkContext):
+    Process = _NonDaemonProcess
+
+
 def _run_parallel(targets, scale_factor: float, seed: int, jobs: int):
     """Run experiments on a fork pool; yield figures in target order."""
-    import multiprocessing as mp
+    import multiprocessing.pool
 
     from repro.tpch.dbgen import generate_database
 
@@ -55,8 +74,9 @@ def _run_parallel(targets, scale_factor: float, seed: int, jobs: int):
 
     _WORKER_PARAMS["scale_factor"] = scale_factor
     _WORKER_PARAMS["seed"] = seed
-    context = mp.get_context("fork")
-    with context.Pool(processes=jobs) as pool:
+    with multiprocessing.pool.Pool(
+        processes=jobs, context=_NonDaemonContext()
+    ) as pool:
         yield from pool.imap(_run_one, targets)
 
 

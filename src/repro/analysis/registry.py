@@ -257,6 +257,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             claim="Both engines leave the socket's random bandwidth idle.",
         ),
         _spec(
+            "sec10-measured-scaling", "Measured vs modeled multi-core scaling",
+            figures_multicore.sec10_measured_scaling, tables=TPCH_TABLES,
+            claim="The morsel-driven process executor's measured wall-clock "
+                  "speedup tracks the modeled thread-scaling curves.",
+        ),
+        _spec(
             "sec10-headroom", "Multi-core bandwidth headroom",
             figures_multicore.sec10_multicore_headroom, tables=JOIN_TABLES,
             claim="SIMD: 21->31.5 GB/s; hyper-threading: x1.3 -- still "

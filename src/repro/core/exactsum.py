@@ -1,0 +1,140 @@
+"""Exact (error-free) summation of IEEE-754 doubles.
+
+The morsel-parallel executor (:mod:`repro.core.parallel`) must merge
+per-morsel partial aggregates into results that are **bit-identical**
+to a single-shot run, for *any* partitioning of the rows.  Plain float
+accumulation cannot deliver that -- float addition is not associative
+-- so partial sums are carried as arbitrary-precision integers instead:
+
+Every finite double is an integer multiple of 2**-1074 (the subnormal
+quantum), so the *true* sum of any set of doubles is representable as a
+Python integer in units of 2**-1074.  Integer addition is exact and
+associative, which makes :class:`ExactSum` merges partition-invariant
+by construction; the final :meth:`total` rounds the true sum to the
+nearest double exactly once (via :class:`fractions.Fraction`, whose
+float conversion is correctly rounded).
+
+The per-array conversion is vectorized: ``np.frexp`` splits values into
+a 53-bit integer mantissa and an exponent, mantissas are summed per
+distinct exponent (hi/lo split so int64 never overflows), and the few
+per-exponent subtotals are combined with Python integers.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+
+#: Units of the fixed-point representation: 2**-_SHIFT per unit.
+_SHIFT = 1074
+
+
+def _float_to_units(value: float) -> int:
+    """One finite double as an integer count of 2**-1074 units."""
+    if not np.isfinite(value):
+        raise ValueError(f"cannot exactly sum non-finite value {value!r}")
+    fraction = Fraction(float(value))
+    units = fraction * (1 << _SHIFT)
+    # Denominators of finite doubles divide 2**1074, so this is exact.
+    assert units.denominator == 1
+    return units.numerator
+
+
+def _array_to_units(values: np.ndarray) -> int:
+    """The exact sum of an array of doubles, in 2**-1074 units."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        return 0
+    if not np.all(np.isfinite(values)):
+        raise ValueError("cannot exactly sum non-finite values")
+    mantissa, exponent = np.frexp(values)
+    # mantissa in +-[0.5, 1); mantissa * 2**53 is an exact int64
+    # (doubles have 53 significant bits), value = m53 * 2**(e - 53).
+    m53 = np.round(np.ldexp(mantissa, 53)).astype(np.int64)
+    total = 0
+    for exp in np.unique(exponent):
+        group = m53[exponent == exp]
+        # hi/lo split keeps the int64 partial sums overflow-free for
+        # any realistic array length (|hi| < 2**27, lo < 2**26).
+        hi = int(np.sum(group >> 26, dtype=np.int64))
+        lo = int(np.sum(group & ((1 << 26) - 1), dtype=np.int64))
+        group_sum = (hi << 26) + lo
+        shift = int(exp) - 53 + _SHIFT
+        if shift >= 0:
+            total += group_sum << shift
+        else:
+            # Subnormal inputs: the mantissa has trailing zero bits, so
+            # the right shift is still exact.
+            assert group_sum % (1 << -shift) == 0
+            total += group_sum >> -shift
+    return total
+
+
+class ExactSum:
+    """A partial sum of doubles carried exactly as a Python integer.
+
+    Instances merge with ``+`` (exact, associative, commutative) and
+    pickle as a single integer, so they are the unit of value state the
+    worker processes ship back to the parent.
+    """
+
+    __slots__ = ("units",)
+
+    def __init__(self, units: int = 0):
+        self.units = int(units)
+
+    @classmethod
+    def of_array(cls, values) -> "ExactSum":
+        return cls(_array_to_units(np.asarray(values)))
+
+    @classmethod
+    def of(cls, *values: float) -> "ExactSum":
+        total = 0
+        for value in values:
+            total += _float_to_units(value)
+        return cls(total)
+
+    def add_array(self, values) -> "ExactSum":
+        self.units += _array_to_units(np.asarray(values))
+        return self
+
+    def __add__(self, other: "ExactSum") -> "ExactSum":
+        if not isinstance(other, ExactSum):
+            return NotImplemented
+        return ExactSum(self.units + other.units)
+
+    def __iadd__(self, other: "ExactSum") -> "ExactSum":
+        if not isinstance(other, ExactSum):
+            return NotImplemented
+        self.units += other.units
+        return self
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ExactSum) and self.units == other.units
+
+    def __hash__(self) -> int:
+        return hash(("ExactSum", self.units))
+
+    def __repr__(self) -> str:
+        return f"ExactSum({self.total()!r})"
+
+    # Pickle as the bare integer: cheap and version-stable.
+    def __reduce__(self):
+        return (ExactSum, (self.units,))
+
+    def total(self) -> float:
+        """The true sum, correctly rounded to the nearest double.
+
+        A true sum beyond the double range rounds to signed infinity
+        (what IEEE-754 round-to-nearest does with overflow), not an
+        exception -- partials that individually overflow may still
+        cancel once merged, so only the final rounding can tell.
+        """
+        if self.units == 0:
+            return 0.0
+        try:
+            return float(Fraction(self.units, 1 << _SHIFT))
+        except OverflowError:
+            return math.inf if self.units > 0 else -math.inf

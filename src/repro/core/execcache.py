@@ -140,9 +140,13 @@ def memoized_execution(method_name: str, func):
         try:
             bound = signature.bind(self, db, *args, **kwargs)
             bound.apply_defaults()
+            if bound.arguments.get("row_range") is not None:
+                # Morsel partials are never cached: their QueryResults
+                # carry mutable mergeable state that merging consumes.
+                return func(self, db, *args, **kwargs)
             call_args = tuple(
                 item for item in bound.arguments.items()
-                if item[0] not in ("self", "db")
+                if item[0] not in ("self", "db", "row_range")
             )
             key = (
                 f"{cls.__module__}.{cls.__qualname__}",

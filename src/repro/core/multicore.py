@@ -112,3 +112,69 @@ class MulticoreModel:
             threads: base / self.run(engine, result, threads).response_time_ms
             for threads in thread_counts
         }
+
+
+def measured_speedup_curve(
+    db,
+    engine: Engine,
+    method: str = "run_q1",
+    args: tuple = (),
+    kwargs: dict | None = None,
+    worker_counts=(1, 2, 4),
+    repeats: int = 3,
+) -> dict:
+    """Measured wall-clock scaling of the morsel-parallel executor.
+
+    Where :meth:`MulticoreModel.speedup_curve` predicts scaling from
+    the cycle model (work split N ways, shared bandwidth roofs), this
+    actually runs the query on :class:`repro.core.parallel.WorkerPool`
+    at each worker count and times it, so model and reality can be
+    overlaid (the measured analogue of Figures 29/30).
+
+    Timing uses the best of ``repeats`` runs after one warm-up (the
+    warm-up also populates per-worker shared structures such as hash
+    tables).  The execution cache is disabled around the single-process
+    baseline so repeats measure execution, not memo lookups.  Returns
+    ``{"baseline_s", "workers": {n: {"seconds", "speedup"}}}``.
+    """
+    import os
+
+    from repro.core.parallel import WorkerPool
+
+    kwargs = dict(kwargs or {})
+    runner = getattr(engine, method)
+
+    saved = os.environ.get("REPRO_EXEC_CACHE")
+    os.environ["REPRO_EXEC_CACHE"] = "0"
+    try:
+        runner(db, *args, **kwargs)  # warm-up
+        baseline = min(
+            _timed(lambda: runner(db, *args, **kwargs)) for _ in range(repeats)
+        )
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_EXEC_CACHE", None)
+        else:
+            os.environ["REPRO_EXEC_CACHE"] = saved
+
+    curve: dict[int, dict[str, float]] = {}
+    for n_workers in worker_counts:
+        with WorkerPool(db, n_workers=n_workers) as pool:
+            pool.run_query(engine, method, *args, **kwargs)  # warm-up
+            seconds = min(
+                _timed(lambda: pool.run_query(engine, method, *args, **kwargs))
+                for _ in range(repeats)
+            )
+        curve[n_workers] = {
+            "seconds": seconds,
+            "speedup": baseline / seconds if seconds else float("inf"),
+        }
+    return {"baseline_s": baseline, "workers": curve}
+
+
+def _timed(call) -> float:
+    import time
+
+    start = time.perf_counter()
+    call()
+    return time.perf_counter() - start

@@ -47,17 +47,34 @@ class SparseScanPattern:
     ``density`` is the fraction of cache lines touched.  Low densities
     break the hardware prefetchers' streams; mid densities make them
     overshoot (Figure 21's "most confusing at 50%" effect).
+
+    Gathers recorded through :meth:`WorkProfile.record_gather`
+    additionally carry the integer line counts and the region size the
+    density was derived from.  Those integers merge exactly across
+    row-range morsels (cache lines never straddle an aligned morsel
+    boundary), which is what makes merged sparse-scan accounting
+    bit-identical to a single-shot run.
     """
 
     name: str
     bytes_touched: float
     density: float
+    #: Integer accounting behind ``density`` (None for scans recorded
+    #: directly via :meth:`WorkProfile.record_sparse_scan`).
+    touched_lines: float | None = None
+    total_lines: float | None = None
+    region_bytes: float | None = None
 
     def __post_init__(self) -> None:
         if self.bytes_touched < 0:
             raise ValueError("bytes_touched must be non-negative")
-        if not 0.0 < self.density <= 1.0:
-            raise ValueError("density must be in (0, 1]")
+        if self.touched_lines is None:
+            # Directly recorded scans must be non-empty; gathers may be
+            # zero-count congruence placeholders (pruned at finalize).
+            if not 0.0 < self.density <= 1.0:
+                raise ValueError("density must be in (0, 1]")
+        elif not 0.0 <= self.density <= 1.0:
+            raise ValueError("density must be in [0, 1]")
 
 
 @dataclass
@@ -125,6 +142,11 @@ class WorkProfile:
     #: laden interpreter code cannot fill the 4-wide core; the gap is
     #: core-bound (Execution) stall time.  None means issue-width ILP.
     effective_ilp: float | None = None
+    #: Deferred work units (see :meth:`record_pending`): exactly
+    #: mergeable counts whose non-dyadic per-unit instruction costs the
+    #: owning engine applies once, at finalization.  Empty on every
+    #: published profile.
+    pending: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Recording API used by the engines
@@ -211,6 +233,60 @@ class WorkProfile:
         taken = float(np.count_nonzero(outcomes)) / count if count else 0.0
         self.record_branch_stream(name, count, taken)
 
+    def record_gather(
+        self, name: str, region_bytes: float, touched_lines: int, total_lines: int
+    ) -> None:
+        """A gather through a selection vector, in integer cache-line
+        counts.  ``bytes_touched``/``density`` follow the same formula
+        as :func:`repro.engines.base.line_density`-based recording, but
+        the integers are kept so morsel partials merge exactly."""
+        if total_lines > 0 and touched_lines > 0:
+            density = min(1.0, touched_lines / total_lines)
+        elif touched_lines > 0:
+            density = 1.0
+        else:
+            density = 0.0
+        self.sparse_scans.append(
+            SparseScanPattern(
+                name,
+                density * region_bytes,
+                density,
+                touched_lines=touched_lines,
+                total_lines=total_lines,
+                region_bytes=region_bytes,
+            )
+        )
+
+    def record_pending(self, key: str, amount: float) -> None:
+        """Defer work whose per-unit cost is not exactly representable.
+
+        Morsel partials accumulate the (dyadic, exactly mergeable)
+        ``amount`` here; the engine's finalizer converts the merged
+        total into instruction counts once, so any partitioning yields
+        the same rounding as a single-shot run.
+        """
+        if amount < 0:
+            raise ValueError("pending amounts must be non-negative")
+        self.pending[key] = self.pending.get(key, 0.0) + amount
+
+    def drop_negligible(self) -> None:
+        """Remove entries below one dynamic event.
+
+        Morsel partials record every stream unconditionally (including
+        zero-count ones) so partial lists stay congruent and merge
+        positionally; finalization prunes the entries the engines'
+        single-shot guards would have skipped.
+        """
+        self.random_patterns = [
+            pattern for pattern in self.random_patterns if pattern.count >= 1.0
+        ]
+        self.branch_streams = [
+            stream for stream in self.branch_streams if stream.count >= 1.0
+        ]
+        self.sparse_scans = [
+            scan for scan in self.sparse_scans if scan.bytes_touched > 0.0
+        ]
+
     # ------------------------------------------------------------------
     # Derived views
     # ------------------------------------------------------------------
@@ -268,6 +344,69 @@ class WorkProfile:
         self.random_patterns.extend(other.random_patterns)
         self.sparse_scans.extend(other.sparse_scans)
         self.branch_streams.extend(other.branch_streams)
+        for key, amount in other.pending.items():
+            self.pending[key] = self.pending.get(key, 0.0) + amount
+        self.code_footprint_bytes = max(
+            self.code_footprint_bytes, other.code_footprint_bytes
+        )
+        if other.effective_ilp is not None:
+            self.effective_ilp = (
+                other.effective_ilp
+                if self.effective_ilp is None
+                else min(self.effective_ilp, other.effective_ilp)
+            )
+
+    # ------------------------------------------------------------------
+    # Morsel partials (repro.core.parallel)
+    # ------------------------------------------------------------------
+    def merge_partial(self, other: "WorkProfile") -> None:
+        """Fold another *morsel partial* of the same execution into this
+        one, exactly.
+
+        Unlike :meth:`merge` (which concatenates operator profiles),
+        partials of one execution record the *same* sequence of
+        patterns/streams -- engines record unconditionally in morsel
+        mode, keeping zero-count placeholders -- so the lists combine
+        positionally and every scalar merges by exact addition (engines
+        only record dyadic quantities per morsel; non-dyadic costs ride
+        in :attr:`pending`).  The result is bit-identical to recording
+        the union of the morsels' rows in one shot, for any
+        partitioning and any merge order.
+        """
+        self.tuples += other.tuples
+        self.instructions += other.instructions
+        self.alu_ops += other.alu_ops
+        self.load_ops += other.load_ops
+        self.store_ops += other.store_ops
+        self.simd_ops += other.simd_ops
+        self.hash_ops += other.hash_ops
+        self.chain_ops += other.chain_ops
+        self.seq_read_bytes += other.seq_read_bytes
+        self.seq_write_bytes += other.seq_write_bytes
+        self.cached_read_bytes += other.cached_read_bytes
+        self.cached_write_bytes += other.cached_write_bytes
+        self.cached_access_events += other.cached_access_events
+        for name in ("random_patterns", "sparse_scans", "branch_streams"):
+            ours, theirs = getattr(self, name), getattr(other, name)
+            if len(ours) != len(theirs):
+                raise ValueError(
+                    f"partial profiles are not congruent: "
+                    f"{len(ours)} vs {len(theirs)} {name}"
+                )
+        self.random_patterns = [
+            _merge_random(a, b)
+            for a, b in zip(self.random_patterns, other.random_patterns)
+        ]
+        self.sparse_scans = [
+            _merge_sparse(a, b)
+            for a, b in zip(self.sparse_scans, other.sparse_scans)
+        ]
+        self.branch_streams = [
+            _merge_branch(a, b)
+            for a, b in zip(self.branch_streams, other.branch_streams)
+        ]
+        for key, amount in other.pending.items():
+            self.pending[key] = self.pending.get(key, 0.0) + amount
         self.code_footprint_bytes = max(
             self.code_footprint_bytes, other.code_footprint_bytes
         )
@@ -309,7 +448,17 @@ class WorkProfile:
                 for pattern in self.random_patterns
             ],
             sparse_scans=[
-                SparseScanPattern(scan.name, scan.bytes_touched * factor, scan.density)
+                SparseScanPattern(
+                    scan.name,
+                    scan.bytes_touched * factor,
+                    scan.density,
+                    touched_lines=None if scan.touched_lines is None
+                    else scan.touched_lines * factor,
+                    total_lines=None if scan.total_lines is None
+                    else scan.total_lines * factor,
+                    region_bytes=None if scan.region_bytes is None
+                    else scan.region_bytes * factor,
+                )
                 for scan in self.sparse_scans
             ],
             branch_streams=[
@@ -323,4 +472,87 @@ class WorkProfile:
             ],
             code_footprint_bytes=self.code_footprint_bytes,
             effective_ilp=self.effective_ilp,
+            pending={key: amount * factor for key, amount in self.pending.items()},
         )
+
+
+def _merge_random(
+    a: RandomAccessPattern, b: RandomAccessPattern
+) -> RandomAccessPattern:
+    if a.name != b.name:
+        raise ValueError(f"partial pattern mismatch: {a.name!r} vs {b.name!r}")
+    primary = a if a.count >= b.count else b
+    if (
+        a.count > 0
+        and b.count > 0
+        and (a.working_set_bytes, a.dependent, a.mlp_hint)
+        != (b.working_set_bytes, b.dependent, b.mlp_hint)
+    ):
+        raise ValueError(f"partial pattern {a.name!r} parameters diverge")
+    return RandomAccessPattern(
+        a.name,
+        a.count + b.count,
+        primary.working_set_bytes,
+        primary.dependent,
+        primary.mlp_hint,
+    )
+
+
+def _merge_sparse(a: SparseScanPattern, b: SparseScanPattern) -> SparseScanPattern:
+    if a.name != b.name:
+        raise ValueError(f"partial sparse scan mismatch: {a.name!r} vs {b.name!r}")
+    if a.touched_lines is None or b.touched_lines is None:
+        raise ValueError(
+            f"sparse scan {a.name!r} lacks line counts; morsel partials "
+            f"must record gathers via record_gather()"
+        )
+    touched = a.touched_lines + b.touched_lines
+    total = a.total_lines + b.total_lines
+    region = a.region_bytes + b.region_bytes
+    if total > 0 and touched > 0:
+        density = min(1.0, touched / total)
+    elif touched > 0:
+        density = 1.0
+    else:
+        density = 0.0
+    return SparseScanPattern(
+        a.name,
+        density * region,
+        density,
+        touched_lines=touched,
+        total_lines=total,
+        region_bytes=region,
+    )
+
+
+def _merge_branch(a: BranchStream, b: BranchStream) -> BranchStream:
+    """Exact merge of one static branch's per-morsel outcome statistics.
+
+    Contract: across the morsels of one execution a stream's
+    ``taken_fraction`` is either a constant (analytic rates) or derived
+    as ``takens / count`` from actual outcomes; in the latter case the
+    integer taken count is recovered exactly from the stored fraction
+    (the rounding error of ``count * (takens / count)`` is far below
+    0.5 for any realistic count), so merged fractions equal the
+    single-shot ones bit-for-bit.
+    """
+    if a.name != b.name:
+        raise ValueError(f"partial branch mismatch: {a.name!r} vs {b.name!r}")
+    count = a.count + b.count
+    if a.count == 0:
+        return BranchStream(a.name, count, b.taken_fraction, b.mispredict_rate)
+    if b.count == 0:
+        return BranchStream(a.name, count, a.taken_fraction, a.mispredict_rate)
+    if a.taken_fraction == b.taken_fraction:
+        taken = a.taken_fraction
+    else:
+        takens = round(a.count * a.taken_fraction) + round(b.count * b.taken_fraction)
+        taken = takens / count
+    if a.mispredict_rate == b.mispredict_rate:
+        rate = a.mispredict_rate
+    else:
+        weights = (
+            (a.mispredict_rate or 0.0) * a.count + (b.mispredict_rate or 0.0) * b.count
+        )
+        rate = weights / count
+    return BranchStream(a.name, count, taken, rate)

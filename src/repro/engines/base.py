@@ -8,12 +8,14 @@ performs into a :class:`~repro.core.workprofile.WorkProfile`.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.workprofile import WorkProfile
+from repro.engines.morsel import merge_states
 from repro.storage import Database
 from repro.tpch.schema import PROJECTION_COLUMNS, SELECTION_PREDICATE_COLUMNS
 
@@ -187,6 +189,46 @@ def line_density(indices: np.ndarray, total_rows: int, itemsize: int = 8) -> flo
     return min(1.0, touched / total_lines)
 
 
+_RESOLVED_SELECTIONS: dict = {}
+_RESOLVED_SELECTIONS_LOCK = threading.Lock()
+
+
+def resolve_selection_cached(db: Database, selectivity, thresholds):
+    """Memoized :func:`resolve_selection`.
+
+    Morsel execution resolves the selection parameters once per query
+    per process instead of once per morsel -- the quantile/mean passes
+    scan whole columns and would otherwise dominate small morsels."""
+    if isinstance(thresholds, dict):
+        thresholds_key = tuple(sorted(thresholds.items()))
+    elif thresholds is None:
+        thresholds_key = None
+    else:
+        thresholds_key = tuple(float(value) for value in thresholds)
+    key = (db.identity, selectivity, thresholds_key)
+    with _RESOLVED_SELECTIONS_LOCK:
+        if key in _RESOLVED_SELECTIONS:
+            return _RESOLVED_SELECTIONS[key]
+    resolved = resolve_selection(db, selectivity, thresholds)
+    with _RESOLVED_SELECTIONS_LOCK:
+        _RESOLVED_SELECTIONS.setdefault(key, resolved)
+        while len(_RESOLVED_SELECTIONS) > 64:
+            _RESOLVED_SELECTIONS.pop(next(iter(_RESOLVED_SELECTIONS)))
+    return resolved
+
+
+@dataclass
+class MergedPartials:
+    """The exactly merged state of one execution's morsel partials,
+    handed to an engine's ``_finish_*`` method (the same object a
+    single-shot run builds from its one full-range morsel)."""
+
+    state: dict
+    work: WorkProfile
+    tuples: int
+    operators: dict[str, WorkProfile] | None = None
+
+
 class Engine(ABC):
     """Abstract profiled system.
 
@@ -216,12 +258,102 @@ class Engine(ABC):
                 continue
             setattr(cls, method_name, memoized_execution(method_name, func))
 
+    #: Deferred-work resolution rates (see
+    #: :meth:`WorkProfile.record_pending`): pending key -> tuple of
+    #: (record_work keyword, per-unit cost).  Applied once per profile
+    #: at finalization so non-dyadic per-unit costs round identically
+    #: for single-shot and merged morsel runs.
+    PENDING_RATES: dict = {}
+
     def _new_work(self) -> WorkProfile:
         return WorkProfile(code_footprint_bytes=self.code_footprint_bytes)
 
     def _check_simd(self, simd: bool) -> None:
         if simd and not self.supports_simd:
             raise ValueError(f"{self.name} has no SIMD implementation")
+
+    # ------------------------------------------------------------------
+    # Morsel protocol (repro.core.parallel)
+    # ------------------------------------------------------------------
+    def _finalize_profile(self, work: WorkProfile) -> WorkProfile:
+        """Resolve deferred work and prune sub-one-event entries.
+
+        Both the single-shot path and the morsel merge path run every
+        profile through this exactly once, immediately before building
+        the final :class:`QueryResult`."""
+        for key in sorted(work.pending):
+            amount = work.pending[key]
+            rates = self.PENDING_RATES[key]
+            work.record_work(**{field_name: amount * rate for field_name, rate in rates})
+        work.pending.clear()
+        work.drop_negligible()
+        return work
+
+    def _partial_result(
+        self,
+        label: str,
+        state: dict,
+        tuples: int,
+        work: WorkProfile,
+        row_range: tuple[int, int],
+        operators: dict[str, WorkProfile] | None = None,
+    ) -> QueryResult:
+        """Package one morsel's raw measurements as a partial result."""
+        details: dict = {"partial": state, "row_range": (int(row_range[0]), int(row_range[1]))}
+        if operators is not None:
+            details["operators"] = operators
+        return QueryResult(label, None, tuples, work, details)
+
+    def merge_morsels(self, db: Database, method: str, kwargs: dict, partials) -> QueryResult:
+        """Merge morsel partials of one execution into the final
+        :class:`QueryResult`, bit-identical to a single-shot run.
+
+        ``partials`` are the results of ``run_<method>(db, ...,
+        row_range=...)`` calls whose ranges tile ``[0, n_rows)`` of the
+        partitioned table.  Merging consumes the partials' state.
+        """
+        partials = list(partials)
+        if not partials:
+            raise ValueError("no morsel partials to merge")
+        for partial in partials:
+            if "partial" not in partial.details:
+                raise ValueError("merge_morsels needs partial results (row_range runs)")
+        partials.sort(key=lambda result: result.details["row_range"])
+        state = partials[0].details["partial"]
+        work = partials[0].work
+        operators = partials[0].details.get("operators")
+        tuples = partials[0].tuples
+        for partial in partials[1:]:
+            merge_states(state, partial.details["partial"])
+            work.merge_partial(partial.work)
+            tuples += partial.tuples
+            other_ops = partial.details.get("operators")
+            if (operators is None) != (other_ops is None):
+                raise ValueError("partials disagree on operator attribution")
+            if operators is not None:
+                if operators.keys() != other_ops.keys():
+                    raise ValueError("partials disagree on operator names")
+                for name, profile in operators.items():
+                    profile.merge_partial(other_ops[name])
+        merged = MergedPartials(state=state, work=work, tuples=tuples, operators=operators)
+        finisher = getattr(self, f"_finish_{method[len('run_'):]}", None)
+        if finisher is None:
+            raise ValueError(f"{self.name} has no morsel finisher for {method!r}")
+        return finisher(db, merged, **dict(kwargs))
+
+    def partition_rows(self, db: Database, method: str, kwargs: dict) -> int:
+        """Row count of the table ``method`` partitions into morsels
+        (the probe side for joins, lineitem for everything else).
+
+        ``kwargs`` is a dict or the ``(key, value)`` item tuple passed
+        to :meth:`merge_morsels`."""
+        kwargs = dict(kwargs)
+        if method == "run_join":
+            size = kwargs.get("size") or (kwargs.get("args") or [None])[0]
+            if size not in JOIN_SPECS:
+                raise ValueError(f"unknown join size {size!r}")
+            return db.table(JOIN_SPECS[size].probe_table).n_rows
+        return db.table("lineitem").n_rows
 
     # ------------------------------------------------------------------
     # Micro-benchmarks (Sections 3-5, 7, 8)
@@ -256,7 +388,13 @@ class Engine(ABC):
     # ------------------------------------------------------------------
     # TPC-H (Section 6)
     # ------------------------------------------------------------------
-    def run_tpch(self, db: Database, query_id: str, predicated: bool = False) -> QueryResult:
+    def run_tpch(
+        self,
+        db: Database,
+        query_id: str,
+        predicated: bool = False,
+        row_range=None,
+    ) -> QueryResult:
         runners = {
             "Q1": self.run_q1,
             "Q6": self.run_q6,
@@ -265,11 +403,14 @@ class Engine(ABC):
         }
         if query_id not in runners:
             raise ValueError(f"unsupported TPC-H query {query_id!r}")
+        # Forward row_range only when set so subclasses that override a
+        # runner without morsel support keep working for full runs.
+        extra = {} if row_range is None else {"row_range": row_range}
         if query_id == "Q6":
-            return self.run_q6(db, predicated=predicated)
+            return self.run_q6(db, predicated=predicated, **extra)
         if predicated:
             raise ValueError("predication is studied on Q6 only (Section 7)")
-        return runners[query_id](db)
+        return runners[query_id](db, **extra)
 
     @abstractmethod
     def run_q1(self, db: Database) -> QueryResult:

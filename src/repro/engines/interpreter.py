@@ -13,21 +13,37 @@ result).
 model; the two concrete classes configure granularity (1 vs 1024
 tuples per ``next()``), per-expression interpretation cost, storage
 layout (full row pages vs single columns) and code footprint.
+
+Morsel mode (``row_range=(lo, hi)``, see :mod:`repro.engines.morsel`):
+each morsel records the interpretation cost of its own rows -- all
+scalar quantities are dyadic and merge exactly -- and defers the
+non-dyadic operation-mix rates (``alu = instructions * 0.30`` etc.)
+through :attr:`PENDING_RATES`, so the single resolution at finalization
+rounds identically for any partitioning.  TPC-H result values come
+from the reference implementations (the interpreters model *cost*, not
+novel execution), evaluated once in the merge finisher.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.exactsum import ExactSum
 from repro.engines.base import (
     Engine,
     JOIN_SPECS,
+    MergedPartials,
     QueryResult,
     projection_columns,
-    selection_predicate_masks,
-    resolve_selection,
+    resolve_selection_cached,
 )
 from repro.engines.hashtable import ChainedHashTable, GroupByHashTable
+from repro.engines.morsel import (
+    bytes_for_rows,
+    resolve_range,
+    row_scan_bytes,
+    shared_structure,
+)
 from repro.storage import Database
 from repro.tpch import schema as sc
 
@@ -64,6 +80,14 @@ class InterpreterEngine(Engine):
     #: gap surfaces as Execution stalls (Figure 2).
     EFFECTIVE_ILP = 2.2
 
+    #: The interpreter operation mix (30% ALU, 30% loads, 5% stores of
+    #: retired instructions) is applied to the merged instruction total
+    #: once, at finalization -- the rates are not dyadic, so per-morsel
+    #: application would make merged profiles partition-dependent.
+    PENDING_RATES = {
+        "interp": (("alu", 0.30), ("loads", 0.30), ("stores", 0.05)),
+    }
+
     def _new_work(self):
         work = super()._new_work()
         work.effective_ilp = self.EFFECTIVE_ILP
@@ -76,57 +100,76 @@ class InterpreterEngine(Engine):
         """Interpretation cost of pushing ``tuples`` through a plan of
         ``n_operators`` evaluating ``term_evals`` expression terms in
         total (term_evals is already multiplied by the tuple counts the
-        terms actually run on)."""
+        terms actually run on).
+
+        Records unconditionally (zero-count placeholders included) so
+        morsel partials stay congruent; :meth:`Engine._finalize_profile`
+        prunes the sub-one-event entries the old guards skipped."""
         next_calls = tuples * n_operators / self.BLOCK_SIZE
         instructions = next_calls * self.NEXT_COST + term_evals * self.EXPR_COST
         work.record_work(
             instructions=instructions,
-            alu=instructions * 0.30,
-            loads=instructions * 0.30,
-            stores=instructions * 0.05,
             chain=tuples * self.CHAIN_PER_OP * n_operators / self.BLOCK_SIZE,
         )
+        work.record_pending("interp", instructions)
         state_accesses = tuples * self.STATE_ACCESSES * n_operators / self.BLOCK_SIZE
-        if state_accesses >= 1:
-            # Operator-state and tuple-descriptor lookups chase
-            # pointers: the next access depends on the previous load.
-            work.record_random(
-                "interpreter state", state_accesses, self.STATE_WS_BYTES,
-                dependent=True,
-            )
+        # Operator-state and tuple-descriptor lookups chase pointers:
+        # the next access depends on the previous load.
+        work.record_random(
+            "interpreter state", state_accesses, self.STATE_WS_BYTES,
+            dependent=True,
+        )
         dispatch = tuples * self.DISPATCH_BRANCHES * n_operators / self.BLOCK_SIZE
-        if dispatch >= 1:
-            work.record_branch_stream(
-                "interpreter dispatch", dispatch, 0.5, self.DISPATCH_MISPREDICT
-            )
-        if term_evals >= 1:
-            work.record_branch_stream(
-                "interpreted value checks", term_evals, 0.5,
-                self.VALUE_CHECK_MISPREDICT,
-            )
+        work.record_branch_stream(
+            "interpreter dispatch", dispatch, 0.5, self.DISPATCH_MISPREDICT
+        )
+        work.record_branch_stream(
+            "interpreted value checks", term_evals, 0.5,
+            self.VALUE_CHECK_MISPREDICT,
+        )
 
-    def _scan_bytes(self, db: Database, table: str, columns) -> float:
-        """Bytes a scan of ``table`` moves (layout-dependent)."""
+    def _scan_bytes(self, db: Database, table: str, columns, lo: int, hi: int) -> float:
+        """Bytes a scan of rows ``[lo, hi)`` of ``table`` moves
+        (layout-dependent)."""
         raise NotImplementedError
+
+    def _full_scan_bytes(self, db: Database, table: str, columns) -> float:
+        return self._scan_bytes(db, table, columns, 0, db.table(table).n_rows)
 
     # ------------------------------------------------------------------
     # Micro-benchmarks
     # ------------------------------------------------------------------
-    def run_projection(self, db: Database, degree: int, simd: bool = False) -> QueryResult:
+    def run_projection(
+        self, db: Database, degree: int, simd: bool = False, row_range=None
+    ) -> QueryResult:
         self._check_simd(simd)
         columns = projection_columns(degree)
         lineitem = db.table("lineitem")
-        n = lineitem.n_rows
-        total = np.zeros(n)
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
+        total = np.zeros(m)
         for column in columns:
-            total = total + lineitem[column]
-        value = float(total.sum())
+            total = total + lineitem[column][lo:hi]
 
         work = self._new_work()
         # Plan: Scan -> Project -> Aggregate.
-        self._interp_work(work, n, n_operators=3, term_evals=n * 2 * degree)
-        work.record_sequential_read(self._scan_bytes(db, "lineitem", columns))
-        return QueryResult(f"projection-p{degree}", value, n, work)
+        self._interp_work(work, m, n_operators=3, term_evals=m * 2 * degree)
+        work.record_sequential_read(self._scan_bytes(db, "lineitem", columns, lo, hi))
+        state = {"sum": ExactSum.of_array(total)}
+        label = f"projection-p{degree}"
+        if row_range is not None:
+            return self._partial_result(label, state, m, work, (lo, hi))
+        return self._finish_projection(
+            db, MergedPartials(state, work, m), degree=degree, simd=simd
+        )
+
+    def _finish_projection(
+        self, db: Database, merged: MergedPartials, degree: int, simd: bool = False
+    ) -> QueryResult:
+        work = self._finalize_profile(merged.work)
+        return QueryResult(
+            f"projection-p{degree}", merged.state["sum"].total(), merged.tuples, work
+        )
 
     def run_selection(
         self,
@@ -135,33 +178,65 @@ class InterpreterEngine(Engine):
         predicated: bool = False,
         simd: bool = False,
         thresholds=None,
+        row_range=None,
     ) -> QueryResult:
         self._check_simd(simd)
-        selectivity, thresholds = resolve_selection(db, selectivity, thresholds)
-        masks = selection_predicate_masks(db, thresholds)
+        selectivity, thresholds = resolve_selection_cached(db, selectivity, thresholds)
         lineitem = db.table("lineitem")
-        n = lineitem.n_rows
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
         proj_cols = projection_columns(4)
 
+        masks = [
+            (column, lineitem[column][lo:hi] <= threshold)
+            for column, threshold in thresholds.items()
+        ]
         combined = masks[0][1] & masks[1][1] & masks[2][1]
         qualifying = np.flatnonzero(combined)
         q = len(qualifying)
         projected = np.zeros(q)
         for column in proj_cols:
-            projected = projected + lineitem[column][qualifying]
-        value = float(projected.sum())
+            projected = projected + lineitem[column][lo:hi][qualifying]
 
         work = self._new_work()
         # Plan: Scan -> Filter -> Project -> Aggregate.  The filter
         # interprets predicates tuple-at-a-time with short-circuiting,
         # so later predicates run on survivors only; the branch-free
         # variant evaluates the projection for every tuple.
-        work_terms, _survivors = self._filter_terms_and_streams(work, masks, n, predicated)
-        projected_tuples = n if predicated else q
+        work_terms, _survivors = self._filter_terms_and_streams(work, masks, m, predicated)
+        projected_tuples = m if predicated else q
         term_evals = work_terms + projected_tuples * 2 * len(proj_cols)
-        self._interp_work(work, n, n_operators=4, term_evals=term_evals)
+        self._interp_work(work, m, n_operators=4, term_evals=term_evals)
         columns = [name for name, _ in masks] + list(proj_cols)
-        work.record_sequential_read(self._scan_bytes(db, "lineitem", columns))
+        work.record_sequential_read(self._scan_bytes(db, "lineitem", columns, lo, hi))
+        label = f"selection-{int(selectivity * 100)}%" + (
+            "-predicated" if predicated else ""
+        )
+        state = {"sum": ExactSum.of_array(projected), "qualifying": q}
+        if row_range is not None:
+            return self._partial_result(label, state, m, work, (lo, hi))
+        return self._finish_selection(
+            db,
+            MergedPartials(state, work, m),
+            selectivity=selectivity,
+            predicated=predicated,
+            simd=simd,
+            thresholds=thresholds,
+        )
+
+    def _finish_selection(
+        self,
+        db: Database,
+        merged: MergedPartials,
+        selectivity: float | None,
+        predicated: bool = False,
+        simd: bool = False,
+        thresholds=None,
+    ) -> QueryResult:
+        selectivity, _ = resolve_selection_cached(db, selectivity, thresholds)
+        n = merged.tuples
+        q = merged.state["qualifying"]
+        work = self._finalize_profile(merged.work)
         label = f"selection-{int(selectivity * 100)}%" + (
             "-predicated" if predicated else ""
         )
@@ -170,188 +245,299 @@ class InterpreterEngine(Engine):
             "combined_selectivity": q / n if n else 0.0,
             "predicated": predicated,
         }
-        return QueryResult(label, value, n, work, details)
+        return QueryResult(label, merged.state["sum"].total(), n, work, details)
 
-    def _filter_terms_and_streams(self, work, masks, n: int, predicated: bool):
+    def _filter_terms_and_streams(self, work, masks, m: int, predicated: bool):
         """Short-circuit predicate evaluation: returns the number of
         term evaluations and records per-predicate branch streams."""
-        alive = np.ones(n, dtype=bool)
+        alive = np.ones(m, dtype=bool)
         term_evals = 0.0
         for name, mask in masks:
             candidates = int(alive.sum())
             term_evals += candidates * 2
-            if not predicated and candidates:
-                conditional = mask[alive]
-                work.record_branch_outcomes(f"{name} predicate", conditional)
+            if not predicated:
+                work.record_branch_outcomes(f"{name} predicate", mask[alive])
             alive = alive & mask
         if predicated:
             # Branch-free interpretation evaluates everything.
-            term_evals = n * 2 * len(masks)
+            term_evals = m * 2 * len(masks)
         return term_evals, int(alive.sum())
 
-    def run_join(self, db: Database, size: str, simd: bool = False) -> QueryResult:
+    def _join_table(self, db: Database, spec) -> ChainedHashTable:
+        return shared_structure(
+            db,
+            ("join-build", spec.size),
+            lambda: ChainedHashTable(db.table(spec.build_table)[spec.build_key]),
+        )
+
+    def run_join(
+        self, db: Database, size: str, simd: bool = False, row_range=None
+    ) -> QueryResult:
         self._check_simd(simd)
         if size not in JOIN_SPECS:
             raise ValueError(f"unknown join size {size!r}")
         spec = JOIN_SPECS[size]
         build = db.table(spec.build_table)
         probe = db.table(spec.probe_table)
-        n_probe = probe.n_rows
+        lo, hi = resolve_range(row_range, probe.n_rows)
+        m = hi - lo
+        lead = lo == 0
 
-        table = ChainedHashTable(build[spec.build_key])
-        result = table.probe(probe[spec.probe_key])
+        table = self._join_table(db, spec)
+        result = table.probe(probe[spec.probe_key][lo:hi])
         matched = result.found
-        m = int(matched.sum())
-        projected = np.zeros(m)
+        matches = int(matched.sum())
+        projected = np.zeros(matches)
         for column in spec.sum_columns:
-            projected = projected + probe[column][matched]
-        value = float(projected.sum())
+            projected = projected + probe[column][lo:hi][matched]
 
         work = self._new_work()
-        # Build pipeline: Scan -> HashBuild over the build side.
-        self._interp_work(work, build.n_rows, n_operators=2, term_evals=build.n_rows)
-        work.record_sequential_read(self._scan_bytes(db, spec.build_table, [spec.build_key]))
+        # Build pipeline: Scan -> HashBuild over the build side (global
+        # work, recorded by the lead morsel only).
+        n_build = build.n_rows if lead else 0
+        self._interp_work(work, n_build, n_operators=2, term_evals=n_build)
+        work.record_sequential_read(
+            self._full_scan_bytes(db, spec.build_table, [spec.build_key]) if lead else 0.0
+        )
         ws = table.working_set_bytes * self.HT_SIZE_FACTOR
-        work.record_random("hash build scatter", build.n_rows, ws)
+        work.record_random("hash build scatter", n_build, ws)
         # Probe pipeline: Scan -> HashJoin -> Project -> Aggregate.
         degree = len(spec.sum_columns)
         self._interp_work(
-            work, n_probe, n_operators=4,
-            term_evals=n_probe * 2 + m * 2 * degree,
+            work, m, n_operators=4,
+            term_evals=m * 2 + matches * 2 * degree,
         )
         work.record_sequential_read(
-            self._scan_bytes(db, spec.probe_table, [spec.probe_key, *spec.sum_columns])
+            self._scan_bytes(db, spec.probe_table, [spec.probe_key, *spec.sum_columns], lo, hi)
         )
-        work.record_random("hash probe heads", n_probe, ws)
-        if result.extra_walk:
-            work.record_random("hash chain walk", result.extra_walk, ws, dependent=True)
+        work.record_random("hash probe heads", m, ws)
+        work.record_random("hash chain walk", result.extra_walk, ws, dependent=True)
         work.record_branch_outcomes("probe hit", result.found)
+        state = {"sum": ExactSum.of_array(projected), "found": matches}
+        if row_range is not None:
+            return self._partial_result(f"join-{size}", state, m, work, (lo, hi))
+        return self._finish_join(
+            db, MergedPartials(state, work, m), size=size, simd=simd
+        )
+
+    def _finish_join(
+        self, db: Database, merged: MergedPartials, size: str, simd: bool = False
+    ) -> QueryResult:
+        spec = JOIN_SPECS[size]
+        table = self._join_table(db, spec)
+        n_probe = merged.tuples
+        work = self._finalize_profile(merged.work)
         details = {
             "join_size": size,
-            "hit_fraction": result.hit_fraction,
+            "hit_fraction": merged.state["found"] / n_probe if n_probe else 0.0,
             "chain_stats": table.chain_stats(),
         }
-        return QueryResult(f"join-{size}", value, n_probe, work, details)
+        return QueryResult(
+            f"join-{size}", merged.state["sum"].total(), n_probe, work, details
+        )
 
-    def run_groupby(self, db: Database) -> QueryResult:
+    def _groupby_table(self, db: Database) -> GroupByHashTable:
+        def build():
+            lineitem = db.table("lineitem")
+            composite = lineitem["l_partkey"] * 4 + lineitem["l_returnflag"]
+            return GroupByHashTable(composite)
+
+        return shared_structure(db, "groupby-micro", build)
+
+    def run_groupby(self, db: Database, row_range=None) -> QueryResult:
         lineitem = db.table("lineitem")
-        n = lineitem.n_rows
-        composite = lineitem["l_partkey"] * 4 + lineitem["l_returnflag"]
-        table = GroupByHashTable(composite)
-        value = float(table.aggregate_sum(lineitem["l_extendedprice"]).sum())
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
+        table = self._groupby_table(db)
 
         work = self._new_work()
-        self._interp_work(work, n, n_operators=3, term_evals=n * 3)
+        self._interp_work(work, m, n_operators=3, term_evals=m * 3)
         work.record_sequential_read(
-            self._scan_bytes(db, "lineitem", ["l_partkey", "l_returnflag", "l_extendedprice"])
+            self._scan_bytes(
+                db, "lineitem", ["l_partkey", "l_returnflag", "l_extendedprice"], lo, hi
+            )
         )
         ws = table.working_set_bytes * self.HT_SIZE_FACTOR
-        work.record_random("group table update", n, ws)
-        work.record_branch_stream("group collision", n, table.collision_fraction())
+        work.record_random("group table update", m, ws)
+        # Constant-rate stream: every morsel records the same global
+        # fraction, so the merged stream keeps it bit-for-bit.
+        work.record_branch_stream("group collision", m, table.collision_fraction())
+        state = {"sum": ExactSum.of_array(lineitem["l_extendedprice"][lo:hi])}
+        if row_range is not None:
+            return self._partial_result("groupby-micro", state, m, work, (lo, hi))
+        return self._finish_groupby(db, MergedPartials(state, work, m))
+
+    def _finish_groupby(self, db: Database, merged: MergedPartials) -> QueryResult:
+        table = self._groupby_table(db)
+        work = self._finalize_profile(merged.work)
         details = {"groups": table.n_groups, "chain_stats": table.chain_stats()}
-        return QueryResult("groupby-micro", value, n, work, details)
+        return QueryResult(
+            "groupby-micro", merged.state["sum"].total(), merged.tuples, work, details
+        )
 
     # ------------------------------------------------------------------
     # TPC-H: interpretation cost over the reference plans.
     # ------------------------------------------------------------------
-    def run_q1(self, db: Database) -> QueryResult:
-        from repro.tpch.queries import q1_reference
-
+    def run_q1(self, db: Database, row_range=None) -> QueryResult:
         lineitem = db.table("lineitem")
-        n = lineitem.n_rows
-        groups = q1_reference(db)
-        mask = lineitem["l_shipdate"] <= sc.DATE_1998_09_02
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
+        mask = lineitem["l_shipdate"][lo:hi] <= sc.DATE_1998_09_02
         q = int(mask.sum())
 
         work = self._new_work()
-        self._interp_work(work, n, n_operators=4, term_evals=n * 2 + q * 14)
+        self._interp_work(work, m, n_operators=4, term_evals=m * 2 + q * 14)
         columns = [
             "l_shipdate", "l_returnflag", "l_linestatus", "l_quantity",
             "l_extendedprice", "l_discount", "l_tax",
         ]
-        work.record_sequential_read(self._scan_bytes(db, "lineitem", columns))
+        work.record_sequential_read(self._scan_bytes(db, "lineitem", columns, lo, hi))
         work.record_branch_outcomes("shipdate filter", mask)
-        return QueryResult("Q1", groups, n, work, {"groups": len(groups)})
+        state = {"qualifying": q}
+        if row_range is not None:
+            return self._partial_result("Q1", state, m, work, (lo, hi))
+        return self._finish_q1(db, MergedPartials(state, work, m))
 
-    def run_q6(self, db: Database, predicated: bool = False) -> QueryResult:
-        from repro.tpch.queries import q6_predicates, q6_reference
+    def _finish_q1(self, db: Database, merged: MergedPartials) -> QueryResult:
+        from repro.tpch.queries import q1_reference
+
+        groups = q1_reference(db)
+        work = self._finalize_profile(merged.work)
+        return QueryResult("Q1", groups, merged.tuples, work, {"groups": len(groups)})
+
+    def run_q6(self, db: Database, predicated: bool = False, row_range=None) -> QueryResult:
+        from repro.tpch.queries import q6_predicates
 
         lineitem = db.table("lineitem")
-        n = lineitem.n_rows
-        value = q6_reference(db)
-        predicates = q6_predicates(db)
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
+        predicates = [(name, mask[lo:hi]) for name, mask in q6_predicates(db)]
 
         work = self._new_work()
-        alive = np.ones(n, dtype=bool)
+        alive = np.ones(m, dtype=bool)
         term_evals = 0.0
         for name, mask in predicates:
             candidates = int(alive.sum())
             term_evals += candidates * 2
-            if not predicated and candidates:
+            if not predicated:
                 work.record_branch_outcomes(f"{name}", mask[alive])
             alive &= mask
         if predicated:
-            term_evals = n * 2 * len(predicates)
+            term_evals = m * 2 * len(predicates)
         q = int(alive.sum())
-        self._interp_work(work, n, n_operators=4, term_evals=term_evals + q * 3)
+        self._interp_work(work, m, n_operators=4, term_evals=term_evals + q * 3)
         columns = ["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"]
-        work.record_sequential_read(self._scan_bytes(db, "lineitem", columns))
+        work.record_sequential_read(self._scan_bytes(db, "lineitem", columns, lo, hi))
+        state = {"qualifying": q}
+        label = "Q6-predicated" if predicated else "Q6"
+        if row_range is not None:
+            return self._partial_result(label, state, m, work, (lo, hi))
+        return self._finish_q6(db, MergedPartials(state, work, m), predicated=predicated)
+
+    def _finish_q6(
+        self, db: Database, merged: MergedPartials, predicated: bool = False
+    ) -> QueryResult:
+        from repro.tpch.queries import q6_reference
+
+        value = q6_reference(db)
+        n = merged.tuples
+        q = merged.state["qualifying"]
+        work = self._finalize_profile(merged.work)
         label = "Q6-predicated" if predicated else "Q6"
         return QueryResult(label, value, n, work, {"selectivity": q / n if n else 0.0})
 
-    def run_q9(self, db: Database) -> QueryResult:
-        from repro.tpch.queries import q9_reference
+    def _q9_green_keys(self, db: Database) -> np.ndarray:
+        def build():
+            part = db.table("part")
+            return part["p_partkey"][part["p_namecat"] == sc.GREEN_CATEGORY]
 
+        return shared_structure(db, "q9-green-keys", build)
+
+    def run_q9(self, db: Database, row_range=None) -> QueryResult:
         lineitem = db.table("lineitem")
-        part = db.table("part")
         supplier = db.table("supplier")
         partsupp = db.table("partsupp")
         orders = db.table("orders")
-        n = lineitem.n_rows
-        value = q9_reference(db)
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
+        lead = lo == 0
 
-        green = np.isin(
-            lineitem["l_partkey"],
-            part["p_partkey"][part["p_namecat"] == sc.GREEN_CATEGORY],
-        )
+        green = np.isin(lineitem["l_partkey"][lo:hi], self._q9_green_keys(db))
         q = int(green.sum())
         work = self._new_work()
-        # Six-table plan: scans + four hash joins + aggregation.
-        self._interp_work(work, n, n_operators=5, term_evals=n * 2 + q * 16)
-        self._interp_work(
-            work, partsupp.n_rows + supplier.n_rows + orders.n_rows,
-            n_operators=2, term_evals=partsupp.n_rows + supplier.n_rows + orders.n_rows,
-        )
+        # Six-table plan: scans + four hash joins + aggregation.  The
+        # build-side pipelines are global work (lead morsel only).
+        self._interp_work(work, m, n_operators=5, term_evals=m * 2 + q * 16)
+        n_build = (partsupp.n_rows + supplier.n_rows + orders.n_rows) if lead else 0
+        self._interp_work(work, n_build, n_operators=2, term_evals=n_build)
         columns = [
             "l_partkey", "l_suppkey", "l_orderkey",
             "l_extendedprice", "l_discount", "l_quantity",
         ]
-        work.record_sequential_read(self._scan_bytes(db, "lineitem", columns))
-        work.record_sequential_read(self._scan_bytes(db, "partsupp", ["ps_partkey", "ps_suppkey", "ps_supplycost"]))
-        work.record_sequential_read(self._scan_bytes(db, "orders", ["o_orderkey", "o_orderdate"]))
+        work.record_sequential_read(self._scan_bytes(db, "lineitem", columns, lo, hi))
+        work.record_sequential_read(
+            self._full_scan_bytes(db, "partsupp", ["ps_partkey", "ps_suppkey", "ps_supplycost"])
+            if lead else 0.0
+        )
+        work.record_sequential_read(
+            self._full_scan_bytes(db, "orders", ["o_orderkey", "o_orderdate"])
+            if lead else 0.0
+        )
         ht_bytes = self.HT_SIZE_FACTOR * 24 * (partsupp.n_rows + orders.n_rows)
-        work.record_random("hash probe heads", n + 3.0 * q, ht_bytes)
+        work.record_random("hash probe heads", m + 3.0 * q, ht_bytes)
         work.record_branch_outcomes("green part probe", green)
+        state = {"green": q}
+        if row_range is not None:
+            return self._partial_result("Q9", state, m, work, (lo, hi))
+        return self._finish_q9(db, MergedPartials(state, work, m))
+
+    def _finish_q9(self, db: Database, merged: MergedPartials) -> QueryResult:
+        from repro.tpch.queries import q9_reference
+
+        value = q9_reference(db)
+        n = merged.tuples
+        q = merged.state["green"]
+        work = self._finalize_profile(merged.work)
         return QueryResult("Q9", value, n, work, {"green_fraction": q / n if n else 0.0})
 
-    def run_q18(self, db: Database) -> QueryResult:
+    def _q18_group_table(self, db: Database) -> GroupByHashTable:
+        return shared_structure(
+            db,
+            ("q18-groups", 0.25),
+            lambda: GroupByHashTable(db.table("lineitem")["l_orderkey"], target_load=0.25),
+        )
+
+    def run_q18(self, db: Database, row_range=None) -> QueryResult:
+        lineitem = db.table("lineitem")
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
+        lead = lo == 0
+
+        table = self._q18_group_table(db)
+        work = self._new_work()
+        self._interp_work(work, m, n_operators=4, term_evals=m * 4)
+        work.record_sequential_read(
+            self._scan_bytes(db, "lineitem", ["l_orderkey", "l_quantity"], lo, hi)
+        )
+        work.record_sequential_read(
+            self._full_scan_bytes(db, "orders", ["o_orderkey", "o_custkey"])
+            if lead else 0.0
+        )
+        ws = table.working_set_bytes * self.HT_SIZE_FACTOR
+        work.record_random("group table update", m, ws)
+        work.record_branch_stream("group collision", m, table.collision_fraction())
+        if row_range is not None:
+            return self._partial_result("Q18", {}, m, work, (lo, hi))
+        return self._finish_q18(db, MergedPartials({}, work, m))
+
+    def _finish_q18(self, db: Database, merged: MergedPartials) -> QueryResult:
         from repro.tpch.queries import q18_reference
 
-        lineitem = db.table("lineitem")
-        orders = db.table("orders")
-        n = lineitem.n_rows
         value = q18_reference(db)
-
-        table = GroupByHashTable(lineitem["l_orderkey"], target_load=0.25)
-        work = self._new_work()
-        self._interp_work(work, n, n_operators=4, term_evals=n * 4)
-        work.record_sequential_read(self._scan_bytes(db, "lineitem", ["l_orderkey", "l_quantity"]))
-        work.record_sequential_read(self._scan_bytes(db, "orders", ["o_orderkey", "o_custkey"]))
-        ws = table.working_set_bytes * self.HT_SIZE_FACTOR
-        work.record_random("group table update", n, ws)
-        work.record_branch_stream("group collision", n, table.collision_fraction())
+        table = self._q18_group_table(db)
+        work = self._finalize_profile(merged.work)
         details = {"groups": table.n_groups, "winners": len(value)}
-        return QueryResult("Q18", value, n, work, details)
+        return QueryResult("Q18", value, merged.tuples, work, details)
 
 
 class RowStoreEngine(InterpreterEngine):
@@ -371,8 +557,10 @@ class RowStoreEngine(InterpreterEngine):
     CHAIN_PER_OP = 4.0
     EFFECTIVE_ILP = 2.5
 
-    def _scan_bytes(self, db: Database, table: str, columns) -> float:
-        return float(db.row_table(table).scan_bytes())
+    def _scan_bytes(self, db: Database, table: str, columns, lo: int, hi: int) -> float:
+        # Full rows, page-granular; pages attribute to the morsel
+        # containing their first row (see morsel.row_scan_bytes).
+        return row_scan_bytes(db, table, lo, hi)
 
 
 class ColumnStoreEngine(InterpreterEngine):
@@ -396,5 +584,7 @@ class ColumnStoreEngine(InterpreterEngine):
     DISPATCH_MISPREDICT = 0.08
     EFFECTIVE_ILP = 3.9
 
-    def _scan_bytes(self, db: Database, table: str, columns) -> float:
-        return float(db.table(table).bytes_for(dict.fromkeys(columns)))
+    def _scan_bytes(self, db: Database, table: str, columns, lo: int, hi: int) -> float:
+        return float(
+            bytes_for_rows(db.table(table), dict.fromkeys(columns), lo, hi)
+        )

@@ -15,23 +15,37 @@ micro-architecture (Sections 3-8):
 Execution is numpy-vectorised; the recorded work is that of the
 vector-at-a-time interpreter (per-element primitive costs, vector
 materialisation traffic, measured branch streams and probe accesses).
+
+Morsel mode (``row_range=(lo, hi)``, see :mod:`repro.engines.morsel`)
+follows the engine-wide protocol: per-morsel recordings are dyadic and
+positionally congruent (global hash builds are recorded by the lead
+morsel, zero-count placeholders elsewhere), the non-dyadic SIMD
+per-element pass cost (0.8 instructions) is deferred through
+:attr:`PENDING_RATES`, and single-shot runs go through the same
+``_finish_*`` merge finishers as the parallel executor.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.exactsum import ExactSum
 from repro.engines.base import (
     Engine,
     JOIN_SPECS,
+    MergedPartials,
     OperatorWork,
     QueryResult,
-    line_density,
     projection_columns,
-    selection_predicate_masks,
-    resolve_selection,
+    resolve_selection_cached,
 )
 from repro.engines.hashtable import ChainedHashTable, GroupByHashTable
+from repro.engines.morsel import (
+    bytes_for_rows,
+    gather_lines,
+    resolve_range,
+    shared_structure,
+)
 from repro.storage import Database
 from repro.tpch import schema as sc
 
@@ -61,6 +75,13 @@ class TectorwiseEngine(Engine):
     #: MLP a SIMD gather sustains on hash-probe cache misses.
     SIMD_GATHER_MLP = 12.0
 
+    #: The SIMD per-element pass cost (0.8 instructions) is not dyadic;
+    #: per-morsel element counts accumulate in ``pending`` and the
+    #: product is taken once at finalization (partition-invariant).
+    PENDING_RATES = {
+        "simd-pass": (("instructions", SIMD_PASS_INSTRS),),
+    }
+
     # ------------------------------------------------------------------
     # Primitive cost helpers
     # ------------------------------------------------------------------
@@ -78,11 +99,12 @@ class TectorwiseEngine(Engine):
         if simd:
             scale = 1.0 / self.SIMD_LANES
             work.record_work(
-                instructions=count * (self.SIMD_PASS_INSTRS + extra_instr * scale),
+                instructions=count * extra_instr * scale,
                 simd=count * alu * scale,
                 loads=count * loads * scale,
                 stores=count * stores * scale,
             )
+            work.record_pending("simd-pass", count)
         else:
             work.record_work(
                 instructions=count * (self.PASS_INSTRS + extra_instr),
@@ -122,31 +144,47 @@ class TectorwiseEngine(Engine):
     # ------------------------------------------------------------------
     # Projection (Section 3)
     # ------------------------------------------------------------------
-    def run_projection(self, db: Database, degree: int, simd: bool = False) -> QueryResult:
+    def run_projection(
+        self, db: Database, degree: int, simd: bool = False, row_range=None
+    ) -> QueryResult:
         self._check_simd(simd)
         columns = projection_columns(degree)
         lineitem = db.table("lineitem")
-        n = lineitem.n_rows
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
 
-        total = np.zeros(n)
+        total = np.zeros(m)
         for column in columns:
-            total = total + lineitem[column]
-        value = float(total.sum())
+            total = total + lineitem[column][lo:hi]
 
         work = self._new_work()
-        work.record_sequential_read(lineitem.bytes_for(columns))
+        work.record_sequential_read(bytes_for_rows(lineitem, columns, lo, hi))
         # (degree-1) binary add passes materialising intermediates,
         # then one reduction pass.  From degree two onwards every pass
         # sees the same pattern: two vectors in, one vector out --
         # which is why the breakdown stays flat (Section 3).
         add_passes = max(0, degree - 1)
         for _ in range(add_passes):
-            self._pass(work, n, simd=simd)
+            self._pass(work, m, simd=simd)
         if add_passes:
-            self._materialize(work, n, vectors=add_passes, simd=simd)
-        self._reduce(work, n, simd=simd)
+            self._materialize(work, m, vectors=add_passes, simd=simd)
+        self._reduce(work, m, simd=simd)
         label = f"projection-p{degree}" + ("-simd" if simd else "")
-        return QueryResult(label, value, n, work, {"simd": simd})
+        state = {"sum": ExactSum.of_array(total)}
+        if row_range is not None:
+            return self._partial_result(label, state, m, work, (lo, hi))
+        return self._finish_projection(
+            db, MergedPartials(state, work, m), degree=degree, simd=simd
+        )
+
+    def _finish_projection(
+        self, db: Database, merged: MergedPartials, degree: int, simd: bool = False
+    ) -> QueryResult:
+        work = self._finalize_profile(merged.work)
+        label = f"projection-p{degree}" + ("-simd" if simd else "")
+        return QueryResult(
+            label, merged.state["sum"].total(), merged.tuples, work, {"simd": simd}
+        )
 
     # ------------------------------------------------------------------
     # Selection (Sections 4 and 7)
@@ -158,33 +196,37 @@ class TectorwiseEngine(Engine):
         predicated: bool = False,
         simd: bool = False,
         thresholds=None,
+        row_range=None,
     ) -> QueryResult:
         self._check_simd(simd)
-        selectivity, thresholds = resolve_selection(db, selectivity, thresholds)
-        masks = selection_predicate_masks(db, thresholds)
+        selectivity, thresholds = resolve_selection_cached(db, selectivity, thresholds)
         lineitem = db.table("lineitem")
-        n = lineitem.n_rows
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
         proj_cols = projection_columns(4)
+        masks = [
+            (column, lineitem[column][lo:hi] <= threshold)
+            for column, threshold in thresholds.items()
+        ]
 
         work = self._new_work()
         # Predicates evaluated one primitive at a time over shrinking
         # selection vectors; the predictor sees each *individual*
         # conditional selectivity (Section 4).
-        candidates = np.arange(n)
-        prev_count = n
+        candidates = np.arange(m)
+        prev_count = m
         first = True
         for column, mask in masks:
             outcomes = mask[candidates]
             passed = candidates[outcomes]
+            column_bytes = bytes_for_rows(lineitem, [column], lo, hi)
             if first:
-                work.record_sequential_read(lineitem.bytes_for([column]))
+                work.record_sequential_read(column_bytes)
                 first = False
             else:
-                density = line_density(candidates, n)
-                work.record_sparse_scan(
-                    f"{column} gather",
-                    density * lineitem.bytes_for([column]),
-                    density,
+                touched, total_lines = gather_lines(candidates + lo, lo, hi)
+                work.record_gather(
+                    f"{column} gather", column_bytes, touched, total_lines
                 )
             if predicated:
                 # Branch-free selection-vector computation: flag math
@@ -201,18 +243,18 @@ class TectorwiseEngine(Engine):
         q = len(candidates)
         projected = np.zeros(q)
         for column in proj_cols:
-            projected = projected + lineitem[column][candidates]
-        value = float(projected.sum())
+            projected = projected + lineitem[column][lo:hi][candidates]
 
         # Projection through the final selection vector: gather passes
         # + adds + reduce.  The bulk of the projection work is the same
         # with and without predication (Section 7).
-        density = line_density(candidates, n)
+        touched, total_lines = gather_lines(candidates + lo, lo, hi)
         for column in proj_cols:
-            work.record_sparse_scan(
+            work.record_gather(
                 f"{column} gather",
-                density * lineitem.bytes_for([column]),
-                density,
+                bytes_for_rows(lineitem, [column], lo, hi),
+                touched,
+                total_lines,
             )
         add_passes = len(proj_cols) - 1
         for _ in range(add_passes):
@@ -223,72 +265,144 @@ class TectorwiseEngine(Engine):
         label = f"selection-{int(selectivity * 100)}%" + (
             "-predicated" if predicated else ""
         ) + ("-simd" if simd else "")
+        state = {"sum": ExactSum.of_array(projected), "qualifying": q}
+        if row_range is not None:
+            return self._partial_result(label, state, m, work, (lo, hi))
+        return self._finish_selection(
+            db,
+            MergedPartials(state, work, m),
+            selectivity=selectivity,
+            predicated=predicated,
+            simd=simd,
+            thresholds=thresholds,
+        )
+
+    def _finish_selection(
+        self,
+        db: Database,
+        merged: MergedPartials,
+        selectivity: float | None,
+        predicated: bool = False,
+        simd: bool = False,
+        thresholds=None,
+    ) -> QueryResult:
+        selectivity, _ = resolve_selection_cached(db, selectivity, thresholds)
+        n = merged.tuples
+        q = merged.state["qualifying"]
+        work = self._finalize_profile(merged.work)
+        label = f"selection-{int(selectivity * 100)}%" + (
+            "-predicated" if predicated else ""
+        ) + ("-simd" if simd else "")
         details = {
             "selectivity": selectivity,
             "combined_selectivity": q / n if n else 0.0,
             "predicated": predicated,
             "simd": simd,
         }
-        return QueryResult(label, value, n, work, details)
+        return QueryResult(label, merged.state["sum"].total(), n, work, details)
 
     # ------------------------------------------------------------------
     # Join (Sections 5 and 8.2)
     # ------------------------------------------------------------------
-    def run_join(self, db: Database, size: str, simd: bool = False) -> QueryResult:
+    def _join_table(self, db: Database, spec) -> ChainedHashTable:
+        return shared_structure(
+            db,
+            ("join-build", spec.size),
+            lambda: ChainedHashTable(db.table(spec.build_table)[spec.build_key]),
+        )
+
+    def run_join(
+        self, db: Database, size: str, simd: bool = False, row_range=None
+    ) -> QueryResult:
         self._check_simd(simd)
         if size not in JOIN_SPECS:
             raise ValueError(f"unknown join size {size!r}")
         spec = JOIN_SPECS[size]
-        build = db.table(spec.build_table)
         probe = db.table(spec.probe_table)
-        n_probe = probe.n_rows
+        lo, hi = resolve_range(row_range, probe.n_rows)
+        m = hi - lo
+        lead = lo == 0
 
-        table = ChainedHashTable(build[spec.build_key])
-        result = table.probe(probe[spec.probe_key])
+        table = self._join_table(db, spec)
+        result = table.probe(probe[spec.probe_key][lo:hi])
         matched = result.found
-        m = int(matched.sum())
+        matches = int(matched.sum())
 
-        projected = np.zeros(m)
+        projected = np.zeros(matches)
         for column in spec.sum_columns:
-            projected = projected + probe[column][matched]
-        value = float(projected.sum())
+            projected = projected + probe[column][lo:hi][matched]
 
         operators = OperatorWork(self)
         self._record_build(
-            operators.operator("hash build"), table, build.bytes_for([spec.build_key])
+            operators.operator("hash build"),
+            table,
+            db.table(spec.build_table).bytes_for([spec.build_key]),
+            lead=lead,
         )
         probe_work = operators.operator("hash probe")
-        probe_work.record_sequential_read(probe.bytes_for([spec.probe_key]))
-        self._record_probe(probe_work, table, result, n_probe, simd=simd)
+        probe_work.record_sequential_read(bytes_for_rows(probe, [spec.probe_key], lo, hi))
+        self._record_probe(probe_work, table, result, m, simd=simd)
         # Sum over matches: gather passes + adds + reduce (all matched
         # here: FK joins, density ~1).
         aggregate_work = operators.operator("aggregate")
-        aggregate_work.record_sequential_read(probe.bytes_for(spec.sum_columns))
+        aggregate_work.record_sequential_read(
+            bytes_for_rows(probe, spec.sum_columns, lo, hi)
+        )
         add_passes = len(spec.sum_columns) - 1
         for _ in range(add_passes + 1):
-            self._pass(aggregate_work, m, extra_instr=1.0, simd=simd)
-        self._materialize(aggregate_work, m, vectors=add_passes + 1, simd=simd)
-        self._reduce(aggregate_work, m, simd=simd)
+            self._pass(aggregate_work, matches, extra_instr=1.0, simd=simd)
+        self._materialize(aggregate_work, matches, vectors=add_passes + 1, simd=simd)
+        self._reduce(aggregate_work, matches, simd=simd)
         work = operators.total()
 
         label = f"join-{size}" + ("-simd" if simd else "")
+        state = {"sum": ExactSum.of_array(projected), "found": matches}
+        if row_range is not None:
+            return self._partial_result(
+                label, state, m, work, (lo, hi), operators.profiles
+            )
+        return self._finish_join(
+            db,
+            MergedPartials(state, work, m, operators.profiles),
+            size=size,
+            simd=simd,
+        )
+
+    def _finish_join(
+        self, db: Database, merged: MergedPartials, size: str, simd: bool = False
+    ) -> QueryResult:
+        spec = JOIN_SPECS[size]
+        table = self._join_table(db, spec)
+        n_probe = merged.tuples
+        work = self._finalize_profile(merged.work)
+        operators = {
+            name: self._finalize_profile(profile)
+            for name, profile in merged.operators.items()
+        }
+        label = f"join-{size}" + ("-simd" if simd else "")
         details = {
             "join_size": size,
-            "hit_fraction": result.hit_fraction,
+            "hit_fraction": merged.state["found"] / n_probe if n_probe else 0.0,
             "chain_stats": table.chain_stats(),
             "hash_table_bytes": table.working_set_bytes,
             "simd": simd,
-            "operators": operators.profiles,
+            "operators": operators,
         }
-        return QueryResult(label, value, n_probe, work, details)
+        return QueryResult(
+            label, merged.state["sum"].total(), n_probe, work, details
+        )
 
-    def _record_build(self, work, table: ChainedHashTable, key_bytes: float) -> None:
-        """Vectorized build: hash pass + scatter insert pass."""
-        n = table.n_keys
+    def _record_build(
+        self, work, table: ChainedHashTable, key_bytes: float, lead: bool = True
+    ) -> None:
+        """Vectorized build: hash pass + scatter insert pass.  Global
+        work: full counts on the lead morsel, congruent zero-count
+        placeholders elsewhere."""
+        n = table.n_keys if lead else 0
         self._pass(work, n, extra_instr=self.HASH_INSTRS)
         work.record_work(hash_ops=n, stores=n)
         self._materialize(work, n)
-        work.record_sequential_read(key_bytes)
+        work.record_sequential_read(key_bytes if lead else 0.0)
         work.record_random("hash build scatter", n, table.working_set_bytes)
 
     def _record_probe(
@@ -300,8 +414,7 @@ class TectorwiseEngine(Engine):
         work.record_work(hash_ops=n_probe)
         self._pass(work, n_probe, loads=1.0, simd=simd)  # head gather
         self._pass(work, n_probe, extra_instr=1.0, simd=simd)  # key compare
-        if result.extra_walk:
-            self._pass(work, result.extra_walk, extra_instr=self.VISIT_INSTRS)
+        self._pass(work, result.extra_walk, extra_instr=self.VISIT_INSTRS)
         self._materialize(work, n_probe, vectors=2.0, simd=simd)
         work.record_random(
             "hash probe heads",
@@ -309,98 +422,110 @@ class TectorwiseEngine(Engine):
             table.working_set_bytes,
             mlp_hint=self.SIMD_GATHER_MLP if simd else None,
         )
-        if result.extra_walk:
-            work.record_random(
-                "hash chain walk",
-                result.extra_walk,
-                table.working_set_bytes,
-                dependent=True,
-            )
+        work.record_random(
+            "hash chain walk",
+            result.extra_walk,
+            table.working_set_bytes,
+            dependent=True,
+        )
         if not simd:
             work.record_branch_outcomes("probe hit", result.found)
-            if result.comparisons:
-                work.record_branch_stream(
-                    "chain continue",
-                    result.comparisons,
-                    result.extra_walk / result.comparisons,
-                )
+            walk_fraction = (
+                result.extra_walk / result.comparisons if result.comparisons else 0.0
+            )
+            work.record_branch_stream(
+                "chain continue", result.comparisons, walk_fraction
+            )
 
     # ------------------------------------------------------------------
     # Group by
     # ------------------------------------------------------------------
-    def run_groupby(self, db: Database) -> QueryResult:
+    def _groupby_table(self, db: Database) -> GroupByHashTable:
+        def build():
+            lineitem = db.table("lineitem")
+            composite = lineitem["l_partkey"] * 4 + lineitem["l_returnflag"]
+            return GroupByHashTable(composite)
+
+        return shared_structure(db, "groupby-micro", build)
+
+    def run_groupby(self, db: Database, row_range=None) -> QueryResult:
         lineitem = db.table("lineitem")
-        n = lineitem.n_rows
-        composite = lineitem["l_partkey"] * 4 + lineitem["l_returnflag"]
-        table = GroupByHashTable(composite)
-        sums = table.aggregate_sum(lineitem["l_extendedprice"])
-        value = float(sums.sum())
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
+        table = self._groupby_table(db)
 
         work = self._new_work()
         work.record_sequential_read(
-            lineitem.bytes_for(["l_partkey", "l_returnflag", "l_extendedprice"])
+            bytes_for_rows(lineitem, ["l_partkey", "l_returnflag", "l_extendedprice"], lo, hi)
         )
-        self._record_groupby_updates(work, table)
+        self._record_groupby_updates(work, table, lo, hi)
+        state = {"sum": ExactSum.of_array(lineitem["l_extendedprice"][lo:hi])}
+        if row_range is not None:
+            return self._partial_result("groupby-micro", state, m, work, (lo, hi))
+        return self._finish_groupby(db, MergedPartials(state, work, m))
+
+    def _finish_groupby(self, db: Database, merged: MergedPartials) -> QueryResult:
+        table = self._groupby_table(db)
+        work = self._finalize_profile(merged.work)
         details = {
             "groups": table.n_groups,
             "chain_stats": table.chain_stats(),
             "collision_fraction": table.collision_fraction(),
         }
-        return QueryResult("groupby-micro", value, n, work, details)
+        return QueryResult(
+            "groupby-micro", merged.state["sum"].total(), merged.tuples, work, details
+        )
 
-    def _record_groupby_updates(self, work, table: GroupByHashTable) -> None:
-        n = table.n_updates
-        comparisons = table.update_comparisons()
+    def _record_groupby_updates(
+        self, work, table: GroupByHashTable, lo: int, hi: int
+    ) -> None:
+        depths = table._depth[table.group_ids[lo:hi]]
+        n = hi - lo
+        comparisons = int(depths.sum())
+        collisions = int((depths > 1).sum())
         self._pass(work, n, extra_instr=self.HASH_INSTRS)  # hash pass
         self._pass(work, n, loads=1.0)  # slot gather
         self._pass(work, n, extra_instr=1.0)  # compare + update pass
         work.record_work(hash_ops=n, chain=n, stores=n)
-        if comparisons > n:
-            self._pass(work, comparisons - n, extra_instr=self.VISIT_INSTRS)
+        self._pass(work, comparisons - n, extra_instr=self.VISIT_INSTRS)
         self._materialize(work, n, vectors=2.0)
         work.record_random("group table update", n, table.working_set_bytes)
-        extra = comparisons - n
-        if extra > 0:
-            work.record_random(
-                "group chain walk", extra, table.working_set_bytes, dependent=True
-            )
-        work.record_branch_stream("group collision", n, table.collision_fraction())
+        work.record_random(
+            "group chain walk", comparisons - n, table.working_set_bytes, dependent=True
+        )
+        work.record_branch_stream(
+            "group collision", n, collisions / n if n else 0.0
+        )
 
     # ------------------------------------------------------------------
     # TPC-H (Section 6)
     # ------------------------------------------------------------------
-    def run_q1(self, db: Database) -> QueryResult:
+    def run_q1(self, db: Database, row_range=None) -> QueryResult:
         lineitem = db.table("lineitem")
-        n = lineitem.n_rows
-        mask = lineitem["l_shipdate"] <= sc.DATE_1998_09_02
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
+        mask = lineitem["l_shipdate"][lo:hi] <= sc.DATE_1998_09_02
         selected = np.flatnonzero(mask)
         q = len(selected)
 
-        flags = lineitem["l_returnflag"][selected]
-        status = lineitem["l_linestatus"][selected]
-        quantity = lineitem["l_quantity"][selected]
-        price = lineitem["l_extendedprice"][selected]
-        discount = lineitem["l_discount"][selected]
-        tax = lineitem["l_tax"][selected]
+        flags = lineitem["l_returnflag"][lo:hi][selected]
+        status = lineitem["l_linestatus"][lo:hi][selected]
+        quantity = lineitem["l_quantity"][lo:hi][selected]
+        price = lineitem["l_extendedprice"][lo:hi][selected]
+        discount = lineitem["l_discount"][lo:hi][selected]
+        tax = lineitem["l_tax"][lo:hi][selected]
         disc_price = price * (1.0 - discount)
         charge = disc_price * (1.0 + tax)
-        table = GroupByHashTable(flags * 2 + status, target_load=0.5)
-        value = {
-            "sum_qty": float(quantity.sum()),
-            "sum_base_price": float(price.sum()),
-            "sum_disc_price": float(disc_price.sum()),
-            "sum_charge": float(charge.sum()),
-            "groups": table.n_groups,
-        }
+        group_key = flags * 2 + status
 
         work = self._new_work()
         columns = (
             "l_shipdate", "l_returnflag", "l_linestatus", "l_quantity",
             "l_extendedprice", "l_discount", "l_tax",
         )
-        work.record_sequential_read(lineitem.bytes_for(columns))
+        work.record_sequential_read(bytes_for_rows(lineitem, columns, lo, hi))
         # Filter primitive + outcome stream (predictable, ~99% taken).
-        self._pass(work, n, stores=0.5, extra_instr=1.0)
+        self._pass(work, m, stores=0.5, extra_instr=1.0)
         work.record_branch_outcomes("shipdate filter", mask)
         # Expression passes: 1-discount, *, 1+tax, * -> 4 passes; key
         # pass; 8 aggregate update passes through the group vector.
@@ -412,14 +537,36 @@ class TectorwiseEngine(Engine):
             self._pass(work, q, loads=2.0, stores=1.0)
         work.record_work(chain=q * 2.0)
         self._materialize(work, q, vectors=7.0)
-        return QueryResult("Q1", value, n, work, {"groups": table.n_groups})
+        state = {
+            "sum_qty": ExactSum.of_array(quantity),
+            "sum_base_price": ExactSum.of_array(price),
+            "sum_disc_price": ExactSum.of_array(disc_price),
+            "sum_charge": ExactSum.of_array(charge),
+            "keys": set(np.unique(group_key).tolist()),
+        }
+        if row_range is not None:
+            return self._partial_result("Q1", state, m, work, (lo, hi))
+        return self._finish_q1(db, MergedPartials(state, work, m))
 
-    def run_q6(self, db: Database, predicated: bool = False) -> QueryResult:
+    def _finish_q1(self, db: Database, merged: MergedPartials) -> QueryResult:
+        work = self._finalize_profile(merged.work)
+        groups = len(merged.state["keys"])
+        value = {
+            "sum_qty": merged.state["sum_qty"].total(),
+            "sum_base_price": merged.state["sum_base_price"].total(),
+            "sum_disc_price": merged.state["sum_disc_price"].total(),
+            "sum_charge": merged.state["sum_charge"].total(),
+            "groups": groups,
+        }
+        return QueryResult("Q1", value, merged.tuples, work, {"groups": groups})
+
+    def run_q6(self, db: Database, predicated: bool = False, row_range=None) -> QueryResult:
         lineitem = db.table("lineitem")
-        n = lineitem.n_rows
-        shipdate = lineitem["l_shipdate"]
-        discount = lineitem["l_discount"]
-        quantity = lineitem["l_quantity"]
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
+        shipdate = lineitem["l_shipdate"][lo:hi]
+        discount = lineitem["l_discount"][lo:hi]
+        quantity = lineitem["l_quantity"][lo:hi]
         predicates = [
             ("l_shipdate >=", shipdate >= sc.DATE_1994_01_01),
             ("l_shipdate <", shipdate < sc.DATE_1995_01_01),
@@ -430,21 +577,20 @@ class TectorwiseEngine(Engine):
         pred_columns = ["l_shipdate", "l_shipdate", "l_discount", "l_discount", "l_quantity"]
 
         work = self._new_work()
-        candidates = np.arange(n)
-        prev_count = n
+        candidates = np.arange(m)
+        prev_count = m
         seen_columns: set[str] = set()
-        for (name, mask), column in zip(predicates, pred_columns):
+        for index, ((name, mask), column) in enumerate(zip(predicates, pred_columns)):
             outcomes = mask[candidates]
             passed = candidates[outcomes]
             if column not in seen_columns:
-                if prev_count == n:
-                    work.record_sequential_read(lineitem.bytes_for([column]))
+                column_bytes = bytes_for_rows(lineitem, [column], lo, hi)
+                if index == 0:
+                    work.record_sequential_read(column_bytes)
                 else:
-                    density = line_density(candidates, n)
-                    work.record_sparse_scan(
-                        f"{column} gather",
-                        density * lineitem.bytes_for([column]),
-                        density,
+                    touched, total_lines = gather_lines(candidates + lo, lo, hi)
+                    work.record_gather(
+                        f"{column} gather", column_bytes, touched, total_lines
                     )
                 seen_columns.add(column)
             if predicated:
@@ -458,107 +604,184 @@ class TectorwiseEngine(Engine):
             prev_count = len(passed)
 
         q = len(candidates)
-        value = float(
-            (lineitem["l_extendedprice"][candidates] * discount[candidates]).sum()
-        )
-        density = line_density(candidates, n)
-        work.record_sparse_scan(
+        amounts = lineitem["l_extendedprice"][lo:hi][candidates] * discount[candidates]
+        touched, total_lines = gather_lines(candidates + lo, lo, hi)
+        work.record_gather(
             "l_extendedprice gather",
-            density * lineitem.bytes_for(["l_extendedprice"]),
-            density,
+            bytes_for_rows(lineitem, ["l_extendedprice"], lo, hi),
+            touched,
+            total_lines,
         )
         self._pass(work, q, extra_instr=1.0)  # price * discount
         self._materialize(work, q)
         self._reduce(work, q)
+        state = {"sum": ExactSum.of_array(amounts), "qualifying": q}
+        label = "Q6-predicated" if predicated else "Q6"
+        if row_range is not None:
+            return self._partial_result(label, state, m, work, (lo, hi))
+        return self._finish_q6(db, MergedPartials(state, work, m), predicated=predicated)
+
+    def _finish_q6(
+        self, db: Database, merged: MergedPartials, predicated: bool = False
+    ) -> QueryResult:
+        work = self._finalize_profile(merged.work)
+        n = merged.tuples
+        q = merged.state["qualifying"]
         label = "Q6-predicated" if predicated else "Q6"
         details = {"selectivity": q / n if n else 0.0, "predicated": predicated}
-        return QueryResult(label, value, n, work, details)
+        return QueryResult(label, merged.state["sum"].total(), n, work, details)
 
-    def run_q9(self, db: Database) -> QueryResult:
+    def _q9_structures(self, db: Database) -> dict:
+        def build():
+            part = db.table("part")
+            supplier = db.table("supplier")
+            partsupp = db.table("partsupp")
+            orders = db.table("orders")
+            n_supp = supplier.n_rows
+            green_keys = part["p_partkey"][part["p_namecat"] == sc.GREEN_CATEGORY]
+            ps_composite = partsupp["ps_partkey"] * (n_supp + 1) + partsupp["ps_suppkey"]
+            return {
+                "n_supp": n_supp,
+                "green_keys": green_keys,
+                "green_table": ChainedHashTable(green_keys),
+                "ps_table": ChainedHashTable(ps_composite),
+                "supp_table": ChainedHashTable(supplier["s_suppkey"]),
+                "orders_table": ChainedHashTable(orders["o_orderkey"]),
+            }
+
+        return shared_structure(db, "q9-structs", build)
+
+    def run_q9(self, db: Database, row_range=None) -> QueryResult:
         lineitem = db.table("lineitem")
-        part = db.table("part")
         supplier = db.table("supplier")
         partsupp = db.table("partsupp")
         orders = db.table("orders")
-        n = lineitem.n_rows
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
+        lead = lo == 0
+        structs = self._q9_structures(db)
+        n_supp = structs["n_supp"]
+        green_table = structs["green_table"]
+        ps_table = structs["ps_table"]
+        supp_table = structs["supp_table"]
+        orders_table = structs["orders_table"]
 
-        green_keys = part["p_partkey"][part["p_namecat"] == sc.GREEN_CATEGORY]
-        green_table = ChainedHashTable(green_keys)
-        green_probe = green_table.probe(lineitem["l_partkey"])
+        green_probe = green_table.probe(lineitem["l_partkey"][lo:hi])
         green = green_probe.found
         q = int(green.sum())
 
-        n_supp = supplier.n_rows
-        ps_composite = partsupp["ps_partkey"] * (n_supp + 1) + partsupp["ps_suppkey"]
-        ps_table = ChainedHashTable(ps_composite)
         li_composite = (
-            lineitem["l_partkey"][green] * (n_supp + 1) + lineitem["l_suppkey"][green]
+            lineitem["l_partkey"][lo:hi][green] * (n_supp + 1)
+            + lineitem["l_suppkey"][lo:hi][green]
         )
         ps_probe = ps_table.probe(li_composite)
-        supp_table = ChainedHashTable(supplier["s_suppkey"])
-        supp_probe = supp_table.probe(lineitem["l_suppkey"][green])
-        orders_table = ChainedHashTable(orders["o_orderkey"])
-        orders_probe = orders_table.probe(lineitem["l_orderkey"][green])
+        supp_probe = supp_table.probe(lineitem["l_suppkey"][lo:hi][green])
+        orders_probe = orders_table.probe(lineitem["l_orderkey"][lo:hi][green])
 
         keep = ps_probe.found & supp_probe.found & orders_probe.found
         supplycost = partsupp["ps_supplycost"][ps_probe.match_index[keep]]
-        nationkey = supplier["s_nationkey"][supp_probe.match_index[keep]]
-        orderdate = orders["o_orderdate"][orders_probe.match_index[keep]]
-        year = 1992 + orderdate // 365
-        price = lineitem["l_extendedprice"][green][keep]
-        disc = lineitem["l_discount"][green][keep]
-        qty = lineitem["l_quantity"][green][keep]
+        price = lineitem["l_extendedprice"][lo:hi][green][keep]
+        disc = lineitem["l_discount"][lo:hi][green][keep]
+        qty = lineitem["l_quantity"][lo:hi][green][keep]
         amount = price * (1.0 - disc) - supplycost * qty
-        group_table = GroupByHashTable(nationkey * 10_000 + year, target_load=0.5)
-        value = float(group_table.aggregate_sum(amount).sum())
+        survivors = int(keep.sum())
 
         work = self._new_work()
         work.record_sequential_read(
-            lineitem.bytes_for(
+            bytes_for_rows(
+                lineitem,
                 ("l_partkey", "l_suppkey", "l_orderkey", "l_extendedprice",
-                 "l_discount", "l_quantity")
+                 "l_discount", "l_quantity"),
+                lo,
+                hi,
             )
         )
         for table, key_bytes in (
-            (green_table, green_keys.nbytes),
+            (green_table, structs["green_keys"].nbytes),
             (ps_table, partsupp.bytes_for(("ps_partkey", "ps_suppkey", "ps_supplycost"))),
             (supp_table, supplier.bytes_for(("s_suppkey", "s_nationkey"))),
             (orders_table, orders.bytes_for(("o_orderkey", "o_orderdate"))),
         ):
-            self._record_build(work, table, key_bytes)
-        self._record_probe(work, green_table, green_probe, n)
+            self._record_build(work, table, key_bytes, lead=lead)
+        self._record_probe(work, green_table, green_probe, m)
         self._record_probe(work, ps_table, ps_probe, q)
         self._record_probe(work, supp_table, supp_probe, q)
         self._record_probe(work, orders_table, orders_probe, q)
-        survivors = int(keep.sum())
         for _ in range(4):  # amount expression passes
             self._pass(work, survivors)
         self._pass(work, survivors, extra_instr=self.HASH_INSTRS)
         work.record_work(hash_ops=survivors, chain=survivors)
         self._materialize(work, survivors, vectors=4.0)
-        details = {
-            "green_fraction": q / n if n else 0.0,
+        state = {
+            "sum": ExactSum.of_array(amount),
+            "green": q,
             "survivors": survivors,
-            "orders_ht_bytes": orders_table.working_set_bytes,
         }
-        return QueryResult("Q9", value, n, work, details)
+        if row_range is not None:
+            return self._partial_result("Q9", state, m, work, (lo, hi))
+        return self._finish_q9(db, MergedPartials(state, work, m))
 
-    def run_q18(self, db: Database) -> QueryResult:
+    def _finish_q9(self, db: Database, merged: MergedPartials) -> QueryResult:
+        structs = self._q9_structures(db)
+        n = merged.tuples
+        work = self._finalize_profile(merged.work)
+        details = {
+            "green_fraction": merged.state["green"] / n if n else 0.0,
+            "survivors": merged.state["survivors"],
+            "orders_ht_bytes": structs["orders_table"].working_set_bytes,
+        }
+        return QueryResult("Q9", merged.state["sum"].total(), n, work, details)
+
+    def _q18_group_table(self, db: Database) -> GroupByHashTable:
+        return shared_structure(
+            db,
+            ("q18-groups", 0.4),
+            lambda: GroupByHashTable(db.table("lineitem")["l_orderkey"]),
+        )
+
+    def run_q18(self, db: Database, row_range=None) -> QueryResult:
         lineitem = db.table("lineitem")
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
+        group_table = self._q18_group_table(db)
+
+        # Partial per-group quantity sums: l_quantity is integer-valued,
+        # so the bincount partials add exactly across morsels.
+        qty_sums = np.bincount(
+            group_table.group_ids[lo:hi],
+            weights=lineitem["l_quantity"][lo:hi],
+            minlength=group_table.n_groups,
+        )
+
+        work = self._new_work()
+        work.record_sequential_read(
+            bytes_for_rows(lineitem, ("l_orderkey", "l_quantity"), lo, hi)
+        )
+        self._record_groupby_updates(work, group_table, lo, hi)
+        state = {"qty_sums": qty_sums}
+        if row_range is not None:
+            return self._partial_result("Q18", state, m, work, (lo, hi))
+        return self._finish_q18(db, MergedPartials(state, work, m))
+
+    def _finish_q18(self, db: Database, merged: MergedPartials) -> QueryResult:
         orders = db.table("orders")
         customer = db.table("customer")
-        n = lineitem.n_rows
+        group_table = self._q18_group_table(db)
+        work = merged.work
 
-        group_table = GroupByHashTable(lineitem["l_orderkey"])
-        qty_sums = group_table.aggregate_sum(lineitem["l_quantity"])
+        qty_sums = merged.state["qty_sums"]
         big = qty_sums > 300.0
         winner_orderkeys = group_table.distinct_keys[big]
         winners = len(winner_orderkeys)
 
-        orders_table = ChainedHashTable(orders["o_orderkey"])
+        orders_table = shared_structure(
+            db, "q18-orders", lambda: ChainedHashTable(orders["o_orderkey"])
+        )
         winner_probe = orders_table.probe(winner_orderkeys)
         custkeys = orders["o_custkey"][winner_probe.match_index[winner_probe.found]]
-        cust_table = ChainedHashTable(customer["c_custkey"])
+        cust_table = shared_structure(
+            db, "q18-cust", lambda: ChainedHashTable(customer["c_custkey"])
+        )
         cust_probe = cust_table.probe(custkeys)
         value = {
             "winners": winners,
@@ -566,9 +789,6 @@ class TectorwiseEngine(Engine):
             "matched_customers": int(cust_probe.found.sum()),
         }
 
-        work = self._new_work()
-        work.record_sequential_read(lineitem.bytes_for(("l_orderkey", "l_quantity")))
-        self._record_groupby_updates(work, group_table)
         work.record_branch_stream(
             "having sum(qty) > 300",
             group_table.n_groups,
@@ -578,9 +798,10 @@ class TectorwiseEngine(Engine):
         self._record_probe(work, orders_table, winner_probe, winners)
         self._record_build(work, cust_table, customer.bytes_for(("c_custkey",)))
         self._record_probe(work, cust_table, cust_probe, len(custkeys))
+        work = self._finalize_profile(work)
         details = {
             "groups": group_table.n_groups,
             "group_table_bytes": group_table.working_set_bytes,
             "chain_stats": group_table.chain_stats(),
         }
-        return QueryResult("Q18", value, n, work, details)
+        return QueryResult("Q18", value, merged.tuples, work, details)

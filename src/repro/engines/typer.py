@@ -10,23 +10,40 @@ Execution here is numpy-vectorised for speed, but the recorded work is
 that of the compiled per-tuple loop: per-tuple instruction counts,
 operation mix, branch outcome streams (measured from the actual data)
 and the exact bytes/accesses the fused pipeline touches.
+
+Every ``run_*`` method accepts ``row_range=(lo, hi)`` and then executes
+only that morsel of the partitioned table (see
+:mod:`repro.engines.morsel`): per-morsel value state is carried exactly
+(:class:`~repro.core.exactsum.ExactSum`, integer counts), every
+branch/random/sparse stream is recorded unconditionally in a fixed
+order (zero-count placeholders keep partial profiles congruent), and
+the single-shot path is *defined* as one full-range morsel passed to
+the same ``_finish_*`` merge finisher the parallel executor uses -- so
+merged morsel runs are bit-identical to single-shot runs by
+construction.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.exactsum import ExactSum
 from repro.engines.base import (
     Engine,
     JOIN_SPECS,
+    MergedPartials,
     OperatorWork,
     QueryResult,
-    line_density,
     projection_columns,
-    selection_predicate_masks,
-    resolve_selection,
+    resolve_selection_cached,
 )
 from repro.engines.hashtable import ChainedHashTable, GroupByHashTable
+from repro.engines.morsel import (
+    bytes_for_rows,
+    gather_lines,
+    resolve_range,
+    shared_structure,
+)
 from repro.storage import Database
 from repro.tpch import schema as sc
 
@@ -49,28 +66,44 @@ class TyperEngine(Engine):
     # ------------------------------------------------------------------
     # Projection (Section 3)
     # ------------------------------------------------------------------
-    def run_projection(self, db: Database, degree: int, simd: bool = False) -> QueryResult:
+    def run_projection(
+        self, db: Database, degree: int, simd: bool = False, row_range=None
+    ) -> QueryResult:
         self._check_simd(simd)
         columns = projection_columns(degree)
         lineitem = db.table("lineitem")
-        n = lineitem.n_rows
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
 
-        total = np.zeros(n)
+        total = np.zeros(m)
         for column in columns:
-            total = total + lineitem[column]
-        value = float(total.sum())
+            total = total + lineitem[column][lo:hi]
 
         work = self._new_work()
         # Fused loop: degree loads, degree FP adds (including the
         # accumulator), amortised loop control.
         work.record_work(
-            instructions=n * (self.LOOP_INSTRS + 2.0 * degree),
-            alu=n * degree,
-            loads=n * degree,
-            chain=n,  # serial accumulator update
+            instructions=m * (self.LOOP_INSTRS + 2.0 * degree),
+            alu=m * degree,
+            loads=m * degree,
+            chain=m,  # serial accumulator update
         )
-        work.record_sequential_read(lineitem.bytes_for(columns))
-        return QueryResult(f"projection-p{degree}", value, n, work)
+        work.record_sequential_read(bytes_for_rows(lineitem, columns, lo, hi))
+        state = {"sum": ExactSum.of_array(total)}
+        label = f"projection-p{degree}"
+        if row_range is not None:
+            return self._partial_result(label, state, m, work, (lo, hi))
+        return self._finish_projection(
+            db, MergedPartials(state, work, m), degree=degree, simd=simd
+        )
+
+    def _finish_projection(
+        self, db: Database, merged: MergedPartials, degree: int, simd: bool = False
+    ) -> QueryResult:
+        work = self._finalize_profile(merged.work)
+        return QueryResult(
+            f"projection-p{degree}", merged.state["sum"].total(), merged.tuples, work
+        )
 
     # ------------------------------------------------------------------
     # Selection (Sections 4 and 7)
@@ -82,27 +115,30 @@ class TyperEngine(Engine):
         predicated: bool = False,
         simd: bool = False,
         thresholds=None,
+        row_range=None,
     ) -> QueryResult:
         self._check_simd(simd)
-        selectivity, thresholds = resolve_selection(db, selectivity, thresholds)
-        masks = selection_predicate_masks(db, thresholds)
+        selectivity, thresholds = resolve_selection_cached(db, selectivity, thresholds)
         lineitem = db.table("lineitem")
-        n = lineitem.n_rows
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
         proj_cols = projection_columns(4)
 
+        masks = [
+            (column, lineitem[column][lo:hi] <= threshold)
+            for column, threshold in thresholds.items()
+        ]
         combined = masks[0][1] & masks[1][1] & masks[2][1]
         qualifying = np.flatnonzero(combined)
         q = len(qualifying)
 
         projected = np.zeros(q)
         for column in proj_cols:
-            projected = projected + lineitem[column][qualifying]
-        value = float(projected.sum())
+            projected = projected + lineitem[column][lo:hi][qualifying]
 
         work = self._new_work()
-        pred_bytes = lineitem.bytes_for(
-            [name for name, _ in masks]
-        )
+        pred_bytes = bytes_for_rows(lineitem, [name for name, _ in masks], lo, hi)
+        proj_bytes = bytes_for_rows(lineitem, proj_cols, lo, hi)
         label = f"selection-{int(selectivity * 100)}%" + (
             "-predicated" if predicated else ""
         )
@@ -111,70 +147,107 @@ class TyperEngine(Engine):
             # computed for every tuple; the predicate mask becomes a
             # multiplicand (Section 7: pays off at 50/90%, not at 10%).
             work.record_work(
-                instructions=n * (self.LOOP_INSTRS + 3 * 3 + 2 + 4 * 2 + 2),
-                alu=n * (3 + 2 + 4 + 2),
-                loads=n * (3 + 4),
-                chain=n,
+                instructions=m * (self.LOOP_INSTRS + 3 * 3 + 2 + 4 * 2 + 2),
+                alu=m * (3 + 2 + 4 + 2),
+                loads=m * (3 + 4),
+                chain=m,
             )
-            work.record_sequential_read(pred_bytes + lineitem.bytes_for(proj_cols))
+            work.record_sequential_read(pred_bytes + proj_bytes)
         else:
             # Branched: predicates are evaluated together branch-free,
             # one branch on the combined outcome guards the projection.
             work.record_work(
-                instructions=n * (self.LOOP_INSTRS + 3 * 2 + 2 + 1)
+                instructions=m * (self.LOOP_INSTRS + 3 * 2 + 2 + 1)
                 + q * (4 * 2),
-                alu=n * (3 + 2) + q * 4,
-                loads=n * 3 + q * 4,
+                alu=m * (3 + 2) + q * 4,
+                loads=m * 3 + q * 4,
                 chain=q,
             )
             work.record_sequential_read(pred_bytes)
             work.record_branch_outcomes("combined predicate", combined)
-            density = line_density(qualifying, n)
-            work.record_sparse_scan(
-                "projection gather",
-                density * lineitem.bytes_for(proj_cols),
-                density,
-            )
+            touched, total_lines = gather_lines(qualifying + lo, lo, hi)
+            work.record_gather("projection gather", proj_bytes, touched, total_lines)
+        state = {"sum": ExactSum.of_array(projected), "qualifying": q}
+        if row_range is not None:
+            return self._partial_result(label, state, m, work, (lo, hi))
+        return self._finish_selection(
+            db,
+            MergedPartials(state, work, m),
+            selectivity=selectivity,
+            predicated=predicated,
+            simd=simd,
+            thresholds=thresholds,
+        )
+
+    def _finish_selection(
+        self,
+        db: Database,
+        merged: MergedPartials,
+        selectivity: float | None,
+        predicated: bool = False,
+        simd: bool = False,
+        thresholds=None,
+    ) -> QueryResult:
+        selectivity, _ = resolve_selection_cached(db, selectivity, thresholds)
+        n = merged.tuples
+        q = merged.state["qualifying"]
+        work = self._finalize_profile(merged.work)
+        label = f"selection-{int(selectivity * 100)}%" + (
+            "-predicated" if predicated else ""
+        )
         details = {
             "selectivity": selectivity,
             "combined_selectivity": q / n if n else 0.0,
             "predicated": predicated,
         }
-        return QueryResult(label, value, n, work, details)
+        return QueryResult(label, merged.state["sum"].total(), n, work, details)
 
     # ------------------------------------------------------------------
     # Join (Section 5)
     # ------------------------------------------------------------------
-    def run_join(self, db: Database, size: str, simd: bool = False) -> QueryResult:
+    def _join_table(self, db: Database, spec) -> ChainedHashTable:
+        return shared_structure(
+            db,
+            ("join-build", spec.size),
+            lambda: ChainedHashTable(db.table(spec.build_table)[spec.build_key]),
+        )
+
+    def run_join(
+        self, db: Database, size: str, simd: bool = False, row_range=None
+    ) -> QueryResult:
         self._check_simd(simd)
         if size not in JOIN_SPECS:
             raise ValueError(f"unknown join size {size!r}")
         spec = JOIN_SPECS[size]
-        build = db.table(spec.build_table)
         probe = db.table(spec.probe_table)
-        n_build = build.n_rows
-        n_probe = probe.n_rows
+        lo, hi = resolve_range(row_range, probe.n_rows)
+        m = hi - lo
+        lead = lo == 0
 
-        table = ChainedHashTable(build[spec.build_key])
-        result = table.probe(probe[spec.probe_key])
+        table = self._join_table(db, spec)
+        result = table.probe(probe[spec.probe_key][lo:hi])
         matched = result.found
 
         projected = np.zeros(int(matched.sum()))
         for column in spec.sum_columns:
-            projected = projected + probe[column][matched]
-        value = float(projected.sum())
+            projected = projected + probe[column][lo:hi][matched]
 
         operators = OperatorWork(self)
         self._record_build(
-            operators.operator("hash build"), table, build.bytes_for([spec.build_key])
+            operators.operator("hash build"),
+            table,
+            db.table(spec.build_table).bytes_for([spec.build_key]),
+            lead=lead,
         )
         probe_work = operators.operator("hash probe")
-        self._record_probe(probe_work, table, result, n_probe)
+        self._record_probe(probe_work, table, result, m)
         probe_work.record_work(
-            instructions=n_probe * (self.LOOP_INSTRS + 1),
-            loads=n_probe,
+            instructions=m * (self.LOOP_INSTRS + 1),
+            loads=m,
         )
-        probe_work.record_sequential_read(probe.bytes_for([spec.probe_key]))
+        probe_work.record_sequential_read(
+            bytes_for_rows(probe, [spec.probe_key], lo, hi)
+        )
         # Aggregation over the matches: the summed columns.
         degree = len(spec.sum_columns)
         matches = int(matched.sum())
@@ -185,22 +258,54 @@ class TyperEngine(Engine):
             loads=matches * degree,
             chain=matches,
         )
-        aggregate_work.record_sequential_read(probe.bytes_for(spec.sum_columns))
+        aggregate_work.record_sequential_read(
+            bytes_for_rows(probe, spec.sum_columns, lo, hi)
+        )
         work = operators.total()
+        state = {"sum": ExactSum.of_array(projected), "found": matches}
+        if row_range is not None:
+            return self._partial_result(
+                f"join-{size}", state, m, work, (lo, hi), operators.profiles
+            )
+        return self._finish_join(
+            db,
+            MergedPartials(state, work, m, operators.profiles),
+            size=size,
+            simd=simd,
+        )
+
+    def _finish_join(
+        self, db: Database, merged: MergedPartials, size: str, simd: bool = False
+    ) -> QueryResult:
+        spec = JOIN_SPECS[size]
+        table = self._join_table(db, spec)
+        n_probe = merged.tuples
+        work = self._finalize_profile(merged.work)
+        operators = {
+            name: self._finalize_profile(profile)
+            for name, profile in merged.operators.items()
+        }
+        found = merged.state["found"]
         details = {
             "join_size": size,
-            "build_rows": n_build,
+            "build_rows": db.table(spec.build_table).n_rows,
             "probe_rows": n_probe,
-            "hit_fraction": result.hit_fraction,
+            "hit_fraction": found / n_probe if n_probe else 0.0,
             "chain_stats": table.chain_stats(),
             "hash_table_bytes": table.working_set_bytes,
-            "operators": operators.profiles,
+            "operators": operators,
         }
-        return QueryResult(f"join-{size}", value, n_probe, work, details)
+        return QueryResult(
+            f"join-{size}", merged.state["sum"].total(), n_probe, work, details
+        )
 
-    def _record_build(self, work, table: ChainedHashTable, key_bytes: float) -> None:
-        """Hash-table build: hash each key, scatter-store the entry."""
-        n = table.n_keys
+    def _record_build(self, work, table: ChainedHashTable, key_bytes: float, lead: bool = True) -> None:
+        """Hash-table build: hash each key, scatter-store the entry.
+
+        Builds are global work: the lead morsel (``lo == 0``) records
+        the full build; other morsels record a congruent zero-count
+        placeholder so partial profiles merge positionally."""
+        n = table.n_keys if lead else 0
         work.record_work(
             instructions=n * (self.LOOP_INSTRS + self.HASH_INSTRS + 3),
             alu=n,
@@ -208,7 +313,7 @@ class TyperEngine(Engine):
             stores=n * 2,
             hash_ops=n,
         )
-        work.record_sequential_read(key_bytes)
+        work.record_sequential_read(key_bytes if lead else 0.0)
         work.record_random(
             "hash build scatter", n, table.working_set_bytes, dependent=False
         )
@@ -225,45 +330,69 @@ class TyperEngine(Engine):
         work.record_random(
             "hash probe heads", n_probe, table.working_set_bytes, dependent=False
         )
-        if result.extra_walk:
-            work.record_random(
-                "hash chain walk",
-                result.extra_walk,
-                table.working_set_bytes,
-                dependent=True,
-            )
+        work.record_random(
+            "hash chain walk",
+            result.extra_walk,
+            table.working_set_bytes,
+            dependent=True,
+        )
         work.record_branch_outcomes("probe hit", result.found)
-        if result.comparisons:
-            walk_fraction = result.extra_walk / result.comparisons
-            work.record_branch_stream(
-                "chain continue", result.comparisons, walk_fraction
-            )
+        walk_fraction = (
+            result.extra_walk / result.comparisons if result.comparisons else 0.0
+        )
+        work.record_branch_stream("chain continue", result.comparisons, walk_fraction)
 
     # ------------------------------------------------------------------
     # Group by (Section 6 discussion)
     # ------------------------------------------------------------------
-    def run_groupby(self, db: Database) -> QueryResult:
+    def _groupby_table(self, db: Database) -> GroupByHashTable:
+        def build():
+            lineitem = db.table("lineitem")
+            composite = lineitem["l_partkey"] * 4 + lineitem["l_returnflag"]
+            return GroupByHashTable(composite)
+
+        return shared_structure(db, "groupby-micro", build)
+
+    def run_groupby(self, db: Database, row_range=None) -> QueryResult:
         lineitem = db.table("lineitem")
-        n = lineitem.n_rows
-        composite = lineitem["l_partkey"] * 4 + lineitem["l_returnflag"]
-        table = GroupByHashTable(composite)
-        sums = table.aggregate_sum(lineitem["l_extendedprice"])
-        value = float(sums.sum())
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
+        table = self._groupby_table(db)
 
         work = self._new_work()
         self._record_groupby_updates(
-            work, table, lineitem.bytes_for(["l_partkey", "l_returnflag", "l_extendedprice"])
+            work,
+            table,
+            bytes_for_rows(
+                lineitem, ["l_partkey", "l_returnflag", "l_extendedprice"], lo, hi
+            ),
+            lo,
+            hi,
         )
+        state = {"sum": ExactSum.of_array(lineitem["l_extendedprice"][lo:hi])}
+        if row_range is not None:
+            return self._partial_result("groupby-micro", state, m, work, (lo, hi))
+        return self._finish_groupby(db, MergedPartials(state, work, m))
+
+    def _finish_groupby(self, db: Database, merged: MergedPartials) -> QueryResult:
+        table = self._groupby_table(db)
+        work = self._finalize_profile(merged.work)
         details = {
             "groups": table.n_groups,
             "chain_stats": table.chain_stats(),
             "collision_fraction": table.collision_fraction(),
         }
-        return QueryResult("groupby-micro", value, n, work, details)
+        return QueryResult(
+            "groupby-micro", merged.state["sum"].total(), merged.tuples, work, details
+        )
 
-    def _record_groupby_updates(self, work, table: GroupByHashTable, col_bytes: float) -> None:
-        n = table.n_updates
-        comparisons = table.update_comparisons()
+    def _record_groupby_updates(
+        self, work, table: GroupByHashTable, col_bytes: float, lo: int, hi: int
+    ) -> None:
+        depths = table._depth[table.group_ids[lo:hi]]
+        n = hi - lo
+        comparisons = int(depths.sum())
+        collisions = int((depths > 1).sum())
         work.record_work(
             instructions=n * (self.LOOP_INSTRS + self.HASH_INSTRS + 3)
             + comparisons * self.VISIT_INSTRS,
@@ -277,41 +406,32 @@ class TyperEngine(Engine):
         work.record_random(
             "group table update", n, table.working_set_bytes, dependent=False
         )
-        extra = comparisons - n
-        if extra > 0:
-            work.record_random(
-                "group chain walk", extra, table.working_set_bytes, dependent=True
-            )
+        work.record_random(
+            "group chain walk", comparisons - n, table.working_set_bytes, dependent=True
+        )
         work.record_branch_stream(
-            "group collision", n, table.collision_fraction()
+            "group collision", n, collisions / n if n else 0.0
         )
 
     # ------------------------------------------------------------------
     # TPC-H (Section 6)
     # ------------------------------------------------------------------
-    def run_q1(self, db: Database) -> QueryResult:
+    def run_q1(self, db: Database, row_range=None) -> QueryResult:
         lineitem = db.table("lineitem")
-        n = lineitem.n_rows
-        mask = lineitem["l_shipdate"] <= sc.DATE_1998_09_02
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
+        mask = lineitem["l_shipdate"][lo:hi] <= sc.DATE_1998_09_02
         q = int(mask.sum())
 
-        flags = lineitem["l_returnflag"][mask]
-        status = lineitem["l_linestatus"][mask]
-        quantity = lineitem["l_quantity"][mask]
-        price = lineitem["l_extendedprice"][mask]
-        discount = lineitem["l_discount"][mask]
-        tax = lineitem["l_tax"][mask]
+        flags = lineitem["l_returnflag"][lo:hi][mask]
+        status = lineitem["l_linestatus"][lo:hi][mask]
+        quantity = lineitem["l_quantity"][lo:hi][mask]
+        price = lineitem["l_extendedprice"][lo:hi][mask]
+        discount = lineitem["l_discount"][lo:hi][mask]
+        tax = lineitem["l_tax"][lo:hi][mask]
         disc_price = price * (1.0 - discount)
         charge = disc_price * (1.0 + tax)
         group_key = flags * 2 + status
-        table = GroupByHashTable(group_key, target_load=0.5)
-        value = {
-            "sum_qty": float(quantity.sum()),
-            "sum_base_price": float(price.sum()),
-            "sum_disc_price": float(disc_price.sum()),
-            "sum_charge": float(charge.sum()),
-            "groups": table.n_groups,
-        }
 
         columns = (
             "l_shipdate", "l_returnflag", "l_linestatus", "l_quantity",
@@ -321,154 +441,189 @@ class TyperEngine(Engine):
         # Fused scan+filter+aggregate: the eight aggregate updates and
         # the derived expressions dominate the per-tuple arithmetic.
         work.record_work(
-            instructions=n * (self.LOOP_INSTRS + 2) + q * (6 + 4 + self.HASH_INSTRS + 8 * 3),
-            alu=n + q * (4 + 2 + 8),
-            loads=n + q * (6 + 8),
+            instructions=m * (self.LOOP_INSTRS + 2) + q * (6 + 4 + self.HASH_INSTRS + 8 * 3),
+            alu=m + q * (4 + 2 + 8),
+            loads=m + q * (6 + 8),
             stores=q * 8,
             hash_ops=q,
             chain=q * 3.0,  # partially serialised aggregate chains (4 groups)
         )
-        work.record_sequential_read(lineitem.bytes_for(columns))
+        work.record_sequential_read(bytes_for_rows(lineitem, columns, lo, hi))
         work.record_branch_outcomes("shipdate filter", mask)
         # The 4-group aggregation table lives in L1: no random pattern.
-        return QueryResult("Q1", value, n, work, {"groups": table.n_groups})
+        state = {
+            "sum_qty": ExactSum.of_array(quantity),
+            "sum_base_price": ExactSum.of_array(price),
+            "sum_disc_price": ExactSum.of_array(disc_price),
+            "sum_charge": ExactSum.of_array(charge),
+            "keys": set(np.unique(group_key).tolist()),
+        }
+        if row_range is not None:
+            return self._partial_result("Q1", state, m, work, (lo, hi))
+        return self._finish_q1(db, MergedPartials(state, work, m))
 
-    def run_q6(self, db: Database, predicated: bool = False) -> QueryResult:
+    def _finish_q1(self, db: Database, merged: MergedPartials) -> QueryResult:
+        work = self._finalize_profile(merged.work)
+        groups = len(merged.state["keys"])
+        value = {
+            "sum_qty": merged.state["sum_qty"].total(),
+            "sum_base_price": merged.state["sum_base_price"].total(),
+            "sum_disc_price": merged.state["sum_disc_price"].total(),
+            "sum_charge": merged.state["sum_charge"].total(),
+            "groups": groups,
+        }
+        return QueryResult("Q1", value, merged.tuples, work, {"groups": groups})
+
+    def run_q6(self, db: Database, predicated: bool = False, row_range=None) -> QueryResult:
         lineitem = db.table("lineitem")
-        n = lineitem.n_rows
-        shipdate = lineitem["l_shipdate"]
-        discount = lineitem["l_discount"]
-        quantity = lineitem["l_quantity"]
-        combined = (
-            (shipdate >= sc.DATE_1994_01_01)
-            & (shipdate < sc.DATE_1995_01_01)
-            & (discount >= 0.05)
-            & (discount <= 0.07)
-            & (quantity < 24.0)
-        )
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
+        shipdate = lineitem["l_shipdate"][lo:hi]
+        discount = lineitem["l_discount"][lo:hi]
+        quantity = lineitem["l_quantity"][lo:hi]
+        date_pass = (shipdate >= sc.DATE_1994_01_01) & (shipdate < sc.DATE_1995_01_01)
+        disc_pass = (discount >= 0.05) & (discount <= 0.07)
+        qty_pass = quantity < 24.0
+        combined = date_pass & disc_pass & qty_pass
         qualifying = np.flatnonzero(combined)
         q = len(qualifying)
-        value = float(
-            (lineitem["l_extendedprice"][qualifying] * discount[qualifying]).sum()
-        )
+        amounts = lineitem["l_extendedprice"][lo:hi][qualifying] * discount[qualifying]
 
         pred_cols = ("l_shipdate", "l_discount", "l_quantity")
         work = self._new_work()
-        work.record_sequential_read(lineitem.bytes_for(pred_cols))
+        work.record_sequential_read(bytes_for_rows(lineitem, pred_cols, lo, hi))
+        price_bytes = bytes_for_rows(lineitem, ["l_extendedprice"], lo, hi)
         if predicated:
             work.record_work(
-                instructions=n * (self.LOOP_INSTRS + 5 + 4 + 3),
-                alu=n * (5 + 4 + 2),
-                loads=n * 4,
-                chain=n,
+                instructions=m * (self.LOOP_INSTRS + 5 + 4 + 3),
+                alu=m * (5 + 4 + 2),
+                loads=m * 4,
+                chain=m,
             )
-            work.record_sequential_read(lineitem.bytes_for(["l_extendedprice"]))
+            work.record_sequential_read(price_bytes)
         else:
             # The compiled conjunction short-circuits per predicate
             # *column* group: each BETWEEN pair is evaluated branch-free
             # and guarded by one branch, so the predictor sees three
             # conditional streams (Figure 16 shows visible branch
             # stalls for Typer on Q6).
-            date_pass = (shipdate >= sc.DATE_1994_01_01) & (shipdate < sc.DATE_1995_01_01)
-            disc_pass = (discount >= 0.05) & (discount <= 0.07)
-            qty_pass = quantity < 24.0
-            alive = np.ones(n, dtype=bool)
+            alive = np.ones(m, dtype=bool)
             for name, mask in (
                 ("shipdate range", date_pass),
                 ("discount range", disc_pass),
                 ("quantity bound", qty_pass),
             ):
-                survivors = int(alive.sum())
-                if survivors:
-                    work.record_branch_outcomes(name, mask[alive])
+                work.record_branch_outcomes(name, mask[alive])
                 alive &= mask
-            f1 = float(date_pass.mean())
-            f2 = float((date_pass & disc_pass).mean())
+            c1 = int(date_pass.sum())
+            c12 = int((date_pass & disc_pass).sum())
             work.record_work(
-                instructions=n * (self.LOOP_INSTRS + 3 + 1)
-                + n * f1 * 3
-                + n * f2 * 2
+                instructions=m * (self.LOOP_INSTRS + 3 + 1)
+                + c1 * 3
+                + c12 * 2
                 + q * 4,
-                alu=n * 3 + n * f1 * 2 + n * f2 + q * 2,
-                loads=n + n * f1 + n * f2 + q,
+                alu=m * 3 + c1 * 2 + c12 + q * 2,
+                loads=m + c1 + c12 + q,
                 chain=q,
             )
-            density = line_density(qualifying, n)
-            work.record_sparse_scan(
-                "price gather",
-                density * lineitem.bytes_for(["l_extendedprice"]),
-                density,
-            )
+            touched, total_lines = gather_lines(qualifying + lo, lo, hi)
+            work.record_gather("price gather", price_bytes, touched, total_lines)
+        state = {"sum": ExactSum.of_array(amounts), "qualifying": q}
+        label = "Q6-predicated" if predicated else "Q6"
+        if row_range is not None:
+            return self._partial_result(label, state, m, work, (lo, hi))
+        return self._finish_q6(db, MergedPartials(state, work, m), predicated=predicated)
+
+    def _finish_q6(
+        self, db: Database, merged: MergedPartials, predicated: bool = False
+    ) -> QueryResult:
+        work = self._finalize_profile(merged.work)
+        n = merged.tuples
+        q = merged.state["qualifying"]
         label = "Q6-predicated" if predicated else "Q6"
         details = {"selectivity": q / n if n else 0.0, "predicated": predicated}
-        return QueryResult(label, value, n, work, details)
+        return QueryResult(label, merged.state["sum"].total(), n, work, details)
 
-    def run_q9(self, db: Database) -> QueryResult:
+    def _q9_structures(self, db: Database) -> dict:
+        def build():
+            part = db.table("part")
+            supplier = db.table("supplier")
+            partsupp = db.table("partsupp")
+            orders = db.table("orders")
+            n_supp = supplier.n_rows
+            green_keys = part["p_partkey"][part["p_namecat"] == sc.GREEN_CATEGORY]
+            ps_composite = partsupp["ps_partkey"] * (n_supp + 1) + partsupp["ps_suppkey"]
+            return {
+                "n_supp": n_supp,
+                "green_keys": green_keys,
+                "green_table": ChainedHashTable(green_keys),
+                "ps_table": ChainedHashTable(ps_composite),
+                "supp_table": ChainedHashTable(supplier["s_suppkey"]),
+                "orders_table": ChainedHashTable(orders["o_orderkey"]),
+            }
+
+        return shared_structure(db, "q9-structs", build)
+
+    def run_q9(self, db: Database, row_range=None) -> QueryResult:
         lineitem = db.table("lineitem")
-        part = db.table("part")
-        supplier = db.table("supplier")
         partsupp = db.table("partsupp")
+        supplier = db.table("supplier")
         orders = db.table("orders")
-        n = lineitem.n_rows
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
+        lead = lo == 0
+        structs = self._q9_structures(db)
+        n_supp = structs["n_supp"]
+        green_table = structs["green_table"]
+        ps_table = structs["ps_table"]
+        supp_table = structs["supp_table"]
+        orders_table = structs["orders_table"]
 
-        # Build side 1: green parts.
-        green_keys = part["p_partkey"][part["p_namecat"] == sc.GREEN_CATEGORY]
-        green_table = ChainedHashTable(green_keys)
-        green_probe = green_table.probe(lineitem["l_partkey"])
+        green_probe = green_table.probe(lineitem["l_partkey"][lo:hi])
         green = green_probe.found
         q = int(green.sum())
 
-        # Build side 2: partsupp on the composite key.
-        n_supp = supplier.n_rows
-        ps_composite = partsupp["ps_partkey"] * (n_supp + 1) + partsupp["ps_suppkey"]
-        ps_table = ChainedHashTable(ps_composite)
         li_composite = (
-            lineitem["l_partkey"][green] * (n_supp + 1) + lineitem["l_suppkey"][green]
+            lineitem["l_partkey"][lo:hi][green] * (n_supp + 1)
+            + lineitem["l_suppkey"][lo:hi][green]
         )
         ps_probe = ps_table.probe(li_composite)
-
-        # Build side 3: suppliers (nationkey payload), 4: orders (date).
-        supp_table = ChainedHashTable(supplier["s_suppkey"])
-        supp_probe = supp_table.probe(lineitem["l_suppkey"][green])
-        orders_table = ChainedHashTable(orders["o_orderkey"])
-        orders_probe = orders_table.probe(lineitem["l_orderkey"][green])
+        supp_probe = supp_table.probe(lineitem["l_suppkey"][lo:hi][green])
+        orders_probe = orders_table.probe(lineitem["l_orderkey"][lo:hi][green])
 
         keep = ps_probe.found & supp_probe.found & orders_probe.found
         supplycost = partsupp["ps_supplycost"][ps_probe.match_index[keep]]
-        nationkey = supplier["s_nationkey"][supp_probe.match_index[keep]]
-        orderdate = orders["o_orderdate"][orders_probe.match_index[keep]]
-        year = 1992 + orderdate // 365
-        price = lineitem["l_extendedprice"][green][keep]
-        disc = lineitem["l_discount"][green][keep]
-        qty = lineitem["l_quantity"][green][keep]
+        price = lineitem["l_extendedprice"][lo:hi][green][keep]
+        disc = lineitem["l_discount"][lo:hi][green][keep]
+        qty = lineitem["l_quantity"][lo:hi][green][keep]
         amount = price * (1.0 - disc) - supplycost * qty
-        group_table = GroupByHashTable(nationkey * 10_000 + year, target_load=0.5)
-        sums = group_table.aggregate_sum(amount)
-        value = float(sums.sum())
+        survivors = int(keep.sum())
 
         operators = OperatorWork(self)
         scan_work = operators.operator("scan lineitem")
         scan_work.record_sequential_read(
-            lineitem.bytes_for(
+            bytes_for_rows(
+                lineitem,
                 ("l_partkey", "l_suppkey", "l_orderkey", "l_extendedprice",
-                 "l_discount", "l_quantity")
+                 "l_discount", "l_quantity"),
+                lo,
+                hi,
             )
         )
-        scan_work.record_work(instructions=n * self.LOOP_INSTRS)
+        scan_work.record_work(instructions=m * self.LOOP_INSTRS)
         build_work = operators.operator("hash builds")
         for table, key_bytes in (
-            (green_table, green_keys.nbytes),
+            (green_table, structs["green_keys"].nbytes),
             (ps_table, partsupp.bytes_for(("ps_partkey", "ps_suppkey", "ps_supplycost"))),
             (supp_table, supplier.bytes_for(("s_suppkey", "s_nationkey"))),
             (orders_table, orders.bytes_for(("o_orderkey", "o_orderdate"))),
         ):
-            self._record_build(build_work, table, key_bytes)
-        self._record_probe(operators.operator("probe part (green)"), green_table, green_probe, n)
+            self._record_build(build_work, table, key_bytes, lead=lead)
+        self._record_probe(operators.operator("probe part (green)"), green_table, green_probe, m)
         self._record_probe(operators.operator("probe partsupp"), ps_table, ps_probe, q)
         self._record_probe(operators.operator("probe supplier"), supp_table, supp_probe, q)
         self._record_probe(operators.operator("probe orders"), orders_table, orders_probe, q)
         # Pipeline arithmetic on survivors + group aggregation.
-        survivors = int(keep.sum())
         aggregate_work = operators.operator("aggregate")
         aggregate_work.record_work(
             instructions=survivors * (6 + self.HASH_INSTRS + 4),
@@ -479,30 +634,83 @@ class TyperEngine(Engine):
             chain=survivors,
         )
         work = operators.total()
-        details = {
-            "green_fraction": q / n if n else 0.0,
+        state = {
+            "sum": ExactSum.of_array(amount),
+            "green": q,
             "survivors": survivors,
-            "orders_ht_bytes": orders_table.working_set_bytes,
-            "operators": operators.profiles,
         }
-        return QueryResult("Q9", value, n, work, details)
+        if row_range is not None:
+            return self._partial_result(
+                "Q9", state, m, work, (lo, hi), operators.profiles
+            )
+        return self._finish_q9(db, MergedPartials(state, work, m, operators.profiles))
 
-    def run_q18(self, db: Database) -> QueryResult:
+    def _finish_q9(self, db: Database, merged: MergedPartials) -> QueryResult:
+        structs = self._q9_structures(db)
+        n = merged.tuples
+        work = self._finalize_profile(merged.work)
+        operators = {
+            name: self._finalize_profile(profile)
+            for name, profile in merged.operators.items()
+        }
+        details = {
+            "green_fraction": merged.state["green"] / n if n else 0.0,
+            "survivors": merged.state["survivors"],
+            "orders_ht_bytes": structs["orders_table"].working_set_bytes,
+            "operators": operators,
+        }
+        return QueryResult("Q9", merged.state["sum"].total(), n, work, details)
+
+    def _q18_group_table(self, db: Database) -> GroupByHashTable:
+        return shared_structure(
+            db,
+            ("q18-groups", 0.4),
+            lambda: GroupByHashTable(db.table("lineitem")["l_orderkey"]),
+        )
+
+    def run_q18(self, db: Database, row_range=None) -> QueryResult:
         lineitem = db.table("lineitem")
+        lo, hi = resolve_range(row_range, lineitem.n_rows)
+        m = hi - lo
+        group_table = self._q18_group_table(db)
+
+        # Partial per-group quantity sums: l_quantity is integer-valued,
+        # so the bincount partials add exactly across morsels.
+        qty_sums = np.bincount(
+            group_table.group_ids[lo:hi],
+            weights=lineitem["l_quantity"][lo:hi],
+            minlength=group_table.n_groups,
+        )
+
+        work = self._new_work()
+        work.record_sequential_read(
+            bytes_for_rows(lineitem, ("l_orderkey", "l_quantity"), lo, hi)
+        )
+        self._record_groupby_updates(work, group_table, 0.0, lo, hi)
+        state = {"qty_sums": qty_sums}
+        if row_range is not None:
+            return self._partial_result("Q18", state, m, work, (lo, hi))
+        return self._finish_q18(db, MergedPartials(state, work, m))
+
+    def _finish_q18(self, db: Database, merged: MergedPartials) -> QueryResult:
         orders = db.table("orders")
         customer = db.table("customer")
-        n = lineitem.n_rows
+        group_table = self._q18_group_table(db)
+        work = merged.work
 
-        group_table = GroupByHashTable(lineitem["l_orderkey"])
-        qty_sums = group_table.aggregate_sum(lineitem["l_quantity"])
+        qty_sums = merged.state["qty_sums"]
         big = qty_sums > 300.0
         winner_orderkeys = group_table.distinct_keys[big]
         winners = len(winner_orderkeys)
 
-        orders_table = ChainedHashTable(orders["o_orderkey"])
+        orders_table = shared_structure(
+            db, "q18-orders", lambda: ChainedHashTable(orders["o_orderkey"])
+        )
         winner_probe = orders_table.probe(winner_orderkeys)
         custkeys = orders["o_custkey"][winner_probe.match_index[winner_probe.found]]
-        cust_table = ChainedHashTable(customer["c_custkey"])
+        cust_table = shared_structure(
+            db, "q18-cust", lambda: ChainedHashTable(customer["c_custkey"])
+        )
         cust_probe = cust_table.probe(custkeys)
         value = {
             "winners": winners,
@@ -510,11 +718,6 @@ class TyperEngine(Engine):
             "matched_customers": int(cust_probe.found.sum()),
         }
 
-        work = self._new_work()
-        work.record_sequential_read(
-            lineitem.bytes_for(("l_orderkey", "l_quantity"))
-        )
-        self._record_groupby_updates(work, group_table, 0.0)
         # HAVING branch over all groups (rarely taken).
         work.record_branch_stream(
             "having sum(qty) > 300",
@@ -525,9 +728,10 @@ class TyperEngine(Engine):
         self._record_probe(work, orders_table, winner_probe, winners)
         self._record_build(work, cust_table, customer.bytes_for(("c_custkey",)))
         self._record_probe(work, cust_table, cust_probe, len(custkeys))
+        work = self._finalize_profile(work)
         details = {
             "groups": group_table.n_groups,
             "group_table_bytes": group_table.working_set_bytes,
             "chain_stats": group_table.chain_stats(),
         }
-        return QueryResult("Q18", value, n, work, details)
+        return QueryResult("Q18", value, merged.tuples, work, details)

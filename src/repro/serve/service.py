@@ -21,6 +21,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.serve.protocol import (
@@ -43,6 +44,22 @@ class ServiceConfig:
     default_engine: str = "Typer"
     scale_factor: float = 0.01
     seed: int = 7
+    #: "thread" executes on the admission threads (GIL-bound);
+    #: "process" runs each query morsel-parallel across a persistent
+    #: :class:`repro.core.parallel.WorkerPool` of spawned processes.
+    executor: str = "thread"
+    #: Process-pool size for ``executor="process"`` (None = auto).
+    process_workers: int | None = None
+    #: Bound on the compiled-plan LRU cache.
+    plan_cache_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.executor not in ("thread", "process"):
+            raise ValueError(
+                f"unknown executor {self.executor!r}; use 'thread' or 'process'"
+            )
+        if self.plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be >= 1")
 
 
 @dataclass
@@ -128,9 +145,13 @@ class QueryService:
         self._db_lock = threading.Lock()
         self._engines: dict[str, object] = {}
         self._engines_lock = threading.Lock()
-        self._plans: dict[str, object] = {}
+        self._plans: "OrderedDict[str, object]" = OrderedDict()
         self._plans_lock = threading.Lock()
         self.plan_hits = 0
+        self.plan_misses = 0
+        self.plan_evictions = 0
+        self._pool = None
+        self._pool_lock = threading.Lock()
         self._queue: queue.Queue[_Request] = queue.Queue(
             maxsize=self.config.queue_depth
         )
@@ -161,6 +182,10 @@ class QueryService:
         for worker in self._workers:
             worker.join(timeout=5.0)
         self._workers = []
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
 
     def __enter__(self) -> "QueryService":
         return self.start()
@@ -188,18 +213,40 @@ class QueryService:
                 self._engines[name] = engine_by_name(name)
             return self._engines[name]
 
+    def pool(self):
+        """The process executor's worker pool (created on first use so
+        thread-mode services never spawn processes)."""
+        with self._pool_lock:
+            if self._pool is None:
+                from repro.core.parallel import WorkerPool
+
+                self._pool = WorkerPool(
+                    self.db, n_workers=self.config.process_workers
+                )
+            return self._pool
+
     def compile(self, sql: str):
-        """Compile with the per-service plan cache (keyed on normalized
-        text, so formatting differences share one plan)."""
+        """Compile with the per-service plan cache: an LRU bounded at
+        ``config.plan_cache_size`` entries, keyed on normalized text so
+        formatting differences share one plan."""
         key = normalize_sql(sql)
         with self._plans_lock:
             bound = self._plans.get(key)
             if bound is not None:
+                self._plans.move_to_end(key)
                 self.plan_hits += 1
                 return bound
+            self.plan_misses += 1
         bound = compile_sql(sql)
         with self._plans_lock:
-            self._plans.setdefault(key, bound)
+            if key not in self._plans:
+                self._plans[key] = bound
+                while len(self._plans) > self.config.plan_cache_size:
+                    self._plans.popitem(last=False)
+                    self.plan_evictions += 1
+            else:
+                self._plans.move_to_end(key)
+            bound = self._plans[key]
         return bound
 
     def queue_depth(self) -> int:
@@ -291,11 +338,18 @@ class QueryService:
         try:
             bound = self.compile(request.sql)
             engine = self.engine(request.engine_name)
-            result = bound.execute(engine, self.db, **request.options)
+            if self.config.executor == "process":
+                merged = bound.call_kwargs()
+                merged.update(request.options)
+                result = self.pool().run_query(
+                    engine, bound.method, *bound.args, **merged
+                )
+            else:
+                result = bound.execute(engine, self.db, **request.options)
         except SqlError as exc:
             self._finish(request, skip_if_abandoned=True, status=STATUS_ERROR, error=str(exc))
             return
-        except (ValueError, TypeError) as exc:
+        except (ValueError, TypeError, RuntimeError) as exc:
             self._finish(request, skip_if_abandoned=True, status=STATUS_ERROR, error=str(exc))
             return
         self._finish(
@@ -311,8 +365,23 @@ class QueryService:
 
     def stats_snapshot(self) -> dict:
         snapshot = self.stats.snapshot()
-        snapshot["plan_cache_entries"] = len(self._plans)
-        snapshot["plan_cache_hits"] = self.plan_hits
+        with self._plans_lock:
+            snapshot["plan_cache_entries"] = len(self._plans)
+            snapshot["plan_cache_hits"] = self.plan_hits
+            snapshot["plan_cache"] = {
+                "hits": self.plan_hits,
+                "misses": self.plan_misses,
+                "evictions": self.plan_evictions,
+                "entries": len(self._plans),
+                "capacity": self.config.plan_cache_size,
+            }
         snapshot["queue_depth"] = self.queue_depth()
         snapshot["workers"] = self.config.workers
+        snapshot["executor"] = self.config.executor
+        with self._pool_lock:
+            if self._pool is not None:
+                snapshot["process_pool"] = {
+                    "n_workers": self._pool.n_workers,
+                    "queries_run": self._pool.queries_run,
+                }
         return snapshot

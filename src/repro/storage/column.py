@@ -116,3 +116,11 @@ class ColumnTable:
 
     def head(self, n: int = 5) -> dict[str, np.ndarray]:
         return {name: column.values[:n] for name, column in self._columns.items()}
+
+    def __reduce__(self):
+        # Pickling a table copies its entire payload through a pipe per
+        # worker -- exactly what morsel parallelism exists to avoid.
+        raise TypeError(
+            f"ColumnTable {self.name!r} must not be pickled; ship column "
+            f"payloads across processes via repro.storage.shm instead"
+        )

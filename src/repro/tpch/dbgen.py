@@ -246,6 +246,12 @@ def generate_database(
     return dbcache.store(key, db)
 
 
+#: Count of actual (cache-missing) generations in this process.  The
+#: multi-process executor's tests assert workers never regenerate what
+#: the parent already materialised (they attach it via shared memory).
+GENERATION_COUNT = 0
+
+
 def _generate_database(
     scale_factor: float,
     seed: int,
@@ -253,6 +259,8 @@ def _generate_database(
     skew: float | None,
 ) -> Database:
     """The actual generator (cache-free path)."""
+    global GENERATION_COUNT
+    GENERATION_COUNT += 1
     requested = set(tables)
     if "lineitem" in requested:
         requested.add("orders")

@@ -17,6 +17,8 @@ EXPECTED_IDS = {
     "sec6-commercial", "sec10-speedup",
     # SQL-path equivalence (repro.sql frontend vs hand-wired calls).
     "sqlpath",
+    # Measured process-executor scaling vs the Section 10 model.
+    "sec10-measured-scaling",
 }
 
 

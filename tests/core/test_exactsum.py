@@ -1,0 +1,91 @@
+"""ExactSum: error-free, partition-invariant summation of doubles."""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exactsum import ExactSum
+
+finite_doubles = st.floats(
+    allow_nan=False, allow_infinity=False, allow_subnormal=True, width=64
+)
+
+
+class TestExactness:
+    def test_matches_math_fsum(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(scale=1e6, size=10_000) * rng.choice(
+            [1e-9, 1.0, 1e9], size=10_000
+        )
+        assert ExactSum.of_array(values).total() == math.fsum(values)
+
+    def test_cancellation_survives(self):
+        """The classic float-accumulation failure: huge terms that
+        cancel must leave the small term intact."""
+        assert ExactSum.of(1e300, 1.0, -1e300).total() == 1.0
+
+    def test_subnormals_sum_exactly(self):
+        tiny = 5e-324  # the subnormal quantum itself
+        assert ExactSum.of(*([tiny] * 7)).total() == 7 * tiny
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            ExactSum.of(float("inf"))
+        with pytest.raises(ValueError, match="non-finite"):
+            ExactSum.of_array(np.array([1.0, float("nan")]))
+
+    @given(st.lists(finite_doubles, max_size=50))
+    @settings(max_examples=200, deadline=None)
+    def test_total_is_correctly_rounded(self, values):
+        try:
+            expected = math.fsum(values)
+        except OverflowError:
+            # fsum raises when the true sum exceeds the double range;
+            # ExactSum rounds to signed infinity instead.
+            units = sum(ExactSum.of(v).units for v in values)
+            expected = math.inf if units > 0 else -math.inf
+        assert ExactSum.of(*values).total() == expected
+
+
+class TestPartitionInvariance:
+    @given(st.lists(finite_doubles, min_size=1, max_size=40), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_any_split_merges_to_the_same_bits(self, values, data):
+        cut = data.draw(st.integers(0, len(values)))
+        whole = ExactSum.of(*values)
+        merged = ExactSum.of(*values[:cut]) + ExactSum.of(*values[cut:])
+        assert merged == whole
+        assert merged.total() == whole.total()
+
+    def test_merge_is_associative_and_commutative(self):
+        a, b, c = (ExactSum.of(x) for x in (1e16, 1.0, -1e16))
+        assert (a + b) + c == a + (b + c) == (c + a) + b
+
+    def test_array_and_scalar_paths_agree(self):
+        values = [0.1, 0.2, 0.3, -7.5e200, 7.5e200, 5e-324]
+        assert ExactSum.of(*values) == ExactSum.of_array(np.array(values))
+
+    def test_add_array_accumulates_in_place(self):
+        acc = ExactSum()
+        acc.add_array(np.array([1.5, 2.5]))
+        acc.add_array(np.array([-4.0]))
+        assert acc == ExactSum.of(1.5, 2.5, -4.0)
+        assert acc.total() == 0.0
+
+
+class TestTransport:
+    def test_pickles_to_the_same_state(self):
+        original = ExactSum.of(0.1, 0.2, 1e-300)
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone == original
+        assert clone.total() == original.total()
+
+    def test_empty_sum_is_zero(self):
+        assert ExactSum().total() == 0.0
+        assert ExactSum.of_array(np.array([])).total() == 0.0

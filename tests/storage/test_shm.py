@@ -1,0 +1,161 @@
+"""Shared-memory column transport: roundtrip fidelity, the no-pickling
+guard, and segment lifecycle (normal exit, exceptions, Ctrl-C)."""
+
+from __future__ import annotations
+
+import pickle
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.storage.shm import attach_database, export_database
+
+
+def segment_exists(name: str) -> bool:
+    try:
+        probe = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    probe.close()
+    return True
+
+
+class TestRoundtrip:
+    def test_attached_columns_equal_exported(self, tiny_db):
+        with export_database(tiny_db) as shared:
+            with attach_database(shared.manifest) as attached:
+                assert attached.table_names == tiny_db.table_names
+                for table_name in tiny_db.table_names:
+                    original = tiny_db.table(table_name)
+                    copy = attached.table(table_name)
+                    assert copy.column_names == original.column_names
+                    for column_name in original.column_names:
+                        a, b = original[column_name], copy[column_name]
+                        assert a.dtype == b.dtype
+                        np.testing.assert_array_equal(a, b)
+
+    def test_attached_views_are_read_only(self, tiny_db):
+        with export_database(tiny_db) as shared:
+            with attach_database(shared.manifest) as attached:
+                column = attached.table("lineitem")["l_quantity"]
+                with pytest.raises(ValueError, match="read-only"):
+                    column[0] = 0.0
+
+    def test_attach_preserves_identity(self, tiny_db):
+        """Execution caches and shared structures key on
+        ``db.identity``; the attached copy must alias the exporter's."""
+        with export_database(tiny_db) as shared:
+            with attach_database(shared.manifest) as attached:
+                assert attached.identity == tiny_db.identity
+                assert attached.scale_factor == tiny_db.scale_factor
+
+    def test_manifest_is_small_and_picklable(self, tiny_db):
+        """Workers receive the manifest through a pipe; the payload must
+        stay in the segment, not the pickle."""
+        with export_database(tiny_db) as shared:
+            blob = pickle.dumps(shared.manifest)
+            assert len(blob) < 64 * 1024
+            assert shared.nbytes > len(blob)
+
+    def test_engines_run_on_attached_database(self, tiny_db):
+        """An attached database is a drop-in Database: results over the
+        shm views are bit-identical to the originals."""
+        from repro.engines import TyperEngine
+
+        engine = TyperEngine()
+        single = engine.run_q6(tiny_db)
+        with export_database(tiny_db) as shared:
+            with attach_database(shared.manifest) as attached:
+                over_shm = engine.run_q6(attached)
+        assert over_shm.value == single.value
+        assert over_shm.work == single.work
+
+
+class TestPicklingGuard:
+    def test_column_table_refuses_pickle(self, tiny_db):
+        with pytest.raises(TypeError, match="shm"):
+            pickle.dumps(tiny_db.table("lineitem"))
+
+    def test_database_refuses_pickle(self, tiny_db):
+        """The guard propagates: anything containing a ColumnTable is
+        unpicklable, so no code path can ship columns through a pipe."""
+        with pytest.raises(TypeError, match="shm"):
+            pickle.dumps(tiny_db)
+
+
+class TestLifecycle:
+    def test_unlink_removes_segment(self, tiny_db):
+        shared = export_database(tiny_db)
+        name = shared.segment_name
+        assert segment_exists(name)
+        shared.unlink()
+        assert not segment_exists(name)
+
+    def test_unlink_is_idempotent(self, tiny_db):
+        shared = export_database(tiny_db)
+        shared.unlink()
+        shared.unlink()  # second call must be a no-op, not an error
+
+    def test_context_manager_unlinks_on_exception(self, tiny_db):
+        with pytest.raises(RuntimeError, match="boom"):
+            with export_database(tiny_db) as shared:
+                name = shared.segment_name
+                raise RuntimeError("boom")
+        assert not segment_exists(name)
+
+    def test_attach_after_unlink_fails(self, tiny_db):
+        shared = export_database(tiny_db)
+        manifest = dict(shared.manifest)
+        shared.unlink()
+        with pytest.raises(FileNotFoundError):
+            attach_database(manifest)
+
+    def test_worker_close_keeps_segment_alive(self, tiny_db):
+        """Workers drop their mapping without unlinking: the owner's
+        segment must survive any number of worker attach/close cycles."""
+        with export_database(tiny_db) as shared:
+            for _ in range(3):
+                attached = attach_database(shared.manifest)
+                attached.close()
+                attached.close()  # idempotent
+            assert segment_exists(shared.segment_name)
+
+    def test_sigint_unlinks_segment(self, tiny_db, tmp_path):
+        """Ctrl-C in the exporting process must still reclaim the
+        segment (the atexit hook runs on KeyboardInterrupt exits)."""
+        script = tmp_path / "exporter.py"
+        script.write_text(textwrap.dedent("""
+            import sys, time
+            from repro.tpch import generate_database
+            from repro.storage.shm import export_database
+
+            db = generate_database(scale_factor=0.002, seed=7)
+            shared = export_database(db)
+            print(shared.segment_name, flush=True)
+            time.sleep(60)  # parked until the parent interrupts us
+        """))
+        process = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            name = process.stdout.readline().strip()
+            assert name, "exporter never reported its segment"
+            assert segment_exists(name)
+            process.send_signal(signal.SIGINT)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+        deadline = time.monotonic() + 10.0
+        while segment_exists(name) and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not segment_exists(name)

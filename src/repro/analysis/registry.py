@@ -16,6 +16,7 @@ from repro.core.profiler import MicroArchProfiler
 from repro.tpch.dbgen import generate_database
 from repro.analysis.result import FigureResult
 from repro.analysis import (
+    figures_compression,
     figures_micro,
     figures_multicore,
     figures_omitted,
@@ -267,6 +268,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             figures_multicore.sec10_multicore_headroom, tables=JOIN_TABLES,
             claim="SIMD: 21->31.5 GB/s; hyper-threading: x1.3 -- still "
                   "below the random-access roof.",
+        ),
+        _spec(
+            "sec8-compression", "Compressed column widths (encoded storage)",
+            figures_compression.sec8_compression, tables=SCAN_TABLES,
+            claim="Lightweight encodings cut Q1/Q6 scan streams >= 2x for "
+                  "the DSM engines; the NSM row store sees none of it.",
         ),
         _spec(
             "sqlpath", "SQL-path vs hand-wired execution",

@@ -475,6 +475,26 @@ class WorkProfile:
             pending={key: amount * factor for key, amount in self.pending.items()},
         )
 
+    def with_sequential_scaled(self, factor: float) -> "WorkProfile":
+        """A copy whose *sequential read* traffic is scaled by
+        ``factor`` while every other quantity -- instruction mix,
+        writes, gathers, random patterns, branch streams -- is
+        untouched.
+
+        ``factor < 1`` models the same operator streaming compressed
+        column widths instead of full-width values
+        (:mod:`repro.storage.encoding`): the work stays identical, only
+        the bytes the scan drags through the hierarchy shrink.  This is
+        the opt-in side channel behind the ``sec8-compression`` figure;
+        recorded profiles themselves always account logical widths,
+        which is what keeps encoded and raw execution bit-identical.
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        clone = self.scaled(1.0)
+        clone.seq_read_bytes = self.seq_read_bytes * factor
+        return clone
+
 
 def _merge_random(
     a: RandomAccessPattern, b: RandomAccessPattern

@@ -44,6 +44,7 @@ from repro.engines.morsel import (
     row_scan_bytes,
     shared_structure,
 )
+from repro.engines.scan import predicate_mask
 from repro.storage import Database
 from repro.tpch import schema as sc
 
@@ -188,7 +189,7 @@ class InterpreterEngine(Engine):
         proj_cols = projection_columns(4)
 
         masks = [
-            (column, lineitem[column][lo:hi] <= threshold)
+            (column, predicate_mask(lineitem, column, "le", threshold, lo, hi))
             for column, threshold in thresholds.items()
         ]
         combined = masks[0][1] & masks[1][1] & masks[2][1]
@@ -382,7 +383,7 @@ class InterpreterEngine(Engine):
         lineitem = db.table("lineitem")
         lo, hi = resolve_range(row_range, lineitem.n_rows)
         m = hi - lo
-        mask = lineitem["l_shipdate"][lo:hi] <= sc.DATE_1998_09_02
+        mask = predicate_mask(lineitem, "l_shipdate", "le", sc.DATE_1998_09_02, lo, hi)
         q = int(mask.sum())
 
         work = self._new_work()

@@ -86,8 +86,29 @@ def morsel_ranges(n_rows: int, pieces: int) -> list[tuple[int, int]]:
 # ----------------------------------------------------------------------
 def bytes_for_rows(table, column_names, lo: int, hi: int) -> int:
     """Bytes the rows ``[lo, hi)`` of the named columns occupy; sums to
-    ``table.bytes_for(column_names)`` over any aligned partitioning."""
+    ``table.bytes_for(column_names)`` over any aligned partitioning.
+
+    Always the *logical* (decoded) widths: work profiles are defined
+    over them regardless of how the columns are stored, which is what
+    keeps encoded and raw execution bit-identical.  The compressed
+    footprint goes through :func:`encoded_bytes_for_rows` instead."""
     return sum(table.column(name).itemsize for name in column_names) * (hi - lo)
+
+
+def encoded_bytes_for_rows(table, column_names, lo: int, hi: int) -> float:
+    """Bytes a code-domain scan of rows ``[lo, hi)`` actually reads:
+    the encoded scan width for encoded columns, the raw width
+    otherwise.  This is the opt-in side channel the compression
+    analyses (``sec8-compression``, the bench) feed into the bandwidth
+    model; the default execution path never records it."""
+    total = 0.0
+    for name in column_names:
+        encoded = table.encoding(name) if hasattr(table, "encoding") else None
+        if encoded is not None:
+            total += encoded.scan_itemsize * (hi - lo)
+        else:
+            total += table.column(name).itemsize * (hi - lo)
+    return total
 
 
 def row_page_geometry(table) -> tuple[int, int]:

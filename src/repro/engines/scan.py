@@ -1,0 +1,82 @@
+"""Scan kernels over possibly-encoded columns.
+
+Engines funnel their predicate evaluations through
+:func:`predicate_mask`: when the column carries an encoding
+(:mod:`repro.storage.encoding`) the comparison runs *in the code
+domain* -- 1-2 byte unsigned codes instead of 8-byte values, with the
+threshold rebased once per call -- and falls back to the raw numpy
+comparison otherwise.  The codecs preserve value order exactly, so the
+returned mask is bit-identical either way; all work-profile recording
+(which is a function of the mask and the logical byte widths) is
+untouched by the routing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.column import ColumnTable
+from repro.storage.encoding import compare_values
+
+
+def predicate_mask(
+    table: ColumnTable, column: str, op: str, threshold, lo: int, hi: int
+) -> np.ndarray:
+    """Evaluate ``column <op> threshold`` over rows ``[lo, hi)``.
+
+    Runs on the encoded codes when the column has an encoding, on the
+    decoded values otherwise; the result is identical by construction.
+    """
+    encoded = table.encoding(column)
+    if encoded is not None:
+        return encoded.compare(op, threshold, lo, hi)
+    return compare_values(table[column][lo:hi], op, threshold)
+
+
+def between_mask(
+    table: ColumnTable, column: str, low, high, lo: int, hi: int,
+    low_op: str = "ge", high_op: str = "le",
+) -> np.ndarray:
+    """``low <op> column <op> high`` over rows ``[lo, hi)``."""
+    return predicate_mask(table, column, low_op, low, lo, hi) & predicate_mask(
+        table, column, high_op, high, lo, hi
+    )
+
+
+def combined_key(
+    table: ColumnTable,
+    major: str,
+    minor: str,
+    multiplier: int,
+    lo: int,
+    hi: int,
+    take=None,
+) -> np.ndarray:
+    """``major * multiplier + minor`` as int64 group keys.
+
+    When both columns are encoded with tiny domains the keys come
+    straight from the codes through the dictionary-sized decode tables
+    -- the decoded key columns are never materialised.  ``take``
+    optionally restricts rows (mask or indices).
+    """
+    major_enc = table.encoding(major)
+    minor_enc = table.encoding(minor)
+    if major_enc is not None and minor_enc is not None:
+        major_domain = major_enc.small_domain()
+        minor_domain = minor_enc.small_domain()
+        if major_domain is not None and minor_domain is not None:
+            major_codes = major_enc.codes_range(lo, hi)
+            minor_codes = minor_enc.codes_range(lo, hi)
+            if take is not None:
+                major_codes = major_codes[take]
+                minor_codes = minor_codes[take]
+            return (
+                major_domain.astype(np.int64)[major_codes] * multiplier
+                + minor_domain.astype(np.int64)[minor_codes]
+            )
+    major_values = table[major][lo:hi]
+    minor_values = table[minor][lo:hi]
+    if take is not None:
+        major_values = major_values[take]
+        minor_values = minor_values[take]
+    return major_values * multiplier + minor_values

@@ -46,6 +46,7 @@ from repro.engines.morsel import (
     resolve_range,
     shared_structure,
 )
+from repro.engines.scan import combined_key, predicate_mask
 from repro.storage import Database
 from repro.tpch import schema as sc
 
@@ -205,7 +206,7 @@ class TectorwiseEngine(Engine):
         m = hi - lo
         proj_cols = projection_columns(4)
         masks = [
-            (column, lineitem[column][lo:hi] <= threshold)
+            (column, predicate_mask(lineitem, column, "le", threshold, lo, hi))
             for column, threshold in thresholds.items()
         ]
 
@@ -504,19 +505,19 @@ class TectorwiseEngine(Engine):
         lineitem = db.table("lineitem")
         lo, hi = resolve_range(row_range, lineitem.n_rows)
         m = hi - lo
-        mask = lineitem["l_shipdate"][lo:hi] <= sc.DATE_1998_09_02
+        mask = predicate_mask(lineitem, "l_shipdate", "le", sc.DATE_1998_09_02, lo, hi)
         selected = np.flatnonzero(mask)
         q = len(selected)
 
-        flags = lineitem["l_returnflag"][lo:hi][selected]
-        status = lineitem["l_linestatus"][lo:hi][selected]
         quantity = lineitem["l_quantity"][lo:hi][selected]
         price = lineitem["l_extendedprice"][lo:hi][selected]
         discount = lineitem["l_discount"][lo:hi][selected]
         tax = lineitem["l_tax"][lo:hi][selected]
         disc_price = price * (1.0 - discount)
         charge = disc_price * (1.0 + tax)
-        group_key = flags * 2 + status
+        group_key = combined_key(
+            lineitem, "l_returnflag", "l_linestatus", 2, lo, hi, take=selected
+        )
 
         work = self._new_work()
         columns = (
@@ -564,15 +565,17 @@ class TectorwiseEngine(Engine):
         lineitem = db.table("lineitem")
         lo, hi = resolve_range(row_range, lineitem.n_rows)
         m = hi - lo
-        shipdate = lineitem["l_shipdate"][lo:hi]
-        discount = lineitem["l_discount"][lo:hi]
-        quantity = lineitem["l_quantity"][lo:hi]
         predicates = [
-            ("l_shipdate >=", shipdate >= sc.DATE_1994_01_01),
-            ("l_shipdate <", shipdate < sc.DATE_1995_01_01),
-            ("l_discount >=", discount >= 0.05),
-            ("l_discount <=", discount <= 0.07),
-            ("l_quantity <", quantity < 24.0),
+            ("l_shipdate >=",
+             predicate_mask(lineitem, "l_shipdate", "ge", sc.DATE_1994_01_01, lo, hi)),
+            ("l_shipdate <",
+             predicate_mask(lineitem, "l_shipdate", "lt", sc.DATE_1995_01_01, lo, hi)),
+            ("l_discount >=",
+             predicate_mask(lineitem, "l_discount", "ge", 0.05, lo, hi)),
+            ("l_discount <=",
+             predicate_mask(lineitem, "l_discount", "le", 0.07, lo, hi)),
+            ("l_quantity <",
+             predicate_mask(lineitem, "l_quantity", "lt", 24.0, lo, hi)),
         ]
         pred_columns = ["l_shipdate", "l_shipdate", "l_discount", "l_discount", "l_quantity"]
 
@@ -604,7 +607,10 @@ class TectorwiseEngine(Engine):
             prev_count = len(passed)
 
         q = len(candidates)
-        amounts = lineitem["l_extendedprice"][lo:hi][candidates] * discount[candidates]
+        amounts = (
+            lineitem["l_extendedprice"][lo:hi][candidates]
+            * lineitem["l_discount"][lo:hi][candidates]
+        )
         touched, total_lines = gather_lines(candidates + lo, lo, hi)
         work.record_gather(
             "l_extendedprice gather",

@@ -44,6 +44,7 @@ from repro.engines.morsel import (
     resolve_range,
     shared_structure,
 )
+from repro.engines.scan import between_mask, combined_key, predicate_mask
 from repro.storage import Database
 from repro.tpch import schema as sc
 
@@ -125,7 +126,7 @@ class TyperEngine(Engine):
         proj_cols = projection_columns(4)
 
         masks = [
-            (column, lineitem[column][lo:hi] <= threshold)
+            (column, predicate_mask(lineitem, column, "le", threshold, lo, hi))
             for column, threshold in thresholds.items()
         ]
         combined = masks[0][1] & masks[1][1] & masks[2][1]
@@ -420,18 +421,18 @@ class TyperEngine(Engine):
         lineitem = db.table("lineitem")
         lo, hi = resolve_range(row_range, lineitem.n_rows)
         m = hi - lo
-        mask = lineitem["l_shipdate"][lo:hi] <= sc.DATE_1998_09_02
+        mask = predicate_mask(lineitem, "l_shipdate", "le", sc.DATE_1998_09_02, lo, hi)
         q = int(mask.sum())
 
-        flags = lineitem["l_returnflag"][lo:hi][mask]
-        status = lineitem["l_linestatus"][lo:hi][mask]
         quantity = lineitem["l_quantity"][lo:hi][mask]
         price = lineitem["l_extendedprice"][lo:hi][mask]
         discount = lineitem["l_discount"][lo:hi][mask]
         tax = lineitem["l_tax"][lo:hi][mask]
         disc_price = price * (1.0 - discount)
         charge = disc_price * (1.0 + tax)
-        group_key = flags * 2 + status
+        group_key = combined_key(
+            lineitem, "l_returnflag", "l_linestatus", 2, lo, hi, take=mask
+        )
 
         columns = (
             "l_shipdate", "l_returnflag", "l_linestatus", "l_quantity",
@@ -478,16 +479,19 @@ class TyperEngine(Engine):
         lineitem = db.table("lineitem")
         lo, hi = resolve_range(row_range, lineitem.n_rows)
         m = hi - lo
-        shipdate = lineitem["l_shipdate"][lo:hi]
-        discount = lineitem["l_discount"][lo:hi]
-        quantity = lineitem["l_quantity"][lo:hi]
-        date_pass = (shipdate >= sc.DATE_1994_01_01) & (shipdate < sc.DATE_1995_01_01)
-        disc_pass = (discount >= 0.05) & (discount <= 0.07)
-        qty_pass = quantity < 24.0
+        date_pass = between_mask(
+            lineitem, "l_shipdate", sc.DATE_1994_01_01, sc.DATE_1995_01_01,
+            lo, hi, high_op="lt",
+        )
+        disc_pass = between_mask(lineitem, "l_discount", 0.05, 0.07, lo, hi)
+        qty_pass = predicate_mask(lineitem, "l_quantity", "lt", 24.0, lo, hi)
         combined = date_pass & disc_pass & qty_pass
         qualifying = np.flatnonzero(combined)
         q = len(qualifying)
-        amounts = lineitem["l_extendedprice"][lo:hi][qualifying] * discount[qualifying]
+        amounts = (
+            lineitem["l_extendedprice"][lo:hi][qualifying]
+            * lineitem["l_discount"][lo:hi][qualifying]
+        )
 
         pred_cols = ("l_shipdate", "l_discount", "l_quantity")
         work = self._new_work()

@@ -109,6 +109,28 @@ class MemorySystem:
         seconds = n_bytes / (rate_gbps * 1e9)
         return seconds * self.spec.cycles_per_second
 
+    def compression_speedup(
+        self,
+        raw_bytes: float,
+        encoded_bytes: float,
+        access_pattern: str = "sequential",
+        cores: int = 1,
+    ) -> float:
+        """Upper-bound speedup of a *bandwidth-bound* transfer when the
+        stream shrinks from ``raw_bytes`` to ``encoded_bytes``
+        (compressed column widths, :mod:`repro.storage.encoding`).
+
+        A scan pinned at the roof gains the full byte ratio; operators
+        that are not bandwidth-bound gain less, which the cycle model
+        decides when fed a profile rewritten via
+        ``WorkProfile.with_sequential_scaled``.
+        """
+        if raw_bytes < 0 or encoded_bytes <= 0:
+            raise ValueError("byte volumes must be positive")
+        return self.transfer_cycles(
+            raw_bytes, access_pattern, cores
+        ) / self.transfer_cycles(encoded_bytes, access_pattern, cores)
+
 
 class MemoryLatencyChecker:
     """Reproduces the MLC measurements reported in Table 1 directly from

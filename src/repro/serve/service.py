@@ -363,6 +363,35 @@ class QueryService:
             cached=bool(result.details.get("cached")),
         )
 
+    def _storage_stats(self) -> dict:
+        """Storage shape of the served database: encoding state and
+        logical vs stored bytes.  Never triggers generation -- an
+        unserved database reports only the toggle."""
+        from repro.storage import encoding_enabled
+
+        stats: dict = {"encoding_enabled": encoding_enabled()}
+        with self._db_lock:
+            db = self._db
+        if db is None:
+            stats["database_loaded"] = False
+            return stats
+        encoded_columns = sum(
+            1
+            for name in db.table_names
+            for column in db.table(name).column_names
+            if db.table(name).encoding(column) is not None
+        )
+        stats.update(
+            database_loaded=True,
+            logical_bytes=db.nbytes,
+            stored_bytes=db.encoded_nbytes,
+            compression_ratio=round(db.nbytes / db.encoded_nbytes, 3)
+            if db.encoded_nbytes
+            else 1.0,
+            encoded_columns=encoded_columns,
+        )
+        return stats
+
     def stats_snapshot(self) -> dict:
         snapshot = self.stats.snapshot()
         with self._plans_lock:
@@ -378,6 +407,7 @@ class QueryService:
         snapshot["queue_depth"] = self.queue_depth()
         snapshot["workers"] = self.config.workers
         snapshot["executor"] = self.config.executor
+        snapshot["storage"] = self._storage_stats()
         with self._pool_lock:
             if self._pool is not None:
                 snapshot["process_pool"] = {

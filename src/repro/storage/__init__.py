@@ -1,6 +1,7 @@
 """Storage substrate: columnar (DSM) and row (NSM) table layouts."""
 
 from repro.storage.column import Column, ColumnTable
+from repro.storage.encoding import EncodedColumn, encode_columns, encoding_enabled
 from repro.storage.row import DEFAULT_PAGE_BYTES, RowTable
 from repro.storage.catalog import Database
 
@@ -9,5 +10,8 @@ __all__ = [
     "ColumnTable",
     "Database",
     "DEFAULT_PAGE_BYTES",
+    "EncodedColumn",
     "RowTable",
+    "encode_columns",
+    "encoding_enabled",
 ]

@@ -77,6 +77,11 @@ class Database:
     def nbytes(self) -> int:
         return sum(table.nbytes for table in self._tables.values())
 
+    @property
+    def encoded_nbytes(self) -> int:
+        """Bytes the stored (possibly compressed) columns occupy."""
+        return sum(table.encoded_nbytes for table in self._tables.values())
+
     def summary(self) -> dict[str, dict[str, int]]:
         """Row/byte counts per table (for reports and examples)."""
         return {

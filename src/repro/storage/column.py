@@ -12,6 +12,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.storage.encoding import EncodedColumn
+
 
 @dataclass(frozen=True)
 class Column:
@@ -54,22 +56,29 @@ class ColumnTable:
 
     def __init__(self, name: str, columns: dict[str, np.ndarray] | None = None):
         self.name = name
-        self._columns: dict[str, Column] = {}
+        self._columns: dict[str, Column | EncodedColumn] = {}
         self._n_rows: int | None = None
         for column_name, values in (columns or {}).items():
             self.add_column(column_name, values)
 
-    def add_column(self, name: str, values: np.ndarray) -> None:
-        values = np.asarray(values)
-        if self._n_rows is not None and len(values) != self._n_rows:
+    def add_column(self, name: str, values) -> None:
+        """Add a column: a raw array, a ``Column``, or an
+        ``EncodedColumn`` (compressed storage, transparent decode)."""
+        if isinstance(values, EncodedColumn):
+            column: Column | EncodedColumn = values.renamed(name)
+        elif isinstance(values, Column):
+            column = Column(name, values.values)
+        else:
+            column = Column(name, np.asarray(values))
+        if self._n_rows is not None and len(column) != self._n_rows:
             raise ValueError(
-                f"column {name!r} has {len(values)} rows, table "
+                f"column {name!r} has {len(column)} rows, table "
                 f"{self.name!r} has {self._n_rows}"
             )
         if name in self._columns:
             raise ValueError(f"duplicate column {name!r} in table {self.name!r}")
-        self._columns[name] = Column(name, values)
-        self._n_rows = len(values)
+        self._columns[name] = column
+        self._n_rows = len(column)
 
     def column(self, name: str) -> Column:
         try:
@@ -97,10 +106,28 @@ class ColumnTable:
     def column_names(self) -> tuple[str, ...]:
         return tuple(self._columns)
 
+    def encoding(self, name: str) -> EncodedColumn | None:
+        """The column's encoding, or None when it is stored raw."""
+        column = self.column(name)
+        return column if isinstance(column, EncodedColumn) else None
+
     @property
     def nbytes(self) -> int:
-        """Total bytes across all columns."""
+        """Total *logical* bytes across all columns (decoded widths --
+        what raw storage would occupy and what the work-profile byte
+        accounting is defined over)."""
         return sum(column.nbytes for column in self._columns.values())
+
+    @property
+    def encoded_nbytes(self) -> int:
+        """Bytes the stored representation actually occupies: payload
+        bytes for encoded columns, array bytes for raw ones."""
+        return sum(
+            column.encoded_nbytes
+            if isinstance(column, EncodedColumn)
+            else column.nbytes
+            for column in self._columns.values()
+        )
 
     def bytes_for(self, column_names) -> int:
         """Bytes occupied by a subset of columns (the traffic a

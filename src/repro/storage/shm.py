@@ -12,11 +12,16 @@ boundaries through **one** ``multiprocessing.shared_memory`` segment:
 - :func:`export_database` copies every column into a single segment and
   returns a :class:`SharedDatabase` handle whose picklable
   :attr:`~SharedDatabase.manifest` records, per table and column, the
-  dtype, shape and byte offset of the payload.
+  dtype, shape and byte offset of the payload.  Encoded columns
+  (:mod:`repro.storage.encoding`) export their *encoded* payload arrays
+  -- dictionary + codes, run values + ends, packed words -- so the
+  segment shrinks by the compression ratio while the attach stays
+  zero-copy.
 - :func:`attach_database` (worker side) attaches the segment and
-  rebuilds the ``Database`` from zero-copy numpy views over the mapping.
-  Attached columns are marked read-only: workers share one physical
-  copy, so writes would be cross-process data races.
+  rebuilds the ``Database`` from zero-copy numpy views over the mapping
+  (raw columns as array views, encoded columns as ``EncodedColumn``
+  over payload views).  Attached columns are marked read-only: workers
+  share one physical copy, so writes would be cross-process data races.
 
 Lifecycle
 ---------
@@ -52,6 +57,7 @@ import numpy as np
 
 from repro.storage.catalog import Database
 from repro.storage.column import ColumnTable
+from repro.storage.encoding import EncodedColumn
 
 #: Column payloads start on cache-line boundaries inside the segment.
 _ALIGN = 64
@@ -142,27 +148,53 @@ def export_database(db: Database, name: str | None = None) -> SharedDatabase:
     The returned handle's :attr:`~SharedDatabase.manifest` is small and
     picklable; ship it to workers and :func:`attach_database` there.
     """
-    layout: dict[str, dict[str, tuple[str, int, int]]] = {}
+    layout: dict[str, dict] = {}
+    payloads: dict[tuple[str, str], dict[str, np.ndarray]] = {}
     offset = 0
     for table_name in db.table_names:
         table = db.table(table_name)
-        columns = {}
+        columns: dict = {}
         for column_name in table.column_names:
-            values = table[column_name]
-            offset = _aligned(offset)
-            columns[column_name] = (values.dtype.str, len(values), offset)
-            offset += values.nbytes
+            encoded = table.encoding(column_name)
+            if encoded is not None:
+                meta, arrays = encoded.payload()
+                payloads[(table_name, column_name)] = arrays
+                parts = {}
+                for part_name in sorted(arrays):
+                    part = arrays[part_name]
+                    offset = _aligned(offset)
+                    parts[part_name] = (part.dtype.str, len(part), offset)
+                    offset += part.nbytes
+                columns[column_name] = {"encoding": meta, "arrays": parts}
+            else:
+                values = table[column_name]
+                offset = _aligned(offset)
+                columns[column_name] = (values.dtype.str, len(values), offset)
+                offset += values.nbytes
         layout[table_name] = columns
 
     segment = shared_memory.SharedMemory(create=True, size=max(offset, 1), name=name)
     try:
         for table_name, columns in layout.items():
             table = db.table(table_name)
-            for column_name, (dtype, length, column_offset) in columns.items():
-                view = np.ndarray(
-                    (length,), dtype=dtype, buffer=segment.buf, offset=column_offset
-                )
-                view[:] = table[column_name]
+            for column_name, descriptor in columns.items():
+                if isinstance(descriptor, dict):
+                    arrays = payloads[(table_name, column_name)]
+                    for part_name, (dtype, length, part_offset) in descriptor[
+                        "arrays"
+                    ].items():
+                        view = np.ndarray(
+                            (length,), dtype=dtype, buffer=segment.buf,
+                            offset=part_offset,
+                        )
+                        view[:] = arrays[part_name]
+                else:
+                    dtype, length, column_offset = descriptor
+                    view = np.ndarray(
+                        (length,), dtype=dtype, buffer=segment.buf,
+                        offset=column_offset,
+                    )
+                    view[:] = table[column_name]
     except BaseException:
         segment.close()
         segment.unlink()
@@ -199,12 +231,31 @@ def attach_database(manifest: dict) -> AttachedDatabase:
         db = Database(name=manifest["name"], scale_factor=manifest["scale_factor"])
         for table_name, columns in manifest["tables"].items():
             table = ColumnTable(table_name)
-            for column_name, (dtype, length, offset) in columns.items():
-                view = np.ndarray(
-                    (length,), dtype=dtype, buffer=segment.buf, offset=offset
-                )
-                view.flags.writeable = False
-                table.add_column(column_name, view)
+            for column_name, descriptor in columns.items():
+                if isinstance(descriptor, dict):
+                    arrays = {}
+                    for part_name, (dtype, length, offset) in descriptor[
+                        "arrays"
+                    ].items():
+                        view = np.ndarray(
+                            (length,), dtype=dtype, buffer=segment.buf,
+                            offset=offset,
+                        )
+                        view.flags.writeable = False
+                        arrays[part_name] = view
+                    table.add_column(
+                        column_name,
+                        EncodedColumn.from_payload(
+                            column_name, descriptor["encoding"], arrays
+                        ),
+                    )
+                else:
+                    dtype, length, offset = descriptor
+                    view = np.ndarray(
+                        (length,), dtype=dtype, buffer=segment.buf, offset=offset
+                    )
+                    view.flags.writeable = False
+                    table.add_column(column_name, view)
             db.add_table(table)
         # add_table resets identity; restore the content key last so
         # attached workers alias the exporter's caches.

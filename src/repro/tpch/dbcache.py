@@ -20,11 +20,20 @@ generation order, never the raw request.
 Disk layout
 -----------
 ``<root>/dbgen/<key>/`` holds one ``<table>.<column>.npy`` file per
-column plus a ``meta.json`` describing the key and schema.  Directories
-are populated under a temporary name and renamed into place, so a
-killed writer never leaves a half-readable entry.  Columns load back
-memory-mapped (``mmap_mode="r"``): a cache hit costs page faults, not a
-full read, and parallel workers share the page cache.
+raw column -- or one ``<table>.<column>.<part>.npy`` file per payload
+array of an encoded column (:mod:`repro.storage.encoding`) -- plus a
+``meta.json`` describing the key, schema, and codec descriptors.
+Directories are populated under a temporary name and renamed into
+place, so a killed writer never leaves a half-readable entry.  Columns
+load back memory-mapped (``mmap_mode="r"``): a cache hit costs page
+faults, not a full read, and parallel workers share the page cache.
+Encoded entries are 2-4x smaller on disk, so both the fault traffic
+and the cache footprint shrink accordingly.
+
+Format 2 stores the encoded form; format-1 entries (raw columns) are
+still readable and are policy-encoded in memory on load.  With
+``REPRO_ENCODING=off`` the encoding step is skipped and encoded disk
+entries are decoded into raw arrays at load time.
 
 Databases smaller than :data:`MIN_PERSIST_BYTES` are not persisted
 (they regenerate faster than they deserialise, and the test-suite's
@@ -43,7 +52,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.storage import ColumnTable, Database
+from repro.storage import ColumnTable, Database, EncodedColumn, encode_columns
+from repro.storage import encoding_enabled
 
 #: Databases below this size are regenerated rather than persisted.
 MIN_PERSIST_BYTES = 8 * 1024 * 1024
@@ -51,7 +61,8 @@ MIN_PERSIST_BYTES = 8 * 1024 * 1024
 #: In-process memo capacity (distinct database identities per process).
 MEMO_ENTRIES = 8
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_READABLE_FORMATS = (1, 2)
 
 #: key -> {"meta": dict, "tables": {name: {column: ndarray}}}
 _memo: OrderedDict[str, dict] = OrderedDict()
@@ -131,21 +142,41 @@ def _memo_put(key: str, meta: dict, tables: dict) -> None:
 
 
 def _extract(db: Database) -> tuple[dict, dict]:
+    """Pull the stored column objects (raw arrays or EncodedColumns),
+    policy-encoding any raw ones, and describe them in the meta."""
+    tables = {}
+    for name in db.table_names:
+        table = db.table(name)
+        columns = {}
+        for column in table.column_names:
+            encoded = table.encoding(column)
+            columns[column] = encoded if encoded is not None else table[column]
+        tables[name] = encode_columns(columns)
     meta = {
         "format": _FORMAT_VERSION,
+        # True when the encoding policy already ran over this entry, so
+        # a warm load can skip re-probing the deliberately-raw columns.
+        "encoded": encoding_enabled(),
         "name": db.name,
         "scale_factor": db.scale_factor,
         "tables": {
             name: list(db.table(name).column_names) for name in db.table_names
         },
-    }
-    tables = {
-        name: {
-            column: db.table(name)[column] for column in db.table(name).column_names
-        }
-        for name in db.table_names
+        "encodings": {
+            name: {
+                column: _describe(value)
+                for column, value in columns.items()
+                if isinstance(value, EncodedColumn)
+            }
+            for name, columns in tables.items()
+        },
     }
     return meta, tables
+
+
+def _describe(column: EncodedColumn) -> dict:
+    codec_meta, arrays = column.payload()
+    return {**codec_meta, "parts": sorted(arrays)}
 
 
 def load(key: str) -> Database | None:
@@ -162,18 +193,41 @@ def load(key: str) -> Database | None:
         meta = json.loads(meta_path.read_text())
     except (OSError, ValueError):
         return None
-    if meta.get("format") != _FORMAT_VERSION:
+    if meta.get("format") not in _READABLE_FORMATS:
         return None
-    tables: dict[str, dict[str, np.ndarray]] = {}
+    encodings = meta.get("encodings", {})
+    tables: dict[str, dict] = {}
     try:
         for table_name, columns in meta["tables"].items():
-            tables[table_name] = {
-                column: np.load(
-                    directory / f"{table_name}.{column}.npy", mmap_mode="r"
+            loaded = {}
+            for column in columns:
+                descriptor = encodings.get(table_name, {}).get(column)
+                if descriptor is None:
+                    loaded[column] = np.load(
+                        directory / f"{table_name}.{column}.npy", mmap_mode="r"
+                    )
+                    continue
+                arrays = {
+                    part: np.load(
+                        directory / f"{table_name}.{column}.{part}.npy",
+                        mmap_mode="r",
+                    )
+                    for part in descriptor["parts"]
+                }
+                rebuilt = EncodedColumn.from_payload(column, descriptor, arrays)
+                # REPRO_ENCODING=off: decode encoded disk entries back
+                # to raw arrays so execution sees no encoding tier.
+                loaded[column] = rebuilt if encoding_enabled() else np.asarray(
+                    rebuilt.values
                 )
-                for column in columns
-            }
-    except (OSError, ValueError):
+            # Entries persisted with the policy applied need no second
+            # pass; format-1 (all-raw) entries and entries written with
+            # encoding off are brought up to the in-memory policy.
+            if meta.get("encoded") and encoding_enabled():
+                tables[table_name] = loaded
+            else:
+                tables[table_name] = encode_columns(loaded)
+    except (OSError, ValueError, KeyError):
         return None
     _memo_put(key, meta, tables)
     return _build_database(key, meta, tables)
@@ -199,8 +253,15 @@ def store(key: str, db: Database) -> Database:
 
 def _persist(key: str, meta: dict, tables: dict) -> None:
     directory = _entry_dir(key)
-    if (directory / "meta.json").exists():
-        return
+    existing = directory / "meta.json"
+    if existing.exists():
+        try:
+            if json.loads(existing.read_text()).get("format") == _FORMAT_VERSION:
+                return
+        except (OSError, ValueError):
+            pass
+        # Stale or unreadable format: replace with the current one.
+        shutil.rmtree(directory, ignore_errors=True)
     directory.parent.mkdir(parents=True, exist_ok=True)
     staging = Path(
         tempfile.mkdtemp(prefix=f".{key}.tmp-", dir=directory.parent)
@@ -208,7 +269,15 @@ def _persist(key: str, meta: dict, tables: dict) -> None:
     try:
         for table_name, columns in tables.items():
             for column, values in columns.items():
-                np.save(staging / f"{table_name}.{column}.npy", values)
+                if isinstance(values, EncodedColumn):
+                    _, arrays = values.payload()
+                    for part, payload in arrays.items():
+                        np.save(
+                            staging / f"{table_name}.{column}.{part}.npy",
+                            payload,
+                        )
+                else:
+                    np.save(staging / f"{table_name}.{column}.npy", values)
         (staging / "meta.json").write_text(json.dumps(meta))
         try:
             staging.rename(directory)

@@ -100,16 +100,21 @@ def q6_predicates(db: Database) -> list[tuple[str, np.ndarray]]:
     """Q6's five individual predicates with their boolean outcome
     streams (the per-predicate selectivities a vectorized engine's
     branch predictor observes -- Section 6)."""
+    from repro.engines.scan import predicate_mask
+
     lineitem = db.table("lineitem")
-    shipdate = lineitem["l_shipdate"]
-    discount = lineitem["l_discount"]
-    quantity = lineitem["l_quantity"]
+    n = lineitem.n_rows
     return [
-        ("l_shipdate >= 1994-01-01", shipdate >= sc.DATE_1994_01_01),
-        ("l_shipdate < 1995-01-01", shipdate < sc.DATE_1995_01_01),
-        ("l_discount >= 0.05", discount >= 0.05),
-        ("l_discount <= 0.07", discount <= 0.07),
-        ("l_quantity < 24", quantity < 24.0),
+        ("l_shipdate >= 1994-01-01",
+         predicate_mask(lineitem, "l_shipdate", "ge", sc.DATE_1994_01_01, 0, n)),
+        ("l_shipdate < 1995-01-01",
+         predicate_mask(lineitem, "l_shipdate", "lt", sc.DATE_1995_01_01, 0, n)),
+        ("l_discount >= 0.05",
+         predicate_mask(lineitem, "l_discount", "ge", 0.05, 0, n)),
+        ("l_discount <= 0.07",
+         predicate_mask(lineitem, "l_discount", "le", 0.07, 0, n)),
+        ("l_quantity < 24",
+         predicate_mask(lineitem, "l_quantity", "lt", 24.0, 0, n)),
     ]
 
 

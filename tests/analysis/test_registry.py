@@ -15,6 +15,8 @@ EXPECTED_IDS = {
     # Results the paper describes but omits as graphs.
     "sec2-groupby", "sec9-extended", "sec10-tpch-bw",
     "sec6-commercial", "sec10-speedup",
+    # Compressed column widths (repro.storage.encoding).
+    "sec8-compression",
     # SQL-path equivalence (repro.sql frontend vs hand-wired calls).
     "sqlpath",
     # Measured process-executor scaling vs the Section 10 model.

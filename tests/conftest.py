@@ -18,31 +18,55 @@ PAPER_SF = 0.2
 
 
 @pytest.fixture(scope="session")
-def tiny_db():
+def db_factory():
+    """Session-scoped database pool keyed on the generation arguments.
+
+    Modules that need a non-standard database (odd seed, skew, table
+    subset) request it here, so every test asking for the same identity
+    shares one set of arrays for the whole session instead of
+    regenerating per module."""
+    pool: dict = {}
+
+    def get(scale_factor, seed=7, tables=None, skew=None):
+        key = (scale_factor, seed, tables, skew)
+        if key not in pool:
+            kwargs = {"scale_factor": scale_factor, "seed": seed}
+            if tables is not None:
+                kwargs["tables"] = tables
+            if skew is not None:
+                kwargs["skew"] = skew
+            pool[key] = generate_database(**kwargs)
+        return pool[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def tiny_db(db_factory):
     """A few thousand lineitem rows; for fast unit-level checks."""
-    return generate_database(scale_factor=TINY_SF, seed=7)
+    return db_factory(TINY_SF, seed=7)
 
 
 @pytest.fixture(scope="session")
-def small_db():
+def small_db(db_factory):
     """~120k lineitem rows; for engine-correctness cross-checks."""
-    return generate_database(scale_factor=SMALL_SF, seed=11)
+    return db_factory(SMALL_SF, seed=11)
 
 
 @pytest.fixture(scope="session")
-def paper_db():
+def paper_db(db_factory):
     """~1.2M lineitem rows: scanned columns and the large join's hash
     table exceed the modelled 35 MB L3, as in the paper's setup."""
-    return generate_database(scale_factor=PAPER_SF, seed=42)
+    return db_factory(PAPER_SF, seed=42)
 
 
 @pytest.fixture(scope="session")
-def big_db():
+def big_db(db_factory):
     """SF 1.0 (~6M lineitem rows): the large join's hash table (~68 MB)
     and Q18's aggregation table exceed the 35 MB L3, putting the random
     accesses in the long-latency regime the paper studies at SF 5."""
-    return generate_database(
-        scale_factor=1.0,
+    return db_factory(
+        1.0,
         seed=42,
         tables=("lineitem", "orders", "supplier", "nation", "partsupp"),
     )

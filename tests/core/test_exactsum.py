@@ -46,10 +46,16 @@ class TestExactness:
         try:
             expected = math.fsum(values)
         except OverflowError:
-            # fsum raises when the true sum exceeds the double range;
-            # ExactSum rounds to signed infinity instead.
+            # fsum raises on any intermediate overflow, even when the
+            # exact sum still rounds to +/-MAX_DOUBLE; recover the
+            # correctly rounded value from the exact integer units
+            # (int/int division is correctly rounded and raises only
+            # when the true quotient rounds past the double range).
             units = sum(ExactSum.of(v).units for v in values)
-            expected = math.inf if units > 0 else -math.inf
+            try:
+                expected = units / 2**1074
+            except OverflowError:
+                expected = math.inf if units > 0 else -math.inf
         assert ExactSum.of(*values).total() == expected
 
 

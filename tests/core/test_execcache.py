@@ -17,8 +17,8 @@ def fresh_cache():
 
 
 @pytest.fixture(scope="module")
-def db():
-    return generate_database(0.004, seed=19)
+def db(db_factory):
+    return db_factory(0.004, seed=19)
 
 
 class TestMemoization:

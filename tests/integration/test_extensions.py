@@ -11,11 +11,9 @@ from repro.engines import GroupByHashTable
 
 class TestSkewedGeneration:
     @pytest.fixture(scope="class")
-    def pair(self):
-        uniform = generate_database(scale_factor=0.05, seed=9, tables=("lineitem",))
-        skewed = generate_database(
-            scale_factor=0.05, seed=9, tables=("lineitem",), skew=1.2
-        )
+    def pair(self, db_factory):
+        uniform = db_factory(0.05, seed=9, tables=("lineitem",))
+        skewed = db_factory(0.05, seed=9, tables=("lineitem",), skew=1.2)
         return uniform, skewed
 
     def test_skew_validation(self):

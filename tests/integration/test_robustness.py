@@ -4,7 +4,7 @@ loudly and degenerate inputs must not crash."""
 import numpy as np
 import pytest
 
-from repro import MicroArchProfiler, TyperEngine, TectorwiseEngine, generate_database
+from repro import MicroArchProfiler, TyperEngine, TectorwiseEngine
 from repro.engines import ALL_ENGINES, ChainedHashTable, RowStoreEngine
 from repro.storage import ColumnTable, Database
 from repro.core import ExecutionContext, WorkProfile
@@ -13,9 +13,9 @@ from repro.workloads import run_projection_sweep
 
 class TestDegenerateDatabases:
     @pytest.fixture(scope="class")
-    def minimal_db(self):
+    def minimal_db(self, db_factory):
         """The smallest generatable database (floor of one row/table)."""
-        return generate_database(scale_factor=1e-6, seed=5)
+        return db_factory(1e-6, seed=5)
 
     def test_all_workloads_run_on_minimal_database(self, minimal_db, profiler):
         for engine_cls in ALL_ENGINES:

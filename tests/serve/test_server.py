@@ -66,6 +66,32 @@ class TestDispatch:
         assert response["status"] == "ok"
         assert "submitted" in response["stats"]
 
+    def test_stats_exposes_plan_cache_and_executor(self, service):
+        """The op=stats response carries the plan-cache counters, the
+        executor mode and the storage section."""
+        assert dispatch(service, {"sql": projection_sql(1)})["status"] == "ok"
+        assert dispatch(service, {"sql": projection_sql(1)})["status"] == "ok"
+        stats = dispatch(service, {"op": "stats"})["stats"]
+        plan_cache = stats["plan_cache"]
+        for counter in ("hits", "misses", "evictions", "entries", "capacity"):
+            assert isinstance(plan_cache[counter], int)
+        assert plan_cache["hits"] >= 1
+        assert plan_cache["misses"] >= 1
+        assert stats["executor"] == "thread"
+        storage = stats["storage"]
+        assert isinstance(storage["encoding_enabled"], bool)
+        assert storage["database_loaded"] is True  # fixture injects a db
+        assert storage["stored_bytes"] <= storage["logical_bytes"]
+        assert storage["compression_ratio"] >= 1.0
+        if storage["encoding_enabled"]:
+            assert storage["encoded_columns"] > 0
+
+    def test_stats_without_database_reports_toggle_only(self):
+        service = QueryService(ServiceConfig(workers=1))
+        storage = service.stats_snapshot()["storage"]
+        assert storage["database_loaded"] is False
+        assert "logical_bytes" not in storage
+
     def test_unknown_op(self, service):
         response = dispatch(service, {"op": "explode"})
         assert response["status"] == "error"

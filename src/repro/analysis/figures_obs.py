@@ -1,0 +1,110 @@
+"""Latency breakdown from the observability layer's span trees.
+
+The paper decomposes where cycles go; this figure decomposes where the
+*service's* wall-clock time goes -- admission wait, plan-cache lookup,
+execution (with per-morsel detail), result serialization -- using the
+per-query traces of :mod:`repro.obs`, and sets the measured execution
+time next to the modeled response time the spans carry from the
+engines' WorkProfiles.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.result import FigureResult
+from repro.engines import ALL_ENGINES
+from repro.serve.service import QueryService, ServiceConfig
+from repro.tpch.sql import TPCH_SQL, projection_sql
+
+def _workload_sql() -> list[tuple[str, str]]:
+    """The (label, SQL) pairs the breakdown samples."""
+    return [
+        ("projection-4", projection_sql(4)),
+        ("tpch-Q1", TPCH_SQL["Q1"]),
+        ("tpch-Q6", TPCH_SQL["Q6"]),
+    ]
+
+
+def stage_durations(tree: dict) -> dict[str, float]:
+    """Total duration (ms) per span name across one trace tree."""
+    totals: dict[str, float] = {}
+
+    def visit(node: dict) -> None:
+        duration = node.get("duration_ms")
+        if duration is not None:
+            totals[node["name"]] = totals.get(node["name"], 0.0) + duration
+        for child in node.get("children", ()):
+            visit(child)
+
+    visit(tree)
+    return totals
+
+
+def _execute_attr(tree: dict, name: str):
+    """The ``execute`` span's attribute ``name``, if present."""
+    stack = [tree]
+    while stack:
+        node = stack.pop()
+        if node["name"] == "execute":
+            return node.get("attrs", {}).get(name)
+        stack.extend(node.get("children", ()))
+    return None
+
+
+def obs_latency_breakdown(db, profiler) -> FigureResult:
+    """Traced per-stage latency for three workloads on all engines."""
+    figure = FigureResult(
+        "obs-latency",
+        "Per-stage query latency from span trees (measured vs modeled)",
+        (
+            "workload", "engine", "total_ms", "admission_ms", "plan_cache_ms",
+            "execute_ms", "morsel_ms", "morsels", "serialize_ms", "modeled_ms",
+        ),
+    )
+    config = ServiceConfig(
+        workers=1, scale_factor=db.scale_factor, executor="thread"
+    )
+    service = QueryService(config, db=db)
+    traced = 0
+    with service:
+        for workload, sql in _workload_sql():
+            for engine_cls in ALL_ENGINES:
+                response = service.submit(
+                    sql, engine=engine_cls.name, trace_query=True
+                )
+                if response.get("status") != "ok":
+                    figure.note(
+                        f"{workload}/{engine_cls.name} failed: "
+                        f"{response.get('error')}"
+                    )
+                    continue
+                tree = response["trace"]
+                stages = stage_durations(tree)
+                morsels = sum(
+                    1
+                    for child in tree.get("children", ())
+                    for grand in child.get("children", ())
+                    if grand["name"] == "morsel"
+                )
+                traced += 1
+                figure.add_row(
+                    workload=workload,
+                    engine=engine_cls.name,
+                    total_ms=tree.get("duration_ms"),
+                    admission_ms=stages.get("admission", 0.0),
+                    plan_cache_ms=stages.get("plan_cache", 0.0),
+                    execute_ms=stages.get("execute", 0.0),
+                    morsel_ms=stages.get("morsel", 0.0),
+                    morsels=morsels,
+                    serialize_ms=stages.get("serialize", 0.0),
+                    modeled_ms=_execute_attr(tree, "modeled_ms"),
+                )
+    figure.note(
+        f"{traced} traced executions; measured wall-clock stages come from "
+        f"repro.obs span trees, modeled_ms from the WorkProfile cycle model"
+    )
+    figure.note(
+        "thread executor: execution is one synthetic morsel on the "
+        "service worker thread; the process executor grafts one span per "
+        "claimed morsel instead"
+    )
+    return figure

@@ -19,6 +19,7 @@ from repro.analysis import (
     figures_compression,
     figures_micro,
     figures_multicore,
+    figures_obs,
     figures_omitted,
     figures_optim,
     figures_sql,
@@ -281,6 +282,13 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             claim="The SQL frontend lowers every documented workload onto "
                   "the hand-wired engine paths with identical results and "
                   "modeled cycles.",
+        ),
+        _spec(
+            "obs-latency", "Per-stage query latency from span trees",
+            figures_obs.obs_latency_breakdown, tables=TPCH_TABLES,
+            claim="Traced service queries decompose wall-clock time into "
+                  "admission, plan cache, per-morsel execution and "
+                  "serialization, with modeled response time alongside.",
         ),
         _spec(
             "sec2-groupby", "Group-by micro-benchmark (omitted graph)",

@@ -37,6 +37,8 @@ import threading
 from collections import OrderedDict
 from functools import wraps
 
+from repro.obs import trace
+
 #: Engine methods that are memoized (the complete execution surface).
 CACHED_METHODS = (
     "run_projection",
@@ -157,12 +159,15 @@ def memoized_execution(method_name: str, func):
             hash(key)
         except TypeError:
             return func(self, db, *args, **kwargs)
-        cached = EXECUTION_CACHE.lookup(key)
-        if cached is not None:
-            return cached
-        result = func(self, db, *args, **kwargs)
-        EXECUTION_CACHE.store(key, result)
-        return result
+        with trace.span("execcache", method=method_name):
+            cached = EXECUTION_CACHE.lookup(key)
+            if cached is not None:
+                trace.annotate(outcome="hit")
+                return cached
+            trace.annotate(outcome="miss")
+            result = func(self, db, *args, **kwargs)
+            EXECUTION_CACHE.store(key, result)
+            return result
 
     wrapper._execcache_wrapped = True
     return wrapper

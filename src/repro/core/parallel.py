@@ -40,9 +40,12 @@ import inspect
 import multiprocessing
 import os
 import threading
+import time
 import traceback
 
 from repro.engines.morsel import MORSEL_ALIGN, morsel_ranges
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
 
 #: Rows one claim hands a worker.  Aligned, and large enough that the
 #: per-morsel numpy dispatch overhead stays negligible.
@@ -217,6 +220,27 @@ def _resolve_engine(spec: tuple, cache: dict):
     return cache[spec]
 
 
+def _worker_metrics(worker_id: int):
+    """This worker process's metric handles (module registry is fresh
+    per spawned process, so these counters are per-worker by nature)."""
+    label = str(worker_id)
+    registry = obs_metrics.REGISTRY
+    return {
+        "morsels": registry.counter(
+            "repro_worker_morsels_total", "Morsels executed", ("worker",)
+        ).labels(worker=label),
+        "steals": registry.counter(
+            "repro_worker_steals_total", "Morsels obtained by stealing", ("worker",)
+        ).labels(worker=label),
+        "rows": registry.counter(
+            "repro_worker_rows_total", "Rows scanned in morsels", ("worker",)
+        ).labels(worker=label),
+        "seconds": registry.histogram(
+            "repro_worker_morsel_seconds", "Per-morsel execution time", ("worker",)
+        ).labels(worker=label),
+    }
+
+
 def _worker_main(worker_id, manifest, ledger, inbox, results, morsel_rows):
     """Persistent worker loop: attach once, then claim/run/merge/reply."""
     from repro.storage import shm
@@ -226,6 +250,7 @@ def _worker_main(worker_id, manifest, ledger, inbox, results, morsel_rows):
     engines: dict = {}
     morsels_run = 0
     steals = 0
+    metric = _worker_metrics(worker_id)
     try:
         while True:
             message = inbox.get()
@@ -251,22 +276,35 @@ def _worker_main(worker_id, manifest, ledger, inbox, results, morsel_rows):
                             },
                         )
                     )
+                elif kind == "metrics":
+                    results.put(
+                        ("done", task_id, worker_id, obs_metrics.REGISTRY.snapshot())
+                    )
                 elif kind == "run":
                     _, _, engine_spec, method, kwargs_items = message
                     engine = _resolve_engine(engine_spec, engines)
                     runner = getattr(engine, method)
                     kwargs = dict(kwargs_items)
                     partials = []
+                    records = []
                     while True:
                         claim = ledger.claim(worker_id, morsel_rows)
                         if claim is None:
                             break
                         lo, hi, stolen = claim
+                        t0 = time.perf_counter()
                         partials.append(runner(db, row_range=(lo, hi), **kwargs))
+                        t1 = time.perf_counter()
+                        records.append((worker_id, lo, hi, bool(stolen), t0, t1))
                         morsels_run += 1
                         steals += stolen
+                        metric["morsels"].inc()
+                        metric["rows"].inc(hi - lo)
+                        metric["seconds"].observe(t1 - t0)
+                        if stolen:
+                            metric["steals"].inc()
                     payload = merge_worker_partials(partials) if partials else None
-                    results.put(("done", task_id, worker_id, payload))
+                    results.put(("done", task_id, worker_id, (payload, records)))
                 else:
                     results.put(("error", task_id, worker_id, f"unknown task {kind!r}"))
             except BaseException:
@@ -419,7 +457,27 @@ class WorkerPool:
                 lambda task_id: ("run", task_id, engine_spec, method, kwargs_items)
             )
             self.queries_run += 1
-        partials = [payload for payload in payloads.values() if payload is not None]
+        partials = []
+        records = []
+        for payload in payloads.values():
+            partial, worker_records = payload
+            if partial is not None:
+                partials.append(partial)
+            records.extend(worker_records)
+        if trace.active():
+            # Graft the workers' morsel timings as completed child
+            # spans, ordered by row range so the tree is deterministic.
+            for worker_id, lo, hi, stolen, t0, t1 in sorted(
+                records, key=lambda r: (r[1], r[2])
+            ):
+                trace.record(
+                    "morsel",
+                    t0,
+                    t1,
+                    worker=worker_id,
+                    row_range=(lo, hi),
+                    stolen=stolen,
+                )
         if not partials:
             raise WorkerCrashed("no worker produced a partial result")
         return engine.merge_morsels(self.db, method, kwargs_items, partials)
@@ -428,6 +486,13 @@ class WorkerPool:
         with self._lock:
             payloads = self._broadcast_collect(lambda task_id: ("ping", task_id))
         return all(payload == "pong" for payload in payloads.values())
+
+    def metrics_snapshots(self) -> list[dict]:
+        """One metrics-registry snapshot per worker process, for
+        :func:`repro.obs.merge_snapshots` at scrape time."""
+        with self._lock:
+            payloads = self._broadcast_collect(lambda task_id: ("metrics", task_id))
+        return [payloads[worker_id] for worker_id in sorted(payloads)]
 
     def stats(self) -> dict:
         """Per-worker counters (morsels, steals, dbgen runs, pids)."""

@@ -52,6 +52,29 @@ class MicroArchProfiler:
             cached=bool(result.details.get("cached", False)),
         )
 
+    def span_attrs(
+        self,
+        engine: Engine | str,
+        result: QueryResult,
+        context: ExecutionContext | None = None,
+    ) -> dict:
+        """Modeled-cost attributes for a trace span.
+
+        The observability layer attaches these to each query's
+        ``execute`` span so measured wall-clock time and the paper's
+        modeled TMAM cost sit side by side in one tree.
+        """
+        report = self.profile(engine, result, context)
+        work = result.work
+        return {
+            "tuples": int(result.tuples),
+            "instructions": float(work.instructions),
+            "streamed_bytes": float(work.streamed_bytes),
+            "random_bytes": float(work.random_bytes),
+            "modeled_cycles": float(report.cycles),
+            "modeled_ms": float(report.response_time_ms),
+        }
+
     def run(
         self,
         engine: Engine,

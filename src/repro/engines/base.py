@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.workprofile import WorkProfile
 from repro.engines.morsel import merge_states
+from repro.obs import trace
 from repro.storage import Database
 from repro.tpch.schema import PROJECTION_COLUMNS, SELECTION_PREDICATE_COLUMNS
 
@@ -315,6 +316,10 @@ class Engine(ABC):
         partials = list(partials)
         if not partials:
             raise ValueError("no morsel partials to merge")
+        with trace.span("merge", morsels=len(partials)):
+            return self._merge_morsels(db, method, kwargs, partials)
+
+    def _merge_morsels(self, db, method, kwargs, partials) -> QueryResult:
         for partial in partials:
             if "partial" not in partial.details:
                 raise ValueError("merge_morsels needs partial results (row_range runs)")

@@ -1,0 +1,63 @@
+"""Injectable monotonic clocks.
+
+Every wall-clock measurement in the serving stack -- request latency,
+span start/end times, admission wait -- reads one :class:`Clock` so
+tests can substitute a :class:`FakeClock` and get bit-deterministic
+durations.  The production clock is ``time.perf_counter`` (monotonic,
+high resolution); timestamps are only ever *subtracted*, never
+interpreted as wall time, so the epoch is irrelevant.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Monotonic time source: ``now()`` in (float) seconds."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The production clock: ``time.perf_counter``."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class FakeClock(Clock):
+    """Deterministic clock for tests.
+
+    Each ``now()`` call returns the current time and then auto-advances
+    by ``step``, so every measured duration is an exact multiple of the
+    step no matter how fast the code under test runs.  ``advance``
+    injects extra elapsed time between calls.
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 0.001):
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        self._now = float(start)
+        self.step = float(step)
+        self._lock = threading.Lock()
+        self.calls = 0
+
+    def now(self) -> float:
+        with self._lock:
+            current = self._now
+            self._now += self.step
+            self.calls += 1
+            return current
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot advance a monotonic clock backwards")
+        with self._lock:
+            self._now += seconds
+
+
+#: Shared default instance (stateless, so one is enough).
+DEFAULT_CLOCK = MonotonicClock()

@@ -1,0 +1,60 @@
+"""Ring buffer of the N slowest queries, span trees attached.
+
+The service records every finished query; the log keeps only the
+``capacity`` slowest by latency (a min-heap keyed on latency, so the
+cheapest eviction victim is always at the top).  ``snapshot`` returns
+entries slowest-first as plain data for the ``slowlog`` protocol op.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+
+
+class SlowLog:
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError("slowlog capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._heap: list[tuple[float, int, dict]] = []
+        self._seq = itertools.count()
+
+    def record(
+        self,
+        *,
+        sql: str,
+        engine: str,
+        status: str,
+        latency_ms: float,
+        trace: dict | None = None,
+    ) -> None:
+        entry = {
+            "sql": sql,
+            "engine": engine,
+            "status": status,
+            "latency_ms": round(float(latency_ms), 6),
+            "trace": trace,
+        }
+        item = (float(latency_ms), next(self._seq), entry)
+        with self._lock:
+            if len(self._heap) < self.capacity:
+                heapq.heappush(self._heap, item)
+            elif item[:2] > self._heap[0][:2]:
+                heapq.heapreplace(self._heap, item)
+
+    def snapshot(self) -> list[dict]:
+        """Entries slowest-first (ties broken newest-first)."""
+        with self._lock:
+            items = sorted(self._heap, reverse=True)
+        return [dict(entry) for _, _, entry in items]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._heap.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)

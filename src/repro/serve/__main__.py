@@ -9,6 +9,10 @@ Modes:
   over real sockets (every statement twice), then assert that all
   succeeded and that the repeats were served from the execution cache.
   This is the CI gate; it exits non-zero on any violation.
+* ``--obs-smoke`` -- observability check: start the server, run a few
+  queries (one traced), fetch ``metrics`` + ``slowlog`` over the
+  socket and validate that the exposition parses and the trace covers
+  the whole request path.  Also a CI gate.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ from __future__ import annotations
 import argparse
 import json
 
-from repro.serve.client import run_batch
+from repro.serve.client import QueryClient, run_batch
 from repro.serve.server import QueryServer, run_repl
 from repro.serve.service import QueryService, ServiceConfig
 
@@ -120,6 +124,92 @@ def _smoke(args: argparse.Namespace) -> int:
     return 0
 
 
+def _span_names(node: dict, into: set) -> set:
+    into.add(node["name"])
+    for child in node.get("children", ()):
+        _span_names(child, into)
+    return into
+
+
+def _obs_smoke(args: argparse.Namespace) -> int:
+    from repro.obs import parse_exposition
+
+    service = QueryService(_config(args)).start()
+    server = QueryServer(service, host="127.0.0.1", port=0)
+    host, port = server.address
+    import threading
+
+    listener = threading.Thread(target=server.serve_forever, daemon=True)
+    listener.start()
+    statements = _smoke_statements()
+    failures: list[str] = []
+    try:
+        with QueryClient(host, port, timeout=args.timeout) as client:
+            responses = [
+                client.query(statements[0], trace=True),
+                client.query(statements[1]),
+                client.query(statements[-1]),
+            ]
+            metrics = client.metrics()
+            slowlog = client.slowlog()
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+    for response in responses:
+        if response.get("status") != "ok":
+            failures.append(f"query failed: {response}")
+    trace_tree = responses[0].get("trace")
+    if not trace_tree:
+        failures.append("traced query returned no trace")
+    else:
+        names = _span_names(trace_tree, set())
+        missing = {
+            "query", "admission", "plan_cache", "parse", "plan",
+            "execute", "morsel", "serialize",
+        } - names
+        if missing:
+            failures.append(f"trace is missing spans: {sorted(missing)}")
+    try:
+        samples = parse_exposition(metrics.get("metrics", ""))
+    except ValueError as exc:
+        failures.append(f"metrics exposition does not parse: {exc}")
+        samples = {}
+    for required in (
+        "repro_queries_total",
+        "repro_query_latency_seconds_bucket",
+        "repro_plan_cache_misses_total",
+        "repro_execcache_misses_total",
+        "repro_queue_depth",
+        "repro_service_workers",
+    ):
+        if not samples.get(required):
+            failures.append(f"metrics exposition lacks {required}")
+    if args.executor == "process" and not samples.get("repro_worker_morsels_total"):
+        failures.append("metrics lack worker-pool morsel counters")
+    entries = slowlog.get("slowlog") or []
+    if len(entries) != len(responses):
+        failures.append(
+            f"slowlog has {len(entries)} entries, expected {len(responses)}"
+        )
+    latencies = [entry.get("latency_ms", 0.0) for entry in entries]
+    if latencies != sorted(latencies, reverse=True):
+        failures.append(f"slowlog is not sorted slowest-first: {latencies}")
+    if not any(entry.get("trace") for entry in entries):
+        failures.append("no slowlog entry carries a span tree")
+
+    print(f"obs-smoke: {len(responses)} queries, "
+          f"{sum(len(v) for k, v in samples.items() if k != '__types__')} "
+          f"metric samples, {len(entries)} slowlog entries")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("obs-smoke OK: trace complete, exposition parses, slowlog ordered")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
@@ -150,12 +240,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="serve a stdin SQL REPL instead of TCP")
     parser.add_argument("--smoke", action="store_true",
                         help="run the in-process concurrency smoke test")
+    parser.add_argument("--obs-smoke", action="store_true",
+                        help="run the tracing/metrics/slowlog smoke test")
     parser.add_argument("--requests", type=int, default=12,
                         help="unique requests in the smoke batch (min 8)")
     args = parser.parse_args(argv)
 
     if args.smoke:
         return _smoke(args)
+    if args.obs_smoke:
+        return _obs_smoke(args)
     if args.repl:
         service = QueryService(_config(args)).start()
         try:

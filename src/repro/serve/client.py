@@ -30,10 +30,18 @@ class QueryClient:
             raise ConnectionError("server closed the connection")
         return protocol.decode(line)
 
-    def query(self, sql: str, engine: str | None = None, **options) -> dict:
+    def query(
+        self,
+        sql: str,
+        engine: str | None = None,
+        trace: bool = False,
+        **options,
+    ) -> dict:
         message: dict = {"sql": sql}
         if engine is not None:
             message["engine"] = engine
+        if trace:
+            message["trace"] = True
         if options:
             message["options"] = options
         return self.request(message)
@@ -43,6 +51,14 @@ class QueryClient:
 
     def stats(self) -> dict:
         return self.request({"op": "stats"})
+
+    def metrics(self) -> dict:
+        """Prometheus text exposition under the ``metrics`` key."""
+        return self.request({"op": "metrics"})
+
+    def slowlog(self) -> dict:
+        """The N slowest queries (slowest first) under ``slowlog``."""
+        return self.request({"op": "slowlog"})
 
     def close(self) -> None:
         try:

@@ -3,9 +3,19 @@
 One request per line, one response per line, UTF-8.  Requests::
 
     {"sql": "SELECT ...", "engine": "Typer", "options": {"simd": true},
-     "timeout": 10.0}
+     "timeout": 10.0, "trace": true}
     {"op": "stats"}
     {"op": "ping"}
+    {"op": "metrics"}
+    {"op": "slowlog"}
+
+``"trace": true`` attaches a span tree (see :mod:`repro.obs.trace`)
+to the query response under ``"trace"``.  ``op=metrics`` returns
+Prometheus text exposition under ``"metrics"`` -- service counters,
+latency histograms, cache hit/miss and gauges aggregated across all
+morsel-pool worker processes.  ``op=slowlog`` returns the N slowest
+queries (slowest first), each with its span tree when one was
+recorded.
 
 Responses always carry ``status``: ``ok``, ``error`` (bad SQL or
 execution failure), ``rejected`` (admission queue full) or ``timeout``

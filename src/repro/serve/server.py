@@ -49,12 +49,19 @@ def dispatch(service: QueryService, message: dict) -> dict:
         return {"status": protocol.STATUS_OK, "pong": True}
     if op == "stats":
         return {"status": protocol.STATUS_OK, "stats": service.stats_snapshot()}
+    if op == "metrics":
+        return {"status": protocol.STATUS_OK, "metrics": service.metrics_text()}
+    if op == "slowlog":
+        return {"status": protocol.STATUS_OK, "slowlog": service.slowlog_snapshot()}
     if op == "shutdown":
         return {"status": protocol.STATUS_OK, "stopping": True}
     if op is not None:
         return {
             "status": protocol.STATUS_ERROR,
-            "error": f"unknown op {op!r} (expected ping, stats or shutdown)",
+            "error": (
+                f"unknown op {op!r} "
+                f"(expected ping, stats, metrics, slowlog or shutdown)"
+            ),
         }
     sql = message.get("sql")
     if not isinstance(sql, str) or not sql.strip():
@@ -73,6 +80,7 @@ def dispatch(service: QueryService, message: dict) -> dict:
         engine=message.get("engine"),
         options=options,
         timeout=message.get("timeout"),
+        trace_query=bool(message.get("trace")),
     )
 
 
@@ -98,7 +106,7 @@ def run_repl(service: QueryService, stdin=None, stdout=None) -> None:
     engine = service.config.default_engine
     stdout.write(
         f"repro query REPL -- engine {engine}; "
-        f":engine NAME, :stats, :quit\n"
+        f":engine NAME, :stats, :metrics, :slowlog, :quit\n"
     )
     stdout.flush()
     for line in stdin:
@@ -111,6 +119,10 @@ def run_repl(service: QueryService, stdin=None, stdout=None) -> None:
                 return
             if parts[0] == "stats":
                 stdout.write(protocol.encode(service.stats_snapshot()).decode())
+            elif parts[0] == "metrics":
+                stdout.write(service.metrics_text())
+            elif parts[0] == "slowlog":
+                stdout.write(protocol.encode({"slowlog": service.slowlog_snapshot()}).decode())
             elif parts[0] == "engine" and len(parts) > 1:
                 engine = " ".join(parts[1:])  # engine names may contain spaces
                 stdout.write(f"engine set to {engine}\n")

@@ -20,10 +20,19 @@ from __future__ import annotations
 
 import queue
 import threading
-import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.obs import (
+    Clock,
+    DEFAULT_CLOCK,
+    MetricsRegistry,
+    SlowLog,
+    Tracer,
+    merge_snapshots,
+    render_snapshot,
+    trace,
+)
 from repro.serve.protocol import (
     STATUS_ERROR,
     STATUS_OK,
@@ -52,6 +61,8 @@ class ServiceConfig:
     process_workers: int | None = None
     #: Bound on the compiled-plan LRU cache.
     plan_cache_size: int = 64
+    #: How many of the slowest queries the slowlog retains.
+    slowlog_capacity: int = 32
 
     def __post_init__(self) -> None:
         if self.executor not in ("thread", "process"):
@@ -60,6 +71,8 @@ class ServiceConfig:
             )
         if self.plan_cache_size < 1:
             raise ValueError("plan_cache_size must be >= 1")
+        if self.slowlog_capacity < 1:
+            raise ValueError("slowlog_capacity must be >= 1")
 
 
 @dataclass
@@ -71,6 +84,7 @@ class _Request:
     options: dict
     submitted_at: float
     queued_depth: int
+    tracer: Tracer | None = None
     done: threading.Event = field(default_factory=threading.Event)
     response: dict | None = None
     lock: threading.Lock = field(default_factory=threading.Lock)
@@ -139,8 +153,16 @@ class ServiceStats:
 class QueryService:
     """Thread-pooled SQL execution over the four engines."""
 
-    def __init__(self, config: ServiceConfig | None = None, db=None):
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        db=None,
+        clock: Clock | None = None,
+    ):
         self.config = config or ServiceConfig()
+        #: Every latency/span measurement in this service reads this
+        #: clock; tests inject a FakeClock for deterministic timings.
+        self.clock = clock or DEFAULT_CLOCK
         self._db = db
         self._db_lock = threading.Lock()
         self._engines: dict[str, object] = {}
@@ -152,12 +174,62 @@ class QueryService:
         self.plan_evictions = 0
         self._pool = None
         self._pool_lock = threading.Lock()
+        self._profiler = None
+        self._profiler_lock = threading.Lock()
         self._queue: queue.Queue[_Request] = queue.Queue(
             maxsize=self.config.queue_depth
         )
         self.stats = ServiceStats()
+        self.metrics = MetricsRegistry()
+        self.slowlog = SlowLog(self.config.slowlog_capacity)
+        self._register_metrics()
         self._workers: list[threading.Thread] = []
         self._stop = threading.Event()
+
+    def _register_metrics(self) -> None:
+        """Declare this service's metric families up front so the
+        exposition is complete even before the first query."""
+        m = self.metrics
+        self._m_queries = m.counter(
+            "repro_queries_total", "Queries by engine and status",
+            ("engine", "status"),
+        )
+        self._m_latency = m.histogram(
+            "repro_query_latency_seconds", "End-to-end query latency", ("engine",)
+        )
+        self._m_plan_hits = m.counter(
+            "repro_plan_cache_hits_total", "Plan-cache hits"
+        )
+        self._m_plan_misses = m.counter(
+            "repro_plan_cache_misses_total", "Plan-cache misses"
+        )
+        self._m_plan_evictions = m.counter(
+            "repro_plan_cache_evictions_total", "Plan-cache evictions"
+        )
+        self._m_plan_entries = m.gauge(
+            "repro_plan_cache_entries", "Compiled plans currently cached"
+        )
+        self._m_exec_hits = m.counter(
+            "repro_execcache_hits_total", "Execution-cache hits"
+        )
+        self._m_exec_misses = m.counter(
+            "repro_execcache_misses_total", "Execution-cache misses"
+        )
+        self._m_exec_entries = m.gauge(
+            "repro_execcache_entries", "Execution-cache entries"
+        )
+        self._m_queue_depth = m.gauge(
+            "repro_queue_depth", "Requests waiting for admission"
+        )
+        self._m_workers = m.gauge(
+            "repro_service_workers", "Admission worker threads"
+        )
+        self._m_pool_alive = m.gauge(
+            "repro_pool_workers_alive", "Live morsel-pool worker processes"
+        )
+        self._m_pool_queries = m.counter(
+            "repro_pool_queries_total", "Queries executed on the morsel pool"
+        )
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "QueryService":
@@ -235,8 +307,10 @@ class QueryService:
             if bound is not None:
                 self._plans.move_to_end(key)
                 self.plan_hits += 1
+                trace.annotate(outcome="hit")
                 return bound
             self.plan_misses += 1
+        trace.annotate(outcome="miss")
         bound = compile_sql(sql)
         with self._plans_lock:
             if key not in self._plans:
@@ -252,6 +326,16 @@ class QueryService:
     def queue_depth(self) -> int:
         return self._queue.qsize()
 
+    def profiler(self):
+        """The micro-arch profiler used to attach modeled TMAM costs
+        (cycles, bytes) to ``execute`` spans."""
+        with self._profiler_lock:
+            if self._profiler is None:
+                from repro.core.profiler import MicroArchProfiler
+
+                self._profiler = MicroArchProfiler()
+            return self._profiler
+
     # -- request path --------------------------------------------------
     def submit(
         self,
@@ -259,15 +343,28 @@ class QueryService:
         engine: str | None = None,
         options: dict | None = None,
         timeout: float | None = None,
+        trace_query: bool = False,
     ) -> dict:
-        """Run one statement; blocks the caller until a terminal status."""
+        """Run one statement; blocks the caller until a terminal status.
+
+        ``trace_query=True`` attaches a span tree to the response (see
+        :mod:`repro.obs.trace`); the default path stays untraced and
+        pays only a ``None`` contextvar check at each instrumentation
+        site.
+        """
         deadline = timeout if timeout is not None else self.config.timeout_s
+        engine_name = engine or self.config.default_engine
+        tracer = None
+        if trace_query:
+            tracer = Tracer(clock=self.clock)
+            tracer.start("query", sql=sql, engine=engine_name)
         request = _Request(
             sql=sql,
-            engine_name=engine or self.config.default_engine,
+            engine_name=engine_name,
             options=dict(options or {}),
-            submitted_at=time.perf_counter(),
+            submitted_at=self.clock.now(),
             queued_depth=self._queue.qsize(),
+            tracer=tracer,
         )
         try:
             self._queue.put_nowait(request)
@@ -302,7 +399,7 @@ class QueryService:
                 return request.response
             if skip_if_abandoned and request.abandoned:
                 return None  # the submitter already reported a timeout
-            latency_ms = (time.perf_counter() - request.submitted_at) * 1e3
+            latency_ms = (self.clock.now() - request.submitted_at) * 1e3
             response = {
                 "status": STATUS_ERROR,
                 "engine": request.engine_name,
@@ -311,11 +408,27 @@ class QueryService:
                 "cached": False,
                 **fields,
             }
+            if response.get("trace") is None:
+                response.pop("trace", None)  # untraced responses stay as before
+            status = response["status"]
             self.stats.record(
-                response["status"],
-                latency_ms if response["status"] == STATUS_OK else None,
+                status,
+                latency_ms if status == STATUS_OK else None,
                 bool(response.get("cached")),
             )
+            self._m_queries.labels(engine=request.engine_name, status=status).inc()
+            if status == STATUS_OK:
+                self._m_latency.labels(engine=request.engine_name).observe(
+                    latency_ms / 1e3
+                )
+            if status != STATUS_REJECTED:  # rejected queries never ran
+                self.slowlog.record(
+                    sql=request.sql,
+                    engine=request.engine_name,
+                    status=status,
+                    latency_ms=latency_ms,
+                    trace=response.get("trace"),
+                )
             request.response = response
             request.done.set()
             return response
@@ -335,32 +448,103 @@ class QueryService:
             self._execute(request)
 
     def _execute(self, request: _Request) -> None:
+        tracer = request.tracer
+        token = trace.activate(tracer, tracer.root) if tracer is not None else None
         try:
-            bound = self.compile(request.sql)
+            self._execute_traced(request)
+        finally:
+            if token is not None:
+                trace.deactivate(token)
+
+    def _trace_dict(self, request: _Request) -> dict | None:
+        """Finish and render the request's span tree, if it has one."""
+        if request.tracer is None:
+            return None
+        return request.tracer.render()
+
+    def _morsel_rows(self, bound, engine) -> int | None:
+        """Row count the thread executor's single 'morsel' covers."""
+        try:
+            kwargs = bound.call_kwargs()
+            kwargs["args"] = list(bound.args)
+            return engine.partition_rows(self.db, bound.method, kwargs)
+        except (ValueError, KeyError):
+            return None
+
+    def _execute_traced(self, request: _Request) -> None:
+        tracing = request.tracer is not None
+        if tracing:
+            trace.record(
+                "admission",
+                request.submitted_at,
+                self.clock.now(),
+                queued_depth=request.queued_depth,
+            )
+        try:
+            with trace.span("plan_cache"):
+                bound = self.compile(request.sql)
             engine = self.engine(request.engine_name)
-            if self.config.executor == "process":
-                merged = bound.call_kwargs()
-                merged.update(request.options)
-                result = self.pool().run_query(
-                    engine, bound.method, *bound.args, **merged
-                )
-            else:
-                result = bound.execute(engine, self.db, **request.options)
+            with trace.span(
+                "execute",
+                engine=request.engine_name,
+                executor=self.config.executor,
+            ):
+                if self.config.executor == "process":
+                    merged = bound.call_kwargs()
+                    merged.update(request.options)
+                    result = self.pool().run_query(
+                        engine, bound.method, *bound.args, **merged
+                    )
+                    self._m_pool_queries.inc()
+                elif tracing:
+                    # Thread mode runs the whole table as one morsel on
+                    # this worker thread; record it in the same shape
+                    # the process executor produces.
+                    n_rows = self._morsel_rows(bound, engine)
+                    with trace.span(
+                        "morsel",
+                        worker=threading.current_thread().name,
+                        row_range=(0, n_rows) if n_rows is not None else None,
+                        stolen=False,
+                    ):
+                        result = bound.execute(engine, self.db, **request.options)
+                else:
+                    result = bound.execute(engine, self.db, **request.options)
+                if tracing:
+                    trace.annotate(
+                        cached=bool(result.details.get("cached")),
+                        **self.profiler().span_attrs(engine, result),
+                    )
         except SqlError as exc:
-            self._finish(request, skip_if_abandoned=True, status=STATUS_ERROR, error=str(exc))
+            self._finish(
+                request,
+                skip_if_abandoned=True,
+                status=STATUS_ERROR,
+                error=str(exc),
+                trace=self._trace_dict(request),
+            )
             return
         except (ValueError, TypeError, RuntimeError) as exc:
-            self._finish(request, skip_if_abandoned=True, status=STATUS_ERROR, error=str(exc))
+            self._finish(
+                request,
+                skip_if_abandoned=True,
+                status=STATUS_ERROR,
+                error=str(exc),
+                trace=self._trace_dict(request),
+            )
             return
+        with trace.span("serialize"):
+            value = jsonable(result.value)
         self._finish(
             request,
             skip_if_abandoned=True,
             status=STATUS_OK,
             workload=bound.workload,
             method=bound.method,
-            value=jsonable(result.value),
+            value=value,
             tuples=result.tuples,
             cached=bool(result.details.get("cached")),
+            trace=self._trace_dict(request),
         )
 
     def _storage_stats(self) -> dict:
@@ -415,3 +599,44 @@ class QueryService:
                     "queries_run": self._pool.queries_run,
                 }
         return snapshot
+
+    # -- observability -------------------------------------------------
+    def _sync_mirrored_metrics(self) -> None:
+        """Refresh metrics that mirror state owned elsewhere (plan
+        cache, execcache, queue, pool) at scrape time."""
+        from repro.core.execcache import EXECUTION_CACHE
+
+        with self._plans_lock:
+            self._m_plan_hits.sync(self.plan_hits)
+            self._m_plan_misses.sync(self.plan_misses)
+            self._m_plan_evictions.sync(self.plan_evictions)
+            self._m_plan_entries.set(len(self._plans))
+        self._m_exec_hits.sync(EXECUTION_CACHE.hits)
+        self._m_exec_misses.sync(EXECUTION_CACHE.misses)
+        self._m_exec_entries.set(len(EXECUTION_CACHE))
+        self._m_queue_depth.set(self.queue_depth())
+        self._m_workers.set(len(self._workers))
+
+    def metrics_snapshot(self) -> dict:
+        """This service's metrics merged with every pool worker
+        process's registry snapshot (fetched over the result channel)."""
+        self._sync_mirrored_metrics()
+        worker_snapshots: list[dict] = []
+        with self._pool_lock:
+            pool = self._pool
+        if pool is not None:
+            self._m_pool_alive.set(
+                sum(1 for process in pool._processes if process.is_alive())
+            )
+            worker_snapshots = pool.metrics_snapshots()
+        else:
+            self._m_pool_alive.set(0)
+        return merge_snapshots([self.metrics.snapshot(), *worker_snapshots])
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of :meth:`metrics_snapshot`."""
+        return render_snapshot(self.metrics_snapshot())
+
+    def slowlog_snapshot(self) -> list[dict]:
+        """The N slowest queries (slowest first) with their traces."""
+        return self.slowlog.snapshot()

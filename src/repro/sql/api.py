@@ -10,6 +10,7 @@ This is the surface the examples, the query service and the tests use::
 
 from __future__ import annotations
 
+from repro.obs import trace
 from repro.sql import ast
 from repro.sql import plan as ir
 from repro.sql.lower import BoundQuery, lower
@@ -19,19 +20,22 @@ from repro.sql.planner import Planner
 
 def parse_sql(sql: str) -> ast.Select:
     """Parse one SELECT statement of the documented dialect."""
-    return parse(sql)
+    with trace.span("parse"):
+        return parse(sql)
 
 
 def plan_sql(sql: str) -> ir.PlanNode:
     """Parse and bind ``sql`` into a schema-validated logical plan."""
-    select = parse(sql)
-    return Planner().plan(select, sql)
+    select = parse_sql(sql)
+    with trace.span("plan"):
+        return Planner().plan(select, sql)
 
 
 def compile_sql(sql: str) -> BoundQuery:
     """Parse, plan and lower ``sql`` onto an engine entry point."""
     plan = plan_sql(sql)
-    return lower(plan, sql)
+    with trace.span("lower"):
+        return lower(plan, sql)
 
 
 def execute_sql(sql: str, engine, db, **options):

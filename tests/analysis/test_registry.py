@@ -19,6 +19,8 @@ EXPECTED_IDS = {
     "sec8-compression",
     # SQL-path equivalence (repro.sql frontend vs hand-wired calls).
     "sqlpath",
+    # Span-tree latency breakdown (repro.obs observability layer).
+    "obs-latency",
     # Measured process-executor scaling vs the Section 10 model.
     "sec10-measured-scaling",
 }

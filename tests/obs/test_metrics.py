@@ -1,0 +1,167 @@
+"""Metrics registry: families, snapshots, merging, exposition."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    merge_snapshots,
+    parse_exposition,
+    render_snapshot,
+)
+
+
+class TestFamilies:
+    def test_counter_accumulates_per_label_set(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("q_total", "queries", ("engine",))
+        counter.labels(engine="Typer").inc()
+        counter.labels(engine="Typer").inc(2)
+        counter.labels(engine="DBMS R").inc()
+        series = registry.snapshot()["q_total"]["series"]
+        assert series[("Typer",)] == 3
+        assert series[("DBMS R",)] == 1
+
+    def test_counters_only_go_up(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError, match="up"):
+            counter.inc(-1)
+
+    def test_gauge_set_and_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(7)
+        gauge.dec(2)
+        assert registry.snapshot()["depth"]["series"][()] == 5
+
+    def test_sync_mirrors_external_totals(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total")
+        counter.sync(10)
+        counter.sync(13)  # monotonic source, absolute values
+        assert registry.snapshot()["hits_total"]["series"][()] == 13
+
+    def test_wrong_labels_rejected(self):
+        counter = MetricsRegistry().counter("c_total", "", ("engine",))
+        with pytest.raises(ValueError, match="labels"):
+            counter.labels(motor="x")
+        with pytest.raises(ValueError, match="labels"):
+            counter.inc()  # labelled family has no unlabelled series
+
+    def test_type_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError, match="re-registered"):
+            registry.gauge("thing")
+        with pytest.raises(TypeError):
+            registry.counter("thing").set(1)
+
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c_total", "help", ("x",))
+        b = registry.counter("c_total", "help", ("x",))
+        assert a is b
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="metric name"):
+            registry.counter("bad-name")
+        with pytest.raises(ValueError, match="label name"):
+            registry.counter("fine", "", ("bad-label",))
+
+
+class TestSnapshots:
+    def test_snapshot_is_picklable(self):
+        """Snapshots cross the pool's result queue; they must pickle."""
+        registry = MetricsRegistry()
+        registry.counter("c_total", "", ("worker",)).labels(worker="0").inc()
+        registry.histogram("h_seconds", buckets=(0.1, 1.0)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+
+    def test_merge_sums_counters_and_histograms(self):
+        def worker(value, seconds):
+            registry = MetricsRegistry()
+            registry.counter("m_total", "", ("worker",)).labels(
+                worker=str(value)
+            ).inc(value)
+            registry.counter("shared_total").inc(value)
+            registry.histogram("h_seconds", buckets=(1.0,)).observe(seconds)
+            return registry.snapshot()
+
+        merged = merge_snapshots([worker(1, 0.5), worker(2, 2.0)])
+        assert merged["m_total"]["series"][("1",)] == 1
+        assert merged["m_total"]["series"][("2",)] == 2
+        assert merged["shared_total"]["series"][()] == 3
+        histogram = merged["h_seconds"]["series"][()]
+        assert histogram["counts"] == [1, 1]
+        assert histogram["count"] == 2
+        assert histogram["sum"] == 2.5
+
+    def test_merge_rejects_incompatible_families(self):
+        a = MetricsRegistry()
+        a.counter("thing")
+        b = MetricsRegistry()
+        b.gauge("thing")
+        a.counter("thing").inc()
+        b.gauge("thing").set(1)
+        with pytest.raises(ValueError, match="incompatible"):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_snapshots([]) == {}
+
+
+class TestExposition:
+    def test_render_is_deterministic_and_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total", "last", ("b", "a")).labels(
+            b="2", a="1"
+        ).inc()
+        registry.gauge("a_gauge", "first").set(1.5)
+        registry.histogram("h_seconds", "hist", buckets=(0.5,)).observe(0.1)
+        text = registry.render()
+        assert text == render_snapshot(registry.snapshot())
+        assert text.index("a_gauge") < text.index("h_seconds") < text.index(
+            "z_total"
+        )
+        samples = parse_exposition(text)
+        assert samples["__types__"] == {
+            "a_gauge": "gauge", "h_seconds": "histogram", "z_total": "counter",
+        }
+        assert samples["z_total"][(("a", "1"), ("b", "2"))] == 1
+        assert samples["a_gauge"][()] == 1.5
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        lines = registry.render().splitlines()
+        assert 'h_seconds_bucket{le="0.1"} 1' in lines
+        assert 'h_seconds_bucket{le="1"} 3' in lines
+        assert 'h_seconds_bucket{le="+Inf"} 4' in lines
+        assert "h_seconds_count 4" in lines
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "", ("sql",)).labels(
+            sql='SELECT "x"\nFROM t\\'
+        ).inc()
+        text = registry.render()
+        samples = parse_exposition(text)  # must survive the strict parser
+        (key,) = (k for k in samples["c_total"])
+        assert dict(key)["sql"] == 'SELECT \\"x\\"\\nFROM t\\\\'
+
+    def test_parser_rejects_malformed_lines(self):
+        for bad in (
+            "no_type_line 1",
+            "# TYPE h histogram extra",
+            '# TYPE c counter\nc{unclosed="} 1',
+            "# TYPE c counter\nc oops",
+        ):
+            with pytest.raises(ValueError):
+                parse_exposition(bad)

@@ -1,0 +1,64 @@
+"""Tracing-overhead regression guard.
+
+Tracing must stay near-free when disabled: the contextvar fast path
+makes ``span()`` a no-op, so a service with tracing off should run a
+cached query no slower than a generous multiple of the traced run.
+Marked ``slow``: it loops queries for wall-clock stability.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.execcache import EXECUTION_CACHE
+from repro.obs import trace
+from repro.serve import QueryService, ServiceConfig
+from repro.tpch.sql import projection_sql
+
+pytestmark = pytest.mark.slow
+
+ROUNDS = 60
+
+
+def _time_submissions(service: QueryService, *, traced: bool) -> float:
+    """Median seconds per cached-query submission."""
+    sql = projection_sql(3)
+    assert service.submit(sql)["status"] == "ok"  # warm both caches
+    samples = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        response = service.submit(sql, trace_query=traced)
+        samples.append(time.perf_counter() - start)
+        assert response["status"] == "ok"
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+class TestTracingOverhead:
+    def test_disabled_tracing_costs_nearly_nothing(self, tiny_db):
+        EXECUTION_CACHE.clear()
+        service = QueryService(ServiceConfig(workers=1), db=tiny_db)
+        with service:
+            traced = _time_submissions(service, traced=True)
+            untraced = _time_submissions(service, traced=False)
+        # Generous bound: the untraced path may not cost more than 2x
+        # the traced one plus 2 ms of scheduling noise.  (Typically it
+        # is *faster*; the bound only catches a broken fast path that
+        # builds spans regardless of the flag.)
+        assert untraced <= 2.0 * traced + 2e-3, (untraced, traced)
+
+    def test_inactive_span_helper_is_cheap(self):
+        """A span() call with no active tracer must not allocate spans;
+        the per-entry cost is bounded generously so only a broken fast
+        path (building real spans) can trip it."""
+        assert trace.active() is False
+        loops = 200_000
+        start = time.perf_counter()
+        for _ in range(loops):
+            with trace.span("noop", attr=1):
+                pass
+        elapsed = time.perf_counter() - start
+        per_call = elapsed / loops
+        assert per_call < 25e-6, f"{per_call * 1e9:.0f} ns per no-op span"

@@ -1,0 +1,198 @@
+"""Property tests for the observability invariants.
+
+For any workload: span durations are non-negative and children nest
+within their parents; morsel claims partition the table exactly; and
+histogram bucket counts always sum to the series count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parallel import MorselLedger
+from repro.engines.morsel import MORSEL_ALIGN, morsel_ranges
+from repro.obs import FakeClock, MetricsRegistry, Tracer, parse_exposition
+from repro.obs import trace as trace_mod
+
+# ----------------------------------------------------------------------
+# Span trees
+# ----------------------------------------------------------------------
+#: One random trace is a sequence of these operations applied to the
+#: currently open span (a stack walk): push a child, pop back to the
+#: parent, graft a pre-timed interval, or let time pass.
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("open"), st.sampled_from("abcd")),
+        st.tuples(st.just("close"), st.just(None)),
+        st.tuples(
+            st.just("record"),
+            st.tuples(
+                st.floats(-50.0, 50.0, allow_nan=False),
+                st.floats(-5.0, 5.0, allow_nan=False),  # may be negative
+            ),
+        ),
+        st.tuples(st.just("advance"), st.floats(0.0, 10.0, allow_nan=False)),
+    ),
+    max_size=40,
+)
+
+
+def _build_trace(ops, step):
+    clock = FakeClock(step=step)
+    tracer = Tracer(clock=clock)
+    root = tracer.start("query")
+    token = trace_mod.activate(tracer, root)
+    open_spans = []
+    try:
+        for op, arg in ops:
+            if op == "open":
+                manager = trace_mod.span(arg)
+                manager.__enter__()
+                open_spans.append(manager)
+            elif op == "close" and open_spans:
+                open_spans.pop().__exit__(None, None, None)
+            elif op == "record":
+                start, duration = arg
+                trace_mod.record("graft", start, start + duration)
+            elif op == "advance":
+                clock.advance(arg)
+        while open_spans:
+            open_spans.pop().__exit__(None, None, None)
+    finally:
+        trace_mod.deactivate(token)
+    return tracer.render()
+
+
+def _check_node(node, parent=None, seen_ids=None):
+    assert node["duration_ms"] is not None
+    assert node["duration_ms"] >= 0
+    assert node["start_ms"] >= 0
+    node_end = node["start_ms"] + node["duration_ms"]
+    if parent is not None:
+        assert node["parent_id"] == parent["span_id"]
+        assert node["start_ms"] >= parent["start_ms"] - 1e-6
+        parent_end = parent["start_ms"] + parent["duration_ms"]
+        assert node_end <= parent_end + 1e-6
+    assert node["span_id"] not in seen_ids
+    seen_ids.add(node["span_id"])
+    for child in node["children"]:
+        _check_node(child, node, seen_ids)
+
+
+class TestSpanTreeInvariants:
+    @given(ops=_OPS, step=st.floats(0.0, 0.01, allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_durations_nonnegative_and_children_nest(self, ops, step):
+        tree = _build_trace(ops, step)
+        _check_node(tree, None, set())
+
+    @given(ops=_OPS)
+    @settings(max_examples=50, deadline=None)
+    def test_span_ids_are_creation_ordered(self, ops):
+        tree = _build_trace(ops, 0.001)
+
+        def collect(node):
+            yield node["span_id"]
+            for child in node["children"]:
+                yield from collect(child)
+
+        ids = list(collect(tree))
+        assert tree["span_id"] == 1
+        assert sorted(ids) == list(range(1, len(ids) + 1))
+
+
+# ----------------------------------------------------------------------
+# Morsel partitioning
+# ----------------------------------------------------------------------
+class TestMorselPartition:
+    @given(
+        n_rows=st.integers(1, 500_000),
+        n_workers=st.integers(1, 6),
+        morsel_chunks=st.integers(1, 64),
+        schedule=st.lists(st.integers(0, 5), max_size=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_claims_partition_the_table_exactly(
+        self, n_rows, n_workers, morsel_chunks, schedule
+    ):
+        """Any interleaving of claims (including steals) yields ranges
+        that tile [0, n_rows) with no gap and no overlap."""
+        morsel_rows = morsel_chunks * MORSEL_ALIGN
+        ctx = multiprocessing.get_context("spawn")
+        ledger = MorselLedger(ctx, n_workers)
+        ledger.assign(morsel_ranges(n_rows, n_workers))
+
+        claims = []
+        schedule = list(schedule) or [0]
+        position = 0
+        while True:
+            worker_id = schedule[position % len(schedule)] % n_workers
+            position += 1
+            claim = ledger.claim(worker_id, morsel_rows)
+            if claim is None:
+                # This worker is dry and found nothing to steal: the
+                # whole table has been claimed.
+                break
+            lo, hi, stolen = claim
+            assert lo < hi
+            claims.append((lo, hi))
+
+        assert ledger.remaining() == 0
+        claims.sort()
+        assert claims[0][0] == 0
+        assert claims[-1][1] == n_rows
+        for (_, hi), (lo, _) in zip(claims, claims[1:]):
+            assert hi == lo  # no gaps, no overlaps
+
+    @given(n_rows=st.integers(1, 500_000), pieces=st.integers(1, 16))
+    @settings(max_examples=100, deadline=None)
+    def test_assigned_ranges_partition_and_align(self, n_rows, pieces):
+        ranges = morsel_ranges(n_rows, pieces)
+        covered = 0
+        for lo, hi in ranges:
+            assert lo == covered
+            assert lo % MORSEL_ALIGN == 0
+            covered = hi
+        assert covered == n_rows
+
+
+# ----------------------------------------------------------------------
+# Histograms
+# ----------------------------------------------------------------------
+class TestHistogramInvariants:
+    @given(
+        observations=st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=100
+        ),
+        bounds=st.lists(
+            st.floats(-1e3, 1e3, allow_nan=False), min_size=1, max_size=8,
+            unique=True,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bucket_counts_sum_to_counter_total(self, observations, bounds):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds", "test", buckets=bounds)
+        for value in observations:
+            histogram.observe(value)
+
+        snapshot = registry.snapshot()["h_seconds"]
+        series = snapshot["series"][()]
+        assert sum(series["counts"]) == series["count"] == len(observations)
+        assert abs(series["sum"] - sum(observations)) <= 1e-6 * max(
+            1.0, abs(sum(observations))
+        )
+
+        # The rendered cumulative buckets end at the total, and the
+        # exposition round-trips through the strict parser.
+        text = registry.render()
+        samples = parse_exposition(text)
+        buckets = samples["h_seconds_bucket"]
+        inf_key = [key for key in buckets if dict(key)["le"] == "+Inf"]
+        assert len(inf_key) == 1
+        assert buckets[inf_key[0]] == len(observations)
+        assert all(0 <= value <= len(observations) for value in buckets.values())
+        assert samples["h_seconds_count"][()] == len(observations)

@@ -16,7 +16,9 @@ from repro.tpch.sql import GROUPBY_SQL, TPCH_SQL, projection_sql
 def service(tiny_db):
     EXECUTION_CACHE.clear()
     service = QueryService(
-        ServiceConfig(workers=3, queue_depth=8, timeout_s=30.0), db=tiny_db
+        # queue_depth must hold a full 10-submission burst (see
+        # test_concurrent_submissions_all_succeed) before a worker pops.
+        ServiceConfig(workers=3, queue_depth=16, timeout_s=30.0), db=tiny_db
     )
     with service:
         yield service

@@ -1,0 +1,71 @@
+"""Pruning-equivalence smoke: pruned execution is bit-identical to the
+full scan on both executors.
+
+Builds a shipdate-clustered twin of a small TPC-H database, checks
+that the zone-map planner actually prunes chunks for Q6 and a 2%
+selection, and asserts value/tuples/work equality between the pruned
+thread path, the morsel-parallel process pool, and the single-shot
+baseline.  Run from CI as a real file (not a heredoc): the process
+pool uses the spawn start method, which re-imports ``__main__`` and
+therefore needs a path-backed script.
+
+Usage::
+
+    PYTHONPATH=src REPRO_EXEC_CACHE=0 python benchmarks/pruning_smoke.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def main() -> int:
+    from repro.core import pruning
+    from repro.core.parallel import WorkerPool
+    from repro.engines import TectorwiseEngine, TyperEngine
+    from repro.storage import ColumnTable, Database
+    from repro.tpch import generate_database
+
+    base = generate_database(scale_factor=0.01, seed=7)
+    twin = Database(
+        name=f"{base.name}-clustered", scale_factor=base.scale_factor
+    )
+    for name in base.table_names:
+        table = base.table(name)
+        cols = {c: np.asarray(table[c]) for c in table.column_names}
+        if name == "lineitem":
+            order = np.argsort(cols["l_shipdate"], kind="stable")
+            cols = {c: v[order] for c, v in cols.items()}
+        twin.add_table(ColumnTable(name, cols))
+
+    engine = TyperEngine()
+    for method, kwargs in (
+        ("run_q6", {}),
+        ("run_selection", {"selectivity": 0.02}),
+    ):
+        atoms = pruning.atoms_for(twin, method, kwargs)
+        plan = pruning.compute_prune_plan(twin, atoms)
+        assert plan is not None and plan.chunks_pruned > 0, method
+        baseline = getattr(engine, method)(twin, **kwargs)
+        pruned = pruning.execute_pruned(
+            engine, twin, method, dict(kwargs), plan
+        )
+        assert pruned.value == baseline.value, method
+        assert pruned.tuples == baseline.tuples, method
+        assert pruned.work == baseline.work, method
+
+    with WorkerPool(twin, n_workers=2) as pool:
+        pooled = pool.run_query(TectorwiseEngine(), "run_q6")
+    single = TectorwiseEngine().run_q6(twin)
+    assert pooled.value == single.value
+    assert pooled.work == single.work
+    assert pooled.details["pruning"]["morsels_pruned"] > 0
+    print(
+        "pruned == unpruned on thread and process executors "
+        f"({pooled.details['pruning']['morsels_pruned']} chunks pruned)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

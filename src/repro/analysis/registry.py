@@ -22,6 +22,7 @@ from repro.analysis import (
     figures_obs,
     figures_omitted,
     figures_optim,
+    figures_pruning,
     figures_sql,
     figures_tpch,
 )
@@ -275,6 +276,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             figures_compression.sec8_compression, tables=SCAN_TABLES,
             claim="Lightweight encodings cut Q1/Q6 scan streams >= 2x for "
                   "the DSM engines; the NSM row store sees none of it.",
+        ),
+        _spec(
+            "sec-pruning", "Zone-map pruning on clustered lineitem",
+            figures_pruning.sec_pruning, tables=SCAN_TABLES,
+            claim="Clustered predicates skip most morsel chunks with "
+                  "bit-identical results; shuffled data prunes nothing.",
         ),
         _spec(
             "sqlpath", "SQL-path vs hand-wired execution",

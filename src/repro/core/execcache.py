@@ -37,7 +37,9 @@ import threading
 from collections import OrderedDict
 from functools import wraps
 
+from repro.core.pruning import pruning_enabled
 from repro.obs import trace
+from repro.storage.encoding import encoding_enabled
 
 #: Engine methods that are memoized (the complete execution surface).
 CACHED_METHODS = (
@@ -155,6 +157,13 @@ def memoized_execution(method_name: str, func):
                 method_name,
                 db.identity,
                 call_args,
+                # Storage-tier state: results are bit-identical across
+                # these modes, but byte accounting (encoded_nbytes,
+                # details like storage stats) and downstream pruning
+                # behaviour are not -- a raw-storage run must never be
+                # served an entry produced under different settings.
+                encoding_enabled(),
+                pruning_enabled(),
             )
             hash(key)
         except TypeError:

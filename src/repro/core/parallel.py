@@ -43,6 +43,7 @@ import threading
 import time
 import traceback
 
+from repro.core import pruning
 from repro.engines.morsel import MORSEL_ALIGN, morsel_ranges
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace
@@ -281,10 +282,19 @@ def _worker_main(worker_id, manifest, ledger, inbox, results, morsel_rows):
                         ("done", task_id, worker_id, obs_metrics.REGISTRY.snapshot())
                     )
                 elif kind == "run":
-                    _, _, engine_spec, method, kwargs_items = message
+                    _, _, engine_spec, method, kwargs_items, segments = message
                     engine = _resolve_engine(engine_spec, engines)
                     runner = getattr(engine, method)
                     kwargs = dict(kwargs_items)
+                    # With pruning active the ledger hands out ranges
+                    # over the *compacted* kept-row space; translate
+                    # each claim back to actual table rows (a claim
+                    # spanning a kept-segment boundary splits).
+                    offsets = (
+                        pruning.kept_offsets(segments)
+                        if segments is not None
+                        else None
+                    )
                     partials = []
                     records = []
                     while True:
@@ -292,15 +302,26 @@ def _worker_main(worker_id, manifest, ledger, inbox, results, morsel_rows):
                         if claim is None:
                             break
                         lo, hi, stolen = claim
-                        t0 = time.perf_counter()
-                        partials.append(runner(db, row_range=(lo, hi), **kwargs))
-                        t1 = time.perf_counter()
-                        records.append((worker_id, lo, hi, bool(stolen), t0, t1))
-                        morsels_run += 1
+                        if segments is None:
+                            pieces = ((lo, hi),)
+                        else:
+                            pieces = pruning.translate_claim(
+                                segments, offsets, lo, hi
+                            )
+                        for piece_lo, piece_hi in pieces:
+                            t0 = time.perf_counter()
+                            partials.append(
+                                runner(db, row_range=(piece_lo, piece_hi), **kwargs)
+                            )
+                            t1 = time.perf_counter()
+                            records.append(
+                                (worker_id, piece_lo, piece_hi, bool(stolen), t0, t1)
+                            )
+                            morsels_run += 1
+                            metric["morsels"].inc()
+                            metric["rows"].inc(piece_hi - piece_lo)
+                            metric["seconds"].observe(t1 - t0)
                         steals += stolen
-                        metric["morsels"].inc()
-                        metric["rows"].inc(hi - lo)
-                        metric["seconds"].observe(t1 - t0)
                         if stolen:
                             metric["steals"].inc()
                     payload = merge_worker_partials(partials) if partials else None
@@ -450,12 +471,33 @@ class WorkerPool:
         method, kwargs_items = normalized_call(engine, method, args, kwargs)
         engine_cls = type(engine)
         engine_spec = (engine_cls.__module__, engine_cls.__qualname__)
+        plan = None
+        if pruning.pruning_enabled():
+            atoms = pruning.atoms_for(self.db, method, dict(kwargs_items))
+            if atoms:
+                with trace.span("prune", executor="process"):
+                    plan = pruning.compute_prune_plan(self.db, atoms)
+                    if plan is not None:
+                        trace.annotate(**plan.summary(self.db, method))
+        if plan is not None and plan.nothing_pruned:
+            plan = None
+        segments = plan.kept_segments if plan is not None else None
         with self._lock:
-            n_rows = engine.partition_rows(self.db, method, kwargs_items)
-            self._ledger.assign(morsel_ranges(n_rows, self.n_workers))
-            payloads = self._broadcast_collect(
-                lambda task_id: ("run", task_id, engine_spec, method, kwargs_items)
-            )
+            if plan is not None and plan.kept_rows == 0:
+                payloads = {}  # everything pruned: nothing to dispatch
+            else:
+                if plan is None:
+                    n_rows = engine.partition_rows(self.db, method, kwargs_items)
+                    self._ledger.assign(morsel_ranges(n_rows, self.n_workers))
+                else:
+                    self._ledger.assign(
+                        morsel_ranges(plan.kept_rows, self.n_workers)
+                    )
+                payloads = self._broadcast_collect(
+                    lambda task_id: (
+                        "run", task_id, engine_spec, method, kwargs_items, segments,
+                    )
+                )
             self.queries_run += 1
         partials = []
         records = []
@@ -478,9 +520,18 @@ class WorkerPool:
                     row_range=(lo, hi),
                     stolen=stolen,
                 )
+        if plan is not None:
+            partials.extend(
+                pruning.pruned_partials(
+                    engine, self.db, method, dict(kwargs_items), plan
+                )
+            )
         if not partials:
             raise WorkerCrashed("no worker produced a partial result")
-        return engine.merge_morsels(self.db, method, kwargs_items, partials)
+        result = engine.merge_morsels(self.db, method, kwargs_items, partials)
+        if plan is not None:
+            result.details["pruning"] = plan.summary(self.db, method)
+        return result
 
     def ping(self) -> bool:
         with self._lock:

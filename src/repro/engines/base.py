@@ -346,6 +346,21 @@ class Engine(ABC):
             raise ValueError(f"{self.name} has no morsel finisher for {method!r}")
         return finisher(db, merged, **dict(kwargs))
 
+    def morsel_position_signature(
+        self, db: Database, method: str, kwargs: dict, lo: int, hi: int
+    ):
+        """Hashable token capturing any *position-dependent* quantity a
+        morsel partial of ``[lo, hi)`` records beyond its length.
+
+        Every engine records translation-invariant work over 64-aligned
+        ranges -- two equally-pruned morsels of equal length produce
+        bit-identical partials -- so the default is None.  Engines with
+        position-dependent accounting (DBMS R's page-granular scan
+        bytes) override this so :mod:`repro.core.pruning` never clones a
+        partial across positions that would have recorded differently.
+        """
+        return None
+
     def partition_rows(self, db: Database, method: str, kwargs: dict) -> int:
         """Row count of the table ``method`` partitions into morsels
         (the probe side for joins, lineitem for everything else).

@@ -563,6 +563,12 @@ class RowStoreEngine(InterpreterEngine):
         # containing their first row (see morsel.row_scan_bytes).
         return row_scan_bytes(db, table, lo, hi)
 
+    def morsel_position_signature(self, db, method, kwargs, lo, hi):
+        # Page-granular scan bytes depend on where [lo, hi) falls in the
+        # page grid, not just on its length; the byte count itself is
+        # the exact signature.  All prunable methods scan lineitem.
+        return row_scan_bytes(db, "lineitem", lo, hi)
+
 
 class ColumnStoreEngine(InterpreterEngine):
     """"DBMS C": the column-store extension of DBMS R.

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.pruning import scan_outcome
 from repro.storage.column import ColumnTable
 from repro.storage.encoding import compare_values
 
@@ -26,7 +27,13 @@ def predicate_mask(
 
     Runs on the encoded codes when the column has an encoding, on the
     decoded values otherwise; the result is identical by construction.
+    Inside a pruned block (:mod:`repro.core.pruning`) the outcome is a
+    zone-map theorem and the constant mask is produced without touching
+    the data -- equal, bit for bit, to what the scan would return.
     """
+    outcome = scan_outcome(column, op, threshold, lo, hi)
+    if outcome is not None:
+        return np.full(hi - lo, outcome, dtype=bool)
     encoded = table.encoding(column)
     if encoded is not None:
         return encoded.compare(op, threshold, lo, hi)

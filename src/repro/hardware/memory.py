@@ -131,6 +131,27 @@ class MemorySystem:
             raw_bytes, access_pattern, cores
         ) / self.transfer_cycles(encoded_bytes, access_pattern, cores)
 
+    def pruning_speedup(
+        self,
+        total_bytes: float,
+        kept_bytes: float,
+        access_pattern: str = "sequential",
+        cores: int = 1,
+    ) -> float:
+        """Upper-bound speedup of a *bandwidth-bound* scan when zone-map
+        pruning (:mod:`repro.core.pruning`) shrinks the streamed volume
+        from ``total_bytes`` to ``kept_bytes``.
+
+        Same shape as :meth:`compression_speedup` -- a scan at the roof
+        gains the full byte ratio; the two compose multiplicatively when
+        pruning skips chunks of already-compressed columns.
+        """
+        if total_bytes < 0 or kept_bytes <= 0:
+            raise ValueError("byte volumes must be positive")
+        return self.transfer_cycles(
+            total_bytes, access_pattern, cores
+        ) / self.transfer_cycles(kept_bytes, access_pattern, cores)
+
 
 class MemoryLatencyChecker:
     """Reproduces the MLC measurements reported in Table 1 directly from

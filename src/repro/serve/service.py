@@ -182,6 +182,15 @@ class QueryService:
         self.stats = ServiceStats()
         self.metrics = MetricsRegistry()
         self.slowlog = SlowLog(self.config.slowlog_capacity)
+        self._pruning_lock = threading.Lock()
+        self._pruning_totals = {
+            "queries": 0,
+            "queries_pruned": 0,
+            "morsels_scanned": 0,
+            "morsels_pruned": 0,
+            "rows_pruned": 0,
+            "bytes_pruned": 0,
+        }
         self._register_metrics()
         self._workers: list[threading.Thread] = []
         self._stop = threading.Event()
@@ -229,6 +238,21 @@ class QueryService:
         )
         self._m_pool_queries = m.counter(
             "repro_pool_queries_total", "Queries executed on the morsel pool"
+        )
+        self._m_prune_queries = m.counter(
+            "repro_prune_queries_total",
+            "Queries that skipped at least one morsel via zone maps",
+        )
+        self._m_prune_scanned = m.counter(
+            "repro_prune_morsels_scanned_total",
+            "Zone-map chunks scanned by prune-eligible queries",
+        )
+        self._m_prune_pruned = m.counter(
+            "repro_prune_morsels_pruned_total",
+            "Zone-map chunks skipped without scanning",
+        )
+        self._m_prune_rows = m.counter(
+            "repro_prune_rows_pruned_total", "Rows skipped via zone maps"
         )
 
     # -- lifecycle -----------------------------------------------------
@@ -471,6 +495,64 @@ class QueryService:
         except (ValueError, KeyError):
             return None
 
+    def _thread_pruned(self, bound, engine, options: dict):
+        """Execute on this thread with zone-map pruning, or return None
+        when the normal path should run (pruning off, no prunable
+        predicate summary, or nothing pruned).
+
+        Emits a ``prune`` span whenever a summary was evaluated, so the
+        decision -- including "kept everything" -- is visible in traces.
+        """
+        from repro.core import parallel, pruning
+
+        if not pruning.pruning_enabled():
+            return None
+        merged = bound.call_kwargs()
+        merged.update(options)
+        try:
+            method, kwargs_items = parallel.normalized_call(
+                engine, bound.method, bound.args, merged
+            )
+        except ValueError:
+            return None  # no morsel support: nothing to prune
+        atoms = pruning.atoms_for(self.db, method, dict(kwargs_items))
+        if not atoms:
+            return None
+        with trace.span("prune", executor="thread"):
+            plan = pruning.compute_prune_plan(self.db, atoms)
+            if plan is not None:
+                trace.annotate(**plan.summary(self.db, method))
+        if plan is None or plan.nothing_pruned:
+            return None
+        return pruning.execute_pruned(
+            engine, self.db, method, dict(kwargs_items), plan
+        )
+
+    def _record_pruning(self, result) -> None:
+        """Fold one result's pruning decision into service totals and
+        the prune metric family (works for both executors: the decision
+        rides in ``result.details['pruning']``)."""
+        info = result.details.get("pruning")
+        if not info:
+            return
+        pruned = int(info.get("morsels_pruned", 0))
+        scanned = int(info.get("morsels_scanned", 0))
+        rows_pruned = int(info.get("rows_pruned", 0))
+        bytes_pruned = int(info.get("bytes_pruned", 0))
+        with self._pruning_lock:
+            totals = self._pruning_totals
+            totals["queries"] += 1
+            totals["queries_pruned"] += 1 if pruned else 0
+            totals["morsels_scanned"] += scanned
+            totals["morsels_pruned"] += pruned
+            totals["rows_pruned"] += rows_pruned
+            totals["bytes_pruned"] += bytes_pruned
+        if pruned:
+            self._m_prune_queries.inc()
+        self._m_prune_scanned.inc(scanned)
+        self._m_prune_pruned.inc(pruned)
+        self._m_prune_rows.inc(rows_pruned)
+
     def _execute_traced(self, request: _Request) -> None:
         tracing = request.tracer is not None
         if tracing:
@@ -496,25 +578,30 @@ class QueryService:
                         engine, bound.method, *bound.args, **merged
                     )
                     self._m_pool_queries.inc()
-                elif tracing:
-                    # Thread mode runs the whole table as one morsel on
-                    # this worker thread; record it in the same shape
-                    # the process executor produces.
-                    n_rows = self._morsel_rows(bound, engine)
-                    with trace.span(
-                        "morsel",
-                        worker=threading.current_thread().name,
-                        row_range=(0, n_rows) if n_rows is not None else None,
-                        stolen=False,
-                    ):
-                        result = bound.execute(engine, self.db, **request.options)
                 else:
-                    result = bound.execute(engine, self.db, **request.options)
+                    result = self._thread_pruned(bound, engine, request.options)
+                    if result is None and tracing:
+                        # Thread mode runs the whole table as one morsel
+                        # on this worker thread; record it in the same
+                        # shape the process executor produces.
+                        n_rows = self._morsel_rows(bound, engine)
+                        with trace.span(
+                            "morsel",
+                            worker=threading.current_thread().name,
+                            row_range=(0, n_rows) if n_rows is not None else None,
+                            stolen=False,
+                        ):
+                            result = bound.execute(
+                                engine, self.db, **request.options
+                            )
+                    elif result is None:
+                        result = bound.execute(engine, self.db, **request.options)
                 if tracing:
                     trace.annotate(
                         cached=bool(result.details.get("cached")),
                         **self.profiler().span_attrs(engine, result),
                     )
+            self._record_pruning(result)
         except SqlError as exc:
             self._finish(
                 request,
@@ -576,6 +663,14 @@ class QueryService:
         )
         return stats
 
+    def _pruning_stats(self) -> dict:
+        """Zone-map pruning state and service-lifetime totals."""
+        from repro.core.pruning import pruning_enabled
+
+        with self._pruning_lock:
+            totals = dict(self._pruning_totals)
+        return {"enabled": pruning_enabled(), **totals}
+
     def stats_snapshot(self) -> dict:
         snapshot = self.stats.snapshot()
         with self._plans_lock:
@@ -592,6 +687,7 @@ class QueryService:
         snapshot["workers"] = self.config.workers
         snapshot["executor"] = self.config.executor
         snapshot["storage"] = self._storage_stats()
+        snapshot["pruning"] = self._pruning_stats()
         with self._pool_lock:
             if self._pool is not None:
                 snapshot["process_pool"] = {

@@ -52,6 +52,12 @@ class BoundQuery:
     args: tuple = ()
     kwargs: tuple = ()
     plan: ir.PlanNode | None = field(default=None, compare=False)
+    #: Conjunctive predicate summary extracted from the plan's Filter
+    #: nodes (see :func:`repro.core.pruning.plan_atoms`); the serve
+    #: layer evaluates it against zone maps before dispatch.  Excluded
+    #: from equality like ``plan``: two bindings of the same workload
+    #: are the same query.
+    atoms: tuple = field(default=(), compare=False)
 
     def call_kwargs(self) -> dict:
         return dict(self.kwargs)
@@ -246,6 +252,8 @@ _MATCHERS = (_match_projection, _match_selection, _match_join, _match_groupby)
 
 def lower(plan: ir.PlanNode, sql: str | None = None) -> BoundQuery:
     """Bind a logical plan onto an engine entry point, or raise."""
+    from repro.core.pruning import plan_atoms
+
     core = ir.strip_decorations(plan)
     template = _template_index().get(core)
     if template is not None:
@@ -255,6 +263,7 @@ def lower(plan: ir.PlanNode, sql: str | None = None) -> BoundQuery:
             args=template.args,
             kwargs=template.kwargs,
             plan=plan,
+            atoms=plan_atoms(core),
         )
     for matcher in _MATCHERS:
         bound = matcher(core)
@@ -265,6 +274,7 @@ def lower(plan: ir.PlanNode, sql: str | None = None) -> BoundQuery:
                 args=bound.args,
                 kwargs=bound.kwargs,
                 plan=plan,
+                atoms=plan_atoms(core),
             )
     raise _no_binding(plan, sql)
 

@@ -57,6 +57,7 @@ class ColumnTable:
     def __init__(self, name: str, columns: dict[str, np.ndarray] | None = None):
         self.name = name
         self._columns: dict[str, Column | EncodedColumn] = {}
+        self._zone_maps: dict = {}
         self._n_rows: int | None = None
         for column_name, values in (columns or {}).items():
             self.add_column(column_name, values)
@@ -110,6 +111,27 @@ class ColumnTable:
         """The column's encoding, or None when it is stored raw."""
         column = self.column(name)
         return column if isinstance(column, EncodedColumn) else None
+
+    def zone_map(self, name: str):
+        """Per-chunk zone map of a column (see
+        :mod:`repro.storage.zonemap`), built on first use unless one was
+        attached from the dbcache or a shm manifest.  The lazy build is
+        a benign race under concurrent readers: both threads compute
+        equal statistics and the last write wins."""
+        zone_map = self._zone_maps.get(name)
+        if zone_map is None:
+            from repro.storage.zonemap import build_zone_map
+
+            column = self.column(name)
+            source = column if isinstance(column, EncodedColumn) else column.values
+            zone_map = build_zone_map(source)
+            self._zone_maps[name] = zone_map
+        return zone_map
+
+    def set_zone_map(self, name: str, zone_map) -> None:
+        """Attach precomputed statistics (dbcache load / shm attach)."""
+        self.column(name)  # raises on unknown columns
+        self._zone_maps[name] = zone_map
 
     @property
     def nbytes(self) -> int:

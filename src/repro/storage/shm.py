@@ -58,6 +58,7 @@ import numpy as np
 from repro.storage.catalog import Database
 from repro.storage.column import ColumnTable
 from repro.storage.encoding import EncodedColumn
+from repro.storage.zonemap import ColumnZoneMap
 
 #: Column payloads start on cache-line boundaries inside the segment.
 _ALIGN = 64
@@ -173,6 +174,27 @@ def export_database(db: Database, name: str | None = None) -> SharedDatabase:
                 offset += values.nbytes
         layout[table_name] = columns
 
+    # Zone maps ride in the same segment (a few KiB next to the column
+    # payloads), so workers attach pruning statistics zero-copy too.
+    zone_layout: dict[str, dict] = {}
+    zone_payloads: dict[tuple[str, str], dict[str, np.ndarray]] = {}
+    for table_name in db.table_names:
+        table = db.table(table_name)
+        columns = {}
+        for column_name in table.column_names:
+            zone_map = table.zone_map(column_name)
+            meta, arrays = zone_map.payload()
+            zone_payloads[(table_name, column_name)] = arrays
+            parts = {}
+            for part_name in sorted(arrays):
+                part = np.ascontiguousarray(arrays[part_name])
+                zone_payloads[(table_name, column_name)][part_name] = part
+                offset = _aligned(offset)
+                parts[part_name] = (part.dtype.str, len(part), offset)
+                offset += part.nbytes
+            columns[column_name] = {"meta": meta, "arrays": parts}
+        zone_layout[table_name] = columns
+
     segment = shared_memory.SharedMemory(create=True, size=max(offset, 1), name=name)
     try:
         for table_name, columns in layout.items():
@@ -195,6 +217,16 @@ def export_database(db: Database, name: str | None = None) -> SharedDatabase:
                         offset=column_offset,
                     )
                     view[:] = table[column_name]
+        for (table_name, column_name), arrays in zone_payloads.items():
+            descriptor = zone_layout[table_name][column_name]
+            for part_name, (dtype, length, part_offset) in descriptor[
+                "arrays"
+            ].items():
+                view = np.ndarray(
+                    (length,), dtype=dtype, buffer=segment.buf,
+                    offset=part_offset,
+                )
+                view[:] = arrays[part_name]
     except BaseException:
         segment.close()
         segment.unlink()
@@ -206,6 +238,7 @@ def export_database(db: Database, name: str | None = None) -> SharedDatabase:
         "scale_factor": db.scale_factor,
         "identity": db.identity,
         "tables": layout,
+        "zone_maps": zone_layout,
     }
     return SharedDatabase(segment, manifest)
 
@@ -256,6 +289,22 @@ def attach_database(manifest: dict) -> AttachedDatabase:
                     )
                     view.flags.writeable = False
                     table.add_column(column_name, view)
+            for column_name, descriptor in manifest.get("zone_maps", {}).get(
+                table_name, {}
+            ).items():
+                arrays = {}
+                for part_name, (dtype, length, offset) in descriptor[
+                    "arrays"
+                ].items():
+                    view = np.ndarray(
+                        (length,), dtype=dtype, buffer=segment.buf, offset=offset
+                    )
+                    view.flags.writeable = False
+                    arrays[part_name] = view
+                table.set_zone_map(
+                    column_name,
+                    ColumnZoneMap.from_payload(descriptor["meta"], arrays),
+                )
             db.add_table(table)
         # add_table resets identity; restore the content key last so
         # attached workers alias the exporter's caches.

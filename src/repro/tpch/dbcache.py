@@ -35,6 +35,15 @@ still readable and are policy-encoded in memory on load.  With
 ``REPRO_ENCODING=off`` the encoding step is skipped and encoded disk
 entries are decoded into raw arrays at load time.
 
+Format 3 additionally persists per-column zone maps
+(:mod:`repro.storage.zonemap`) as ``<table>.<column>.zm.<part>.npy``
+files, so a warm load attaches pruning statistics without a build pass.
+Formats 1 and 2 stay readable; their zone maps are built lazily on
+first use.  A persisted code-domain map is only attached when the
+in-memory column carries the matching encoding (e.g. not under
+``REPRO_ENCODING=off``); otherwise the lazy build recomputes
+value-domain statistics.
+
 Databases smaller than :data:`MIN_PERSIST_BYTES` are not persisted
 (they regenerate faster than they deserialise, and the test-suite's
 tiny fixtures would otherwise litter the cache); they still hit the
@@ -53,7 +62,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.storage import ColumnTable, Database, EncodedColumn, encode_columns
-from repro.storage import encoding_enabled
+from repro.storage import ColumnZoneMap, build_zone_map, encoding_enabled
 
 #: Databases below this size are regenerated rather than persisted.
 MIN_PERSIST_BYTES = 8 * 1024 * 1024
@@ -61,10 +70,11 @@ MIN_PERSIST_BYTES = 8 * 1024 * 1024
 #: In-process memo capacity (distinct database identities per process).
 MEMO_ENTRIES = 8
 
-_FORMAT_VERSION = 2
-_READABLE_FORMATS = (1, 2)
+_FORMAT_VERSION = 3
+_READABLE_FORMATS = (1, 2, 3)
 
-#: key -> {"meta": dict, "tables": {name: {column: ndarray}}}
+#: key -> {"meta": dict, "tables": {name: {column: ndarray}},
+#:         "zone_maps": {name: {column: ColumnZoneMap}}}
 _memo: OrderedDict[str, dict] = OrderedDict()
 
 
@@ -118,7 +128,28 @@ def _entry_dir(key: str) -> Path:
     return cache_root() / "dbgen" / key
 
 
-def _build_database(key: str, meta: dict, tables: dict) -> Database:
+def _attach_zone_maps(db: Database, zone_maps: dict) -> None:
+    """Attach cached zone maps where they still describe the in-memory
+    column: value-domain maps always do (codec ``compare`` is
+    bit-identical to the value comparison), code-domain maps only next
+    to the encoding they were built from."""
+    for table_name, columns in zone_maps.items():
+        if table_name not in db:
+            continue
+        table = db.table(table_name)
+        for column, zone_map in columns.items():
+            if column not in table.column_names:
+                continue
+            if zone_map.domain != "value":
+                encoded = table.encoding(column)
+                if encoded is None or encoded.codec_kind != zone_map.domain:
+                    continue  # lazy build recomputes value-domain stats
+            table.set_zone_map(column, zone_map)
+
+
+def _build_database(
+    key: str, meta: dict, tables: dict, zone_maps: dict | None = None
+) -> Database:
     """Fresh Database/ColumnTable wrappers over (shared) column arrays.
 
     Wrappers are rebuilt per call so callers that mutate their Database
@@ -130,21 +161,25 @@ def _build_database(key: str, meta: dict, tables: dict) -> Database:
     )
     for table_name in meta["tables"]:
         db.add_table(ColumnTable(table_name, dict(tables[table_name])))
+    if zone_maps:
+        _attach_zone_maps(db, zone_maps)
     db.cache_key = key
     return db
 
 
-def _memo_put(key: str, meta: dict, tables: dict) -> None:
-    _memo[key] = {"meta": meta, "tables": tables}
+def _memo_put(key: str, meta: dict, tables: dict, zone_maps: dict) -> None:
+    _memo[key] = {"meta": meta, "tables": tables, "zone_maps": zone_maps}
     _memo.move_to_end(key)
     while len(_memo) > MEMO_ENTRIES:
         _memo.popitem(last=False)
 
 
-def _extract(db: Database) -> tuple[dict, dict]:
+def _extract(db: Database) -> tuple[dict, dict, dict]:
     """Pull the stored column objects (raw arrays or EncodedColumns),
-    policy-encoding any raw ones, and describe them in the meta."""
+    policy-encoding any raw ones, building their zone maps, and
+    describe everything in the meta."""
     tables = {}
+    zone_maps: dict[str, dict[str, ColumnZoneMap]] = {}
     for name in db.table_names:
         table = db.table(name)
         columns = {}
@@ -152,6 +187,10 @@ def _extract(db: Database) -> tuple[dict, dict]:
             encoded = table.encoding(column)
             columns[column] = encoded if encoded is not None else table[column]
         tables[name] = encode_columns(columns)
+        zone_maps[name] = {
+            column: build_zone_map(value)
+            for column, value in tables[name].items()
+        }
     meta = {
         "format": _FORMAT_VERSION,
         # True when the encoding policy already ran over this entry, so
@@ -170,8 +209,15 @@ def _extract(db: Database) -> tuple[dict, dict]:
             }
             for name, columns in tables.items()
         },
+        "zone_maps": {
+            name: {
+                column: {**zm.payload()[0], "parts": sorted(zm.payload()[1])}
+                for column, zm in columns.items()
+            }
+            for name, columns in zone_maps.items()
+        },
     }
-    return meta, tables
+    return meta, tables, zone_maps
 
 
 def _describe(column: EncodedColumn) -> dict:
@@ -184,7 +230,9 @@ def load(key: str) -> Database | None:
     entry = _memo.get(key)
     if entry is not None:
         _memo.move_to_end(key)
-        return _build_database(key, entry["meta"], entry["tables"])
+        return _build_database(
+            key, entry["meta"], entry["tables"], entry.get("zone_maps")
+        )
     if not disk_cache_enabled():
         return None
     directory = _entry_dir(key)
@@ -227,10 +275,30 @@ def load(key: str) -> Database | None:
                 tables[table_name] = loaded
             else:
                 tables[table_name] = encode_columns(loaded)
+        zone_maps = _load_zone_maps(directory, meta)
     except (OSError, ValueError, KeyError):
         return None
-    _memo_put(key, meta, tables)
-    return _build_database(key, meta, tables)
+    _memo_put(key, meta, tables, zone_maps)
+    return _build_database(key, meta, tables, zone_maps)
+
+
+def _load_zone_maps(directory: Path, meta: dict) -> dict:
+    """Memory-mapped zone maps of a format-3 entry ({} for older
+    formats: the lazy per-column build covers them)."""
+    out: dict[str, dict[str, ColumnZoneMap]] = {}
+    for table_name, columns in meta.get("zone_maps", {}).items():
+        rebuilt = {}
+        for column, descriptor in columns.items():
+            arrays = {
+                part: np.load(
+                    directory / f"{table_name}.{column}.zm.{part}.npy",
+                    mmap_mode="r",
+                )
+                for part in descriptor["parts"]
+            }
+            rebuilt[column] = ColumnZoneMap.from_payload(descriptor, arrays)
+        out[table_name] = rebuilt
+    return out
 
 
 def store(key: str, db: Database) -> Database:
@@ -241,17 +309,17 @@ def store(key: str, db: Database) -> Database:
     from the memoised arrays so every caller sees the same wrapper
     semantics whether it hit or missed.
     """
-    meta, tables = _extract(db)
-    _memo_put(key, meta, tables)
+    meta, tables, zone_maps = _extract(db)
+    _memo_put(key, meta, tables, zone_maps)
     if disk_cache_enabled() and db.nbytes >= MIN_PERSIST_BYTES:
         try:
-            _persist(key, meta, tables)
+            _persist(key, meta, tables, zone_maps)
         except OSError:
             pass  # a full/read-only disk must never fail generation
-    return _build_database(key, meta, tables)
+    return _build_database(key, meta, tables, zone_maps)
 
 
-def _persist(key: str, meta: dict, tables: dict) -> None:
+def _persist(key: str, meta: dict, tables: dict, zone_maps: dict) -> None:
     directory = _entry_dir(key)
     existing = directory / "meta.json"
     if existing.exists():
@@ -278,6 +346,14 @@ def _persist(key: str, meta: dict, tables: dict) -> None:
                         )
                 else:
                     np.save(staging / f"{table_name}.{column}.npy", values)
+        for table_name, columns in zone_maps.items():
+            for column, zone_map in columns.items():
+                _, arrays = zone_map.payload()
+                for part, payload in arrays.items():
+                    np.save(
+                        staging / f"{table_name}.{column}.zm.{part}.npy",
+                        payload,
+                    )
         (staging / "meta.json").write_text(json.dumps(meta))
         try:
             staging.rename(directory)

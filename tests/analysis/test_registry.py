@@ -23,6 +23,8 @@ EXPECTED_IDS = {
     "obs-latency",
     # Measured process-executor scaling vs the Section 10 model.
     "sec10-measured-scaling",
+    # Zone-map pruning on clustered data (repro.core.pruning).
+    "sec-pruning",
 }
 
 

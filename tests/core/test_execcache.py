@@ -125,6 +125,36 @@ class TestMemoization:
             db._tables.pop("scratch")
 
 
+class TestModeKeys:
+    """The cache key discriminates the storage-encoding and pruning
+    modes: a result computed under one mode must never serve another
+    (the modes change details like compressed byte accounting)."""
+
+    def test_encoding_flip_misses(self, db, monkeypatch):
+        engine = TyperEngine()
+        engine.run_projection(db, 2)
+        monkeypatch.setenv("REPRO_ENCODING", "0")
+        engine.run_projection(db, 2)
+        assert EXECUTION_CACHE.hits == 0
+        assert len(EXECUTION_CACHE) == 2
+
+    def test_pruning_flip_misses(self, db, monkeypatch):
+        engine = TyperEngine()
+        engine.run_q6(db)
+        monkeypatch.setenv("REPRO_PRUNING", "0")
+        engine.run_q6(db)
+        assert EXECUTION_CACHE.hits == 0
+        assert len(EXECUTION_CACHE) == 2
+
+    def test_same_modes_still_hit(self, db, monkeypatch):
+        monkeypatch.setenv("REPRO_ENCODING", "0")
+        monkeypatch.setenv("REPRO_PRUNING", "0")
+        engine = TyperEngine()
+        engine.run_projection(db, 2)
+        result = engine.run_projection(db, 2)
+        assert result.details.get("cached") is True
+
+
 class TestProfilerIntegration:
     def test_profile_reports_mark_cached_runs(self, db):
         profiler = MicroArchProfiler()

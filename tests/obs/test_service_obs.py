@@ -97,6 +97,51 @@ class TestMetricsOp:
         assert "repro_query_latency_seconds_count" not in samples
 
 
+class TestPruningObservability:
+    """Pruning decisions surface in the stats snapshot and the metric
+    families, from both executors' result details."""
+
+    @pytest.fixture
+    def pruned_service(self, tiny_db):
+        from tests.obs.test_trace_golden import _sorted_twin
+
+        EXECUTION_CACHE.clear()
+        service = QueryService(
+            ServiceConfig(workers=1, queue_depth=8), db=_sorted_twin(tiny_db)
+        )
+        with service:
+            yield service
+        EXECUTION_CACHE.clear()
+
+    def test_stats_snapshot_accumulates_decisions(self, pruned_service):
+        for _ in range(2):
+            response = pruned_service.submit(TPCH_SQL["Q6"])
+            assert response["status"] == "ok"
+        stats = pruned_service.stats_snapshot()["pruning"]
+        assert stats["enabled"] is True
+        assert stats["queries"] == 2
+        assert stats["queries_pruned"] == 2
+        assert stats["morsels_pruned"] == 2 * 1
+        assert stats["morsels_scanned"] == 2 * 1
+        assert stats["rows_pruned"] > 0
+        assert stats["bytes_pruned"] > 0
+
+    def test_metrics_expose_prune_counters(self, pruned_service):
+        pruned_service.submit(TPCH_SQL["Q6"])
+        samples = parse_exposition(pruned_service.metrics_text())
+        assert samples["repro_prune_queries_total"][()] == 1
+        assert samples["repro_prune_morsels_pruned_total"][()] == 1
+        assert samples["repro_prune_morsels_scanned_total"][()] == 1
+        assert samples["repro_prune_rows_pruned_total"][()] > 0
+
+    def test_unprunable_queries_leave_totals_untouched(self, service):
+        service.submit(projection_sql(2))
+        service.submit(TPCH_SQL["Q6"])  # shuffled fixture: nothing prunes
+        stats = service.stats_snapshot()["pruning"]
+        assert stats["queries"] == 0
+        assert stats["morsels_pruned"] == 0
+
+
 class TestSlowlogOp:
     def test_slowest_first_with_traces(self, service):
         service.submit(projection_sql(1), trace_query=True)

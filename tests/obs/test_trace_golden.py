@@ -206,6 +206,185 @@ class TestThreadGolden:
         assert response["cached"] is True
 
 
+def _sorted_twin(db):
+    """lineitem clustered on l_shipdate, so Q6's date window prunes."""
+    import numpy as np
+
+    from repro.storage import ColumnTable, Database
+    from repro.storage.encoding import encode_columns
+
+    twin = Database(name=f"{db.name}-sorted", scale_factor=db.scale_factor)
+    for name in db.table_names:
+        table = db.table(name)
+        columns = {c: np.asarray(table[c]) for c in table.column_names}
+        if name == "lineitem":
+            order = np.argsort(columns["l_shipdate"], kind="stable")
+            columns = {c: values[order] for c, values in columns.items()}
+        twin.add_table(ColumnTable(name, encode_columns(columns)))
+    return twin
+
+
+#: Pruning-decision attrs pinned on the ``prune`` span.
+PRUNE_ATTRS = GOLDEN_ATTRS | frozenset(
+    {"morsels_scanned", "morsels_pruned", "rows", "rows_pruned",
+     "chunk_rows", "bytes_pruned"}
+)
+
+
+class TestPrunedGolden:
+    """Q6 over clustered data in thread mode: the prune span and the
+    per-kept-segment morsel spans are pinned bit-for-bit."""
+
+    @pytest.fixture(scope="class")
+    def sorted_db(self, tiny_db):
+        return _sorted_twin(tiny_db)
+
+    @pytest.fixture(scope="class")
+    def plan(self, sorted_db):
+        from repro.core import pruning
+
+        atoms = pruning.atoms_for(sorted_db, "run_q6", {})
+        plan = pruning.compute_prune_plan(sorted_db, atoms)
+        assert plan is not None
+        return plan
+
+    def test_fixture_plan_shape(self, plan):
+        """The golden literal below assumes this exact prune shape."""
+        assert plan.kept_segments == ((0, 8192),)
+        assert plan.pruned_runs == ((8192, plan.n_rows, 1),)
+
+    def golden_pruned_tree(self, engine: str, plan, summary: dict) -> dict:
+        return {
+            "name": "query", "span_id": 1, "parent_id": None,
+            "start_ms": 0.0, "duration_ms": 21.0,
+            "attrs": {"engine": engine},
+            "children": [
+                {"name": "admission", "span_id": 2, "parent_id": 1,
+                 "start_ms": 1.0, "duration_ms": 1.0,
+                 "attrs": {"queued_depth": 0}, "children": []},
+                {"name": "plan_cache", "span_id": 3, "parent_id": 1,
+                 "start_ms": 3.0, "duration_ms": 7.0,
+                 "attrs": {"outcome": "miss"},
+                 "children": [
+                     {"name": "parse", "span_id": 4, "parent_id": 3,
+                      "start_ms": 4.0, "duration_ms": 1.0,
+                      "attrs": {}, "children": []},
+                     {"name": "plan", "span_id": 5, "parent_id": 3,
+                      "start_ms": 6.0, "duration_ms": 1.0,
+                      "attrs": {}, "children": []},
+                     {"name": "lower", "span_id": 6, "parent_id": 3,
+                      "start_ms": 8.0, "duration_ms": 1.0,
+                      "attrs": {}, "children": []},
+                 ]},
+                {"name": "execute", "span_id": 7, "parent_id": 1,
+                 "start_ms": 11.0, "duration_ms": 7.0,
+                 "attrs": {"engine": engine, "executor": "thread"},
+                 "children": [
+                     {"name": "prune", "span_id": 8, "parent_id": 7,
+                      "start_ms": 12.0, "duration_ms": 1.0,
+                      "attrs": {"executor": "thread", **summary},
+                      "children": []},
+                     {"name": "morsel", "span_id": 9, "parent_id": 7,
+                      "start_ms": 14.0, "duration_ms": 1.0,
+                      "attrs": {"row_range": plan.kept_segments[0],
+                                "stolen": False},
+                      "children": []},
+                     {"name": "merge", "span_id": 10, "parent_id": 7,
+                      "start_ms": 16.0, "duration_ms": 1.0,
+                      "attrs": {"morsels": 2}, "children": []},
+                 ]},
+                {"name": "serialize", "span_id": 11, "parent_id": 1,
+                 "start_ms": 19.0, "duration_ms": 1.0,
+                 "attrs": {}, "children": []},
+            ],
+        }
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_trace_matches_golden(self, sorted_db, plan, engine):
+        from repro.tpch.sql import TPCH_SQL
+
+        EXECUTION_CACHE.clear()
+        service = QueryService(
+            ServiceConfig(workers=1, queue_depth=4),
+            db=sorted_db,
+            clock=FakeClock(step=0.001),
+        )
+        with service:
+            response = service.submit(TPCH_SQL["Q6"], engine=engine,
+                                      trace_query=True)
+        assert response["status"] == "ok", response
+        summary = plan.summary(sorted_db, "run_q6")
+        expected = self.golden_pruned_tree(engine, plan, summary)
+        assert project(response["trace"], keep=PRUNE_ATTRS) == expected
+
+    def test_nothing_pruned_still_shows_the_decision(self, tiny_db):
+        """Shuffled data prunes nothing: the prune span records the
+        zero outcome and execution takes the normal (execcache) path."""
+        from repro.tpch.sql import TPCH_SQL
+
+        EXECUTION_CACHE.clear()
+        service = QueryService(
+            ServiceConfig(workers=1, queue_depth=4),
+            db=tiny_db,
+            clock=FakeClock(step=0.001),
+        )
+        with service:
+            response = service.submit(TPCH_SQL["Q6"], trace_query=True)
+        assert response["status"] == "ok", response
+        prune = find(response["trace"], "prune")
+        assert prune["attrs"]["morsels_pruned"] == 0
+        assert prune["attrs"]["morsels_scanned"] > 0
+        execcache = find(response["trace"], "execcache")
+        assert execcache["attrs"]["method"] == "run_q6"
+
+    def test_process_executor_pins_prune_span_and_stats(self, sorted_db,
+                                                        plan):
+        from repro.tpch.sql import TPCH_SQL
+
+        EXECUTION_CACHE.clear()
+        service = QueryService(
+            ServiceConfig(workers=1, timeout_s=120.0, executor="process",
+                          process_workers=2),
+            db=sorted_db,
+            clock=FakeClock(step=0.001),
+        )
+        with service:
+            response = service.submit(TPCH_SQL["Q6"], trace_query=True)
+            stats = service.stats_snapshot()["pruning"]
+        assert response["status"] == "ok", response
+        prune = find(response["trace"], "prune")
+        assert prune["attrs"]["executor"] == "process"
+        assert prune["attrs"]["morsels_pruned"] == plan.chunks_pruned
+        # Worker morsel spans cover exactly the kept segments.
+        execute = find(response["trace"], "execute")
+        ranges = sorted(
+            tuple(span["attrs"]["row_range"])
+            for span in execute["children"] if span["name"] == "morsel"
+        )
+        assert ranges[0][0] == plan.kept_segments[0][0]
+        assert ranges[-1][1] == plan.kept_segments[-1][1]
+        assert stats["enabled"] is True
+        assert stats["queries_pruned"] == 1
+        assert stats["rows_pruned"] == plan.rows_pruned
+
+    def test_disabled_pruning_emits_no_prune_span(self, sorted_db,
+                                                  monkeypatch):
+        from repro.tpch.sql import TPCH_SQL
+
+        monkeypatch.setenv("REPRO_PRUNING", "0")
+        EXECUTION_CACHE.clear()
+        service = QueryService(
+            ServiceConfig(workers=1, queue_depth=4),
+            db=sorted_db,
+            clock=FakeClock(step=0.001),
+        )
+        with service:
+            response = service.submit(TPCH_SQL["Q6"], trace_query=True)
+        assert response["status"] == "ok", response
+        with pytest.raises(AssertionError, match="no span named"):
+            find(response["trace"], "prune")
+
+
 @pytest.fixture(scope="module")
 def process_service(tiny_db):
     EXECUTION_CACHE.clear()

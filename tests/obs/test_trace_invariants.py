@@ -73,9 +73,13 @@ def _check_node(node, parent=None, seen_ids=None):
     node_end = node["start_ms"] + node["duration_ms"]
     if parent is not None:
         assert node["parent_id"] == parent["span_id"]
-        assert node["start_ms"] >= parent["start_ms"] - 1e-6
         parent_end = parent["start_ms"] + parent["duration_ms"]
-        assert node_end <= parent_end + 1e-6
+        # Tolerance scales with magnitude: start/end are float64 ms
+        # values derived from independently-rounded clock reads, so an
+        # absolute epsilon misfires once timestamps reach seconds.
+        tolerance = 1e-6 * max(1.0, abs(parent_end))
+        assert node["start_ms"] >= parent["start_ms"] - tolerance
+        assert node_end <= parent_end + tolerance
     assert node["span_id"] not in seen_ids
     seen_ids.add(node["span_id"])
     for child in node["children"]:

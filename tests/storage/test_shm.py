@@ -77,6 +77,44 @@ class TestRoundtrip:
         assert over_shm.work == single.work
 
 
+class TestZoneMapTransport:
+    def test_attached_zone_maps_equal_exported(self, tiny_db):
+        with export_database(tiny_db) as shared:
+            assert "zone_maps" in shared.manifest
+            with attach_database(shared.manifest) as attached:
+                for table_name in tiny_db.table_names:
+                    original = tiny_db.table(table_name)
+                    copy = attached.table(table_name)
+                    for column_name in original.column_names:
+                        a = original.zone_map(column_name)
+                        b = copy.zone_map(column_name)
+                        assert b.domain == a.domain
+                        assert b.n_rows == a.n_rows
+                        np.testing.assert_array_equal(b.mins, a.mins)
+                        np.testing.assert_array_equal(b.maxs, a.maxs)
+
+    def test_attached_zone_map_arrays_are_read_only_views(self, tiny_db):
+        with export_database(tiny_db) as shared:
+            with attach_database(shared.manifest) as attached:
+                zone_map = attached.table("lineitem").zone_map("l_quantity")
+                with pytest.raises(ValueError, match="read-only"):
+                    zone_map.mins[0] = -1
+
+    def test_prune_plans_agree_across_the_boundary(self, tiny_db):
+        """A worker's prune plan over attached statistics must equal the
+        exporter's: dispatch and synthesis assume one shared plan."""
+        from repro.core import pruning
+
+        atoms = pruning.atoms_for(tiny_db, "run_q6", {})
+        local = pruning.compute_prune_plan(tiny_db, atoms)
+        with export_database(tiny_db) as shared:
+            with attach_database(shared.manifest) as attached:
+                remote = pruning.compute_prune_plan(attached, atoms)
+        assert (remote.kept_segments, remote.pruned_runs) == (
+            local.kept_segments, local.pruned_runs
+        )
+
+
 class TestPicklingGuard:
     def test_column_table_refuses_pickle(self, tiny_db):
         with pytest.raises(TypeError, match="shm"):

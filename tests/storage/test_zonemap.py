@@ -1,0 +1,283 @@
+"""Zone-map statistics (:mod:`repro.storage.zonemap`).
+
+Every classification test checks the false-positive-only contract
+against a brute-force evaluation of the predicate: whenever the zone
+map *decides* a chunk (ALL_TRUE / ALL_FALSE), the decision must be a
+theorem of the stored data.  For the bound operators (lt/le/gt/ge) the
+min/max are attained, so decidability is exact in both directions; for
+``eq`` exactness additionally needs the dictionary code-set bitmaps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage.encoding import (
+    DictionaryEncoding,
+    EncodedColumn,
+    ForBitPackEncoding,
+    RLEEncoding,
+    compare_values,
+)
+from repro.storage.zonemap import (
+    ALL_FALSE,
+    ALL_TRUE,
+    CHUNK_ROWS,
+    MIXED,
+    ColumnZoneMap,
+    build_zone_map,
+    chunk_starts,
+)
+
+OPS = ("le", "lt", "ge", "gt", "eq")
+#: Small chunks so a few thousand rows exercise many chunks.
+TEST_CHUNK = 256
+
+
+def brute_verdicts(values: np.ndarray, op: str, threshold,
+                   chunk_rows: int) -> np.ndarray:
+    """Ground-truth per-chunk verdicts from a full mask evaluation."""
+    mask = compare_values(np.asarray(values), op, threshold)
+    out = []
+    for lo in range(0, len(values), chunk_rows):
+        chunk = mask[lo:lo + chunk_rows]
+        if chunk.all():
+            out.append(ALL_TRUE)
+        elif not chunk.any():
+            out.append(ALL_FALSE)
+        else:
+            out.append(MIXED)
+    return np.array(out, dtype=np.uint8)
+
+
+def assert_sound(zone_map: ColumnZoneMap, values: np.ndarray, op: str,
+                 threshold, encoding=None) -> np.ndarray:
+    """Decided verdicts must agree with brute force (never drop rows)."""
+    truth = brute_verdicts(values, op, threshold, zone_map.chunk_rows)
+    verdicts = zone_map.classify(op, threshold, encoding)
+    assert len(verdicts) == len(truth)
+    decided = verdicts != MIXED
+    np.testing.assert_array_equal(verdicts[decided], truth[decided])
+    return verdicts
+
+
+def assert_exact(zone_map: ColumnZoneMap, values: np.ndarray, op: str,
+                 threshold, encoding=None) -> None:
+    """Verdicts equal brute force outright (MIXED iff truly mixed)."""
+    truth = brute_verdicts(values, op, threshold, zone_map.chunk_rows)
+    verdicts = zone_map.classify(op, threshold, encoding)
+    np.testing.assert_array_equal(verdicts, truth)
+
+
+class TestChunkGrid:
+    def test_empty(self):
+        assert len(chunk_starts(0)) == 0
+        assert build_zone_map(np.empty(0)).n_chunks == 0
+
+    def test_starts_cover_rows(self):
+        starts = chunk_starts(5 * TEST_CHUNK + 3, TEST_CHUNK)
+        np.testing.assert_array_equal(
+            starts, np.arange(6) * TEST_CHUNK)
+
+    def test_chunk_bounds_tail(self):
+        zone_map = build_zone_map(np.arange(TEST_CHUNK + 7.0), TEST_CHUNK)
+        assert zone_map.n_chunks == 2
+        assert zone_map.chunk_bounds(0) == (0, TEST_CHUNK)
+        assert zone_map.chunk_bounds(1) == (TEST_CHUNK, TEST_CHUNK + 7)
+
+    def test_default_chunk_is_morsel_aligned(self):
+        from repro.engines.morsel import MORSEL_ALIGN
+
+        assert CHUNK_ROWS % MORSEL_ALIGN == 0
+
+
+class TestValueDomain:
+    """Raw arrays: verdicts straight off attained min/max."""
+
+    @pytest.fixture(scope="class")
+    def values(self):
+        rng = np.random.default_rng(11)
+        # A small value domain makes equality hits and chunk-constant
+        # stretches likely; a sorted half makes ALL_TRUE/ALL_FALSE runs.
+        noisy = rng.integers(0, 12, size=4 * TEST_CHUNK).astype(np.float64)
+        return np.concatenate([np.sort(noisy), noisy])
+
+    @pytest.mark.parametrize("op", ("le", "lt", "ge", "gt"))
+    def test_bound_ops_are_exact(self, values, op):
+        for threshold in (-1.0, 0.0, 3.0, 5.5, 11.0, 12.0):
+            assert_exact(build_zone_map(values, TEST_CHUNK), values, op,
+                         threshold)
+
+    def test_eq_is_sound(self, values):
+        zone_map = build_zone_map(values, TEST_CHUNK)
+        for threshold in (-1.0, 0.0, 4.0, 4.5, 11.0, 99.0):
+            assert_sound(zone_map, values, "eq", threshold)
+
+    def test_sorted_selective_predicate_prunes_most_chunks(self):
+        values = np.arange(32 * TEST_CHUNK, dtype=np.float64)
+        zone_map = build_zone_map(values, TEST_CHUNK)
+        verdicts = zone_map.classify("lt", float(TEST_CHUNK))
+        assert verdicts[0] == ALL_TRUE
+        assert (verdicts[1:] == ALL_FALSE).all()
+
+    def test_unknown_op_rejected(self, values):
+        with pytest.raises(ValueError, match="unsupported op"):
+            build_zone_map(values, TEST_CHUNK).classify("ne", 1.0)
+
+
+class TestDictDomain:
+    """Dictionary codes: cuts mirror DictionaryEncoding.compare, and the
+    code-set bitmaps make even ``eq`` exact for domains <= 64."""
+
+    @pytest.fixture(scope="class")
+    def column(self):
+        rng = np.random.default_rng(23)
+        domain = np.round(np.arange(0.0, 0.09, 0.01), 2)  # 9 distinct
+        values = rng.choice(domain, size=6 * TEST_CHUNK)
+        # One chunk holds only {0.00, 0.04}: min/max cannot rule out
+        # eq 0.02, the code-set bitmap can.
+        values[:TEST_CHUNK] = np.where(
+            rng.integers(0, 2, TEST_CHUNK) == 0, 0.0, 0.04)
+        encoded = EncodedColumn(
+            "d", DictionaryEncoding.encode(values), values.dtype)
+        assert encoded.codec_kind == "dict"
+        return values, encoded
+
+    @pytest.fixture(scope="class")
+    def zone_map(self, column):
+        values, encoded = column
+        zone_map = build_zone_map(encoded, TEST_CHUNK)
+        assert zone_map.domain == "dict"
+        assert zone_map.code_sets is not None
+        return zone_map
+
+    @pytest.mark.parametrize("op", OPS)
+    def test_all_ops_exact_with_codesets(self, column, zone_map, op):
+        values, encoded = column
+        # On-dictionary, between-entries, and out-of-range thresholds.
+        for threshold in (-0.5, 0.0, 0.02, 0.035, 0.055, 0.08, 0.5):
+            assert_exact(zone_map, values, op, threshold, encoded)
+
+    def test_codeset_refines_eq_inside_minmax_range(self, column, zone_map):
+        values, encoded = column
+        assert (values[:TEST_CHUNK].min(), values[:TEST_CHUNK].max()) == (0.0, 0.04)
+        verdicts = zone_map.classify("eq", 0.02, encoded)
+        # 0.02's code lies inside the chunk's [min, max] code range, so
+        # the bounds alone say MIXED; the bitmap proves it absent.
+        assert verdicts[0] == ALL_FALSE
+
+    def test_verdicts_agree_with_codec_masks(self, column, zone_map):
+        values, encoded = column
+        for op in OPS:
+            verdicts = zone_map.classify(op, 0.035, encoded)
+            for index, verdict in enumerate(verdicts):
+                lo, hi = zone_map.chunk_bounds(index)
+                mask = encoded.compare(op, 0.035, lo, hi)
+                if verdict == ALL_TRUE:
+                    assert mask.all()
+                elif verdict == ALL_FALSE:
+                    assert not mask.any()
+
+    def test_missing_encoding_yields_all_mixed(self, zone_map):
+        assert (zone_map.classify("le", 0.04) == MIXED).all()
+
+    def test_mismatched_codec_yields_all_mixed(self, zone_map):
+        run_lengths = np.repeat(np.arange(8.0), TEST_CHUNK)
+        rle = EncodedColumn("r", RLEEncoding.encode(run_lengths),
+                            run_lengths.dtype)
+        assert rle.codec_kind == "rle"
+        assert (zone_map.classify("le", 0.04, rle) == MIXED).all()
+
+
+class TestForDomain:
+    """Frame-of-reference codes: exact float-threshold rebasing."""
+
+    @pytest.fixture(scope="class")
+    def column(self):
+        rng = np.random.default_rng(31)
+        values = rng.integers(1000, 1050, size=6 * TEST_CHUNK).astype(np.int64)
+        values[:2 * TEST_CHUNK].sort()  # clustered prefix prunes
+        encoded = EncodedColumn(
+            "f", ForBitPackEncoding.encode(values), values.dtype)
+        assert encoded.codec_kind == "for"
+        return values, encoded
+
+    @pytest.fixture(scope="class")
+    def zone_map(self, column):
+        values, encoded = column
+        zone_map = build_zone_map(encoded, TEST_CHUNK)
+        assert zone_map.domain == "for"
+        assert zone_map.code_sets is None
+        return zone_map
+
+    @pytest.mark.parametrize("op", ("le", "lt", "ge", "gt"))
+    def test_bound_ops_exact_for_fractional_thresholds(self, column,
+                                                       zone_map, op):
+        values, encoded = column
+        # Fractional thresholds force the floor/ceil rebasing paths; the
+        # extremes force the clamp-to-constant paths.
+        for threshold in (999.5, 1000.0, 1010.5, 1024.0, 1049.5, 1060.0):
+            assert_exact(zone_map, values, op, threshold, encoded)
+
+    def test_eq_is_sound(self, column, zone_map):
+        values, encoded = column
+        for threshold in (1000.0, 1010.5, 1024.0, 1060.0):
+            assert_sound(zone_map, values, "eq", threshold, encoded)
+
+    def test_non_integral_eq_is_all_false(self, column, zone_map):
+        values, encoded = column
+        verdicts = zone_map.classify("eq", 1010.5, encoded)
+        assert (verdicts == ALL_FALSE).all()
+
+
+class TestRleColumns:
+    def test_rle_maps_to_value_domain(self):
+        values = np.repeat(np.arange(400.0), TEST_CHUNK // 8)
+        encoded = EncodedColumn("r", RLEEncoding.encode(values), values.dtype)
+        assert encoded.codec_kind == "rle"
+        zone_map = build_zone_map(encoded, TEST_CHUNK)
+        assert zone_map.domain == "value"
+        # Value-domain verdicts need no encoding handle at classify time.
+        for op in ("le", "lt", "ge", "gt"):
+            assert_exact(zone_map, values, op, 17.0)
+            assert_exact(zone_map, values, op, 17.5, encoded)
+
+
+class TestTransport:
+    def test_payload_roundtrip_value_domain(self):
+        zone_map = build_zone_map(np.arange(3 * TEST_CHUNK + 5.0), TEST_CHUNK)
+        meta, arrays = zone_map.payload()
+        assert set(arrays) == {"mins", "maxs", "nulls"}
+        clone = ColumnZoneMap.from_payload(meta, arrays)
+        assert clone.domain == "value"
+        assert clone.chunk_rows == TEST_CHUNK
+        assert clone.n_rows == zone_map.n_rows
+        np.testing.assert_array_equal(clone.mins, zone_map.mins)
+        np.testing.assert_array_equal(clone.maxs, zone_map.maxs)
+        assert clone.code_sets is None
+
+    def test_payload_roundtrip_preserves_codesets(self):
+        values = np.tile(np.arange(5.0), 2 * TEST_CHUNK // 5)
+        encoded = EncodedColumn(
+            "d", DictionaryEncoding.encode(values), values.dtype)
+        zone_map = build_zone_map(encoded, TEST_CHUNK)
+        meta, arrays = zone_map.payload()
+        assert "codesets" in arrays
+        clone = ColumnZoneMap.from_payload(meta, arrays)
+        np.testing.assert_array_equal(clone.code_sets, zone_map.code_sets)
+        np.testing.assert_array_equal(
+            clone.classify("eq", 3.0, encoded),
+            zone_map.classify("eq", 3.0, encoded),
+        )
+
+
+class TestTableIntegration:
+    def test_tables_build_and_cache_zone_maps(self, tiny_db):
+        table = tiny_db.table("lineitem")
+        zone_map = table.zone_map("l_shipdate")
+        assert zone_map is table.zone_map("l_shipdate")  # cached
+        values = np.asarray(table["l_shipdate"])
+        assert zone_map.n_rows == len(values)
+        starts = chunk_starts(len(values), zone_map.chunk_rows)
+        assert zone_map.n_chunks == len(starts)

@@ -110,3 +110,67 @@ class TestRoundTrip:
         b = generate_database(0.005, seed=18, tables=("supplier",))
         assert not np.array_equal(a["supplier"]["s_acctbal"],
                                   b["supplier"]["s_acctbal"])
+
+
+class TestZoneMapPersistence:
+    """Format 3 persists per-column zone maps next to the payloads and
+    reattaches them on load; format-1/2 entries stay readable and fall
+    back to the lazy per-column build."""
+
+    def assert_equal_zone_maps(self, actual, expected):
+        assert actual.domain == expected.domain
+        assert actual.chunk_rows == expected.chunk_rows
+        assert actual.n_rows == expected.n_rows
+        np.testing.assert_array_equal(actual.mins, expected.mins)
+        np.testing.assert_array_equal(actual.maxs, expected.maxs)
+        if expected.code_sets is None:
+            assert actual.code_sets is None
+        else:
+            np.testing.assert_array_equal(actual.code_sets, expected.code_sets)
+
+    def test_zone_map_files_on_disk(self, isolated_cache):
+        import json
+
+        db = generate_database(0.005, seed=21, tables=("lineitem",))
+        entry = isolated_cache / "dbgen" / db.cache_key
+        meta = json.loads((entry / "meta.json").read_text())
+        assert meta["format"] == 3
+        assert "l_shipdate" in meta["zone_maps"]["lineitem"]
+        assert list(entry.glob("lineitem.l_shipdate.zm.*.npy"))
+
+    def test_disk_roundtrip_reattaches_equal_zone_maps(self, isolated_cache):
+        first = generate_database(0.005, seed=21, tables=("lineitem",))
+        expected = first.table("lineitem").zone_map("l_shipdate")
+        dbcache.clear_memo()  # force the disk path
+        second = generate_database(0.005, seed=21, tables=("lineitem",))
+        self.assert_equal_zone_maps(
+            second.table("lineitem").zone_map("l_shipdate"), expected)
+
+    def test_memo_hit_shares_zone_maps(self, isolated_cache):
+        first = generate_database(0.005, seed=23, tables=("lineitem",))
+        second = generate_database(0.005, seed=23, tables=("lineitem",))
+        self.assert_equal_zone_maps(
+            second.table("lineitem").zone_map("l_quantity"),
+            first.table("lineitem").zone_map("l_quantity"),
+        )
+
+    def test_format_2_entry_stays_readable(self, isolated_cache):
+        """An entry written before zone maps existed loads fine; zone
+        maps come from the lazy build instead of the disk files."""
+        import json
+
+        db = generate_database(0.005, seed=25, tables=("lineitem",))
+        expected = db.table("lineitem").zone_map("l_shipdate")
+        entry = isolated_cache / "dbgen" / db.cache_key
+        meta = json.loads((entry / "meta.json").read_text())
+        meta["format"] = 2
+        meta.pop("zone_maps", None)
+        (entry / "meta.json").write_text(json.dumps(meta))
+        for stale in entry.glob("*.zm.*.npy"):
+            stale.unlink()
+        dbcache.clear_memo()
+        again = generate_database(0.005, seed=25, tables=("lineitem",))
+        np.testing.assert_array_equal(db["lineitem"]["l_quantity"],
+                                      again["lineitem"]["l_quantity"])
+        self.assert_equal_zone_maps(
+            again.table("lineitem").zone_map("l_shipdate"), expected)

@@ -19,7 +19,12 @@ compare against a recorded trajectory instead of folklore:
 - zone-map pruning (PR 6): end-to-end Q6 wall-clock with pruning on vs
   off over shipdate-clustered lineitem (raw and encoded twins) and the
   shuffled generator order, plus a selection selectivity sweep (pruned
-  fraction and speedup per selectivity).
+  fraction and speedup per selectivity),
+- rollup routing (PR 7): end-to-end wall-clock of rollup-subsumed
+  aggregates (Q1, group-by, projection) answered from the
+  pre-aggregated rollup vs the base-table scan on a partitioned SF>=1
+  database, with bit-identity asserted on every routed value, plus the
+  reasoned-fallback overhead on a non-subsumed query (Q6).
 
 Every record carries a uniform host-context stamp (git SHA, Python and
 numpy versions, machine, cpu count), so recorded numbers are always
@@ -547,6 +552,118 @@ def _pruning_metrics(scale_factor: float) -> dict:
             os.environ[env_key] = previous
 
 
+def _rollup_metrics(scale_factor: float) -> dict:
+    """Measured rollup-routing wins (execution cache disabled).
+
+    Builds a shipdate-partitioned twin of the SF>=1 database with the
+    default flag/status lineitem rollup attached, then times each
+    rollup-subsumed workload end to end on the base path vs the routed
+    path.  Every routed value is asserted bit-identical to the base
+    scan before timing.  The fallback entry times the router's decline
+    on a non-subsumed query (Q6) to show the routing attempt costs
+    noise relative to the scan it precedes."""
+    from repro.engines import TyperEngine
+    from repro.rollup import (
+        PartitionSpec, build_and_attach, partitioned_database, route,
+    )
+    from repro.tpch.dbgen import generate_database
+    from repro.tpch.schema import DATE_1998_09_02
+
+    env_key = "REPRO_EXEC_CACHE"
+    previous = os.environ.get(env_key)
+    os.environ[env_key] = "0"
+    try:
+        base_db = generate_database(scale_factor=scale_factor, seed=42)
+
+        start = time.perf_counter()
+        db = partitioned_database(
+            base_db,
+            PartitionSpec("l_shipdate", (2300.0, DATE_1998_09_02 + 0.5)),
+        )
+        partition_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        rollup = build_and_attach(db)
+        build_seconds = time.perf_counter() - start
+        lineitem = db.table("lineitem")
+
+        def best_of(runner, repeats: int = 5) -> float:
+            runner()  # warm shared structures / decode caches
+            return min(
+                (lambda s: (runner(), time.perf_counter() - s)[1])(
+                    time.perf_counter()
+                )
+                for _ in range(repeats)
+            )
+
+        engine = TyperEngine()
+        record: dict = {
+            "scale_factor": scale_factor,
+            "engine": "Typer",
+            "note": (
+                "single-core numpy wall-clock, execution cache off, "
+                "best of 5 (see 'cpus'/'machine'); routed queries read "
+                "the pre-aggregated exact partials instead of scanning "
+                "lineitem, and every routed value was asserted "
+                "bit-identical to the base scan before timing.  The "
+                "fallback entry shows the router declining Q6 "
+                "(no rollup profile) costs microseconds next to the "
+                "scan that follows"
+            ),
+            "build": {
+                "partition_seconds": round(partition_seconds, 3),
+                "rollup_build_seconds": round(build_seconds, 3),
+                "rollup_rows": rollup.n_rows,
+                "rollup_bytes": rollup.nbytes,
+                "base_rows": lineitem.n_rows,
+                "base_bytes": lineitem.nbytes,
+                "size_ratio": round(lineitem.nbytes / rollup.nbytes, 1),
+            },
+            "routed": {},
+        }
+
+        for label, method, kwargs in (
+            ("q1", "run_q1", {}),
+            ("groupby", "run_groupby", {}),
+            ("projection_p2", "run_projection", {"degree": 2}),
+        ):
+            baseline = getattr(engine, method)(db, **kwargs)
+            routed, decision = route(db, engine, method, dict(kwargs))
+            assert decision["reason"] == "routed", (method, decision)
+            assert routed.value == baseline.value, method
+            base_s = best_of(
+                lambda m=method, k=kwargs: getattr(engine, m)(db, **k)
+            )
+            routed_s = best_of(
+                lambda m=method, k=kwargs: route(db, engine, m, dict(k))
+            )
+            record["routed"][label] = {
+                "rows_read": decision["rows_read"],
+                "base_rows_avoided": decision["base_rows_avoided"],
+                "bytes_read": decision["bytes_read"],
+                "base_bytes_avoided": decision["base_bytes_avoided"],
+                "base_seconds": round(base_s, 4),
+                "routed_seconds": round(routed_s, 6),
+                "speedup": round(base_s / routed_s, 1),
+            }
+
+        result, decision = route(db, engine, "run_q6", {})
+        assert result is None and decision["reason"] == "unsupported-method"
+        attempt_s = best_of(lambda: route(db, engine, "run_q6", {}))
+        base_s = best_of(lambda: engine.run_q6(db))
+        record["fallback_q6"] = {
+            "reason": decision["reason"],
+            "attempt_seconds": round(attempt_s, 6),
+            "base_seconds": round(base_s, 4),
+            "overhead_fraction": round(attempt_s / base_s, 6),
+        }
+        return record
+    finally:
+        if previous is None:
+            os.environ.pop(env_key, None)
+        else:
+            os.environ[env_key] = previous
+
+
 def _parallel_worker_counts() -> tuple[int, ...]:
     """2, 4, and N (the machine's cores), deduplicated and sorted.
     On boxes with fewer than 4 cores the larger counts still run --
@@ -557,7 +674,7 @@ def _parallel_worker_counts() -> tuple[int, ...]:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_PR6.json"))
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_PR7.json"))
     parser.add_argument("--skip-suite", action="store_true")
     parser.add_argument("--skip-figures", action="store_true")
     parser.add_argument("--skip-parallel", action="store_true",
@@ -570,6 +687,9 @@ def main(argv=None) -> int:
                         help="scale factor for the compression benchmark")
     parser.add_argument("--pruning-sf", type=float, default=0.2,
                         help="scale factor for the zone-map pruning benchmark")
+    parser.add_argument("--rollup-sf", type=float, default=1.0,
+                        help="scale factor for the rollup-routing benchmark "
+                        "(the PR 7 headline is recorded at SF >= 1)")
     parser.add_argument("--baseline-dir", default=None,
                         help="checkout of the pre-PR repo to time for a "
                         "same-machine baseline (e.g. a git worktree at the "
@@ -579,7 +699,10 @@ def main(argv=None) -> int:
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-    record: dict = {"pr": 6, **_host_context()}
+    record: dict = {"pr": 7, **_host_context()}
+
+    print("rollup routing ...", flush=True)
+    record["rollup"] = _rollup_metrics(args.rollup_sf)
 
     print("zone-map pruning ...", flush=True)
     record["pruning"] = _pruning_metrics(args.pruning_sf)

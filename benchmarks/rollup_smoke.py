@@ -1,0 +1,72 @@
+"""Rollup-routing smoke: routed execution is bit-identical to the base
+scan on both executors.
+
+Builds a shipdate-partitioned twin of a small TPC-H database with the
+default lineitem rollup attached, checks that the router actually
+routes Q1 / group-by / projection to the rollup, and asserts value
+equality between the routed thread path, the process pool (which
+routes parent-side), and the single-shot base-table baseline.  Also
+exercises the reasoned-fallback path (Q6 has no rollup profile).  Run
+from CI as a real file (not a heredoc): the process pool uses the
+spawn start method, which re-imports ``__main__`` and therefore needs
+a path-backed script.
+
+Usage::
+
+    PYTHONPATH=src REPRO_EXEC_CACHE=0 python benchmarks/rollup_smoke.py
+"""
+
+from __future__ import annotations
+
+
+def main() -> int:
+    from repro.core.parallel import WorkerPool
+    from repro.engines import TectorwiseEngine, TyperEngine
+    from repro.rollup import (
+        PartitionSpec,
+        build_and_attach,
+        partitioned_database,
+        route,
+    )
+    from repro.tpch import generate_database
+    from repro.tpch.schema import DATE_1998_09_02
+
+    base = generate_database(scale_factor=0.01, seed=7)
+    db = partitioned_database(
+        base, PartitionSpec("l_shipdate", (2300.0, DATE_1998_09_02 + 0.5))
+    )
+    rollup = build_and_attach(db)
+
+    engine = TyperEngine()
+    routed_rows = 0
+    for method, kwargs in (
+        ("run_q1", {}),
+        ("run_groupby", {}),
+        ("run_projection", {"degree": 2}),
+    ):
+        baseline = getattr(engine, method)(db, **kwargs)
+        result, decision = route(db, engine, method, dict(kwargs))
+        assert decision["reason"] == "routed", (method, decision["reason"])
+        assert result.value == baseline.value, method
+        routed_rows += decision["rows_read"]
+
+    # Q6 has no rollup profile: the router must decline with a reason,
+    # never guess.
+    result, decision = route(db, engine, "run_q6", {})
+    assert result is None and decision["reason"] == "unsupported-method"
+
+    with WorkerPool(db, n_workers=2) as pool:
+        pooled = pool.run_query(TectorwiseEngine(), "run_groupby")
+    single = TectorwiseEngine().run_groupby(db)
+    assert pooled.value == single.value
+    assert pooled.details["rollup"]["reason"] == "routed"
+    print(
+        "routed == base on thread and process executors "
+        f"({rollup.n_rows}-row rollup, {routed_rows} partial rows read "
+        f"vs {db.table('lineitem').n_rows} base rows per scan)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

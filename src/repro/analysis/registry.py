@@ -23,6 +23,7 @@ from repro.analysis import (
     figures_omitted,
     figures_optim,
     figures_pruning,
+    figures_rollup,
     figures_sql,
     figures_tpch,
 )
@@ -282,6 +283,13 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             figures_pruning.sec_pruning, tables=SCAN_TABLES,
             claim="Clustered predicates skip most morsel chunks with "
                   "bit-identical results; shuffled data prunes nothing.",
+        ),
+        _spec(
+            "sec-rollup", "Rollup routing on partitioned lineitem",
+            figures_rollup.sec_rollup, tables=SCAN_TABLES,
+            claim="Subsumed aggregates read kilobytes of exact partials "
+                  "instead of the base scan stream, bit-identically; "
+                  "non-decomposable finishers fall back with a reason.",
         ),
         _spec(
             "sqlpath", "SQL-path vs hand-wired execution",

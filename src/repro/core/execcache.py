@@ -39,6 +39,7 @@ from functools import wraps
 
 from repro.core.pruning import pruning_enabled
 from repro.obs import trace
+from repro.rollup.router import rollups_enabled
 from repro.storage.encoding import encoding_enabled
 
 #: Engine methods that are memoized (the complete execution surface).
@@ -164,6 +165,7 @@ def memoized_execution(method_name: str, func):
                 # served an entry produced under different settings.
                 encoding_enabled(),
                 pruning_enabled(),
+                rollups_enabled(),
             )
             hash(key)
         except TypeError:

@@ -469,6 +469,18 @@ class WorkerPool:
         if self._closed:
             raise RuntimeError("pool is closed")
         method, kwargs_items = normalized_call(engine, method, args, kwargs)
+        # Rollup routing happens parent-side: a routed query reads the
+        # (tiny) pre-aggregated table, so fanning it out to workers
+        # would cost more in dispatch than the scan itself.
+        from repro.rollup import router as rollup_router
+
+        routed, decision = rollup_router.attempt(
+            self.db, engine, method, dict(kwargs_items), executor="process"
+        )
+        if routed is not None:
+            with self._lock:
+                self.queries_run += 1
+            return routed
         engine_cls = type(engine)
         engine_spec = (engine_cls.__module__, engine_cls.__qualname__)
         plan = None
@@ -531,6 +543,8 @@ class WorkerPool:
         result = engine.merge_morsels(self.db, method, kwargs_items, partials)
         if plan is not None:
             result.details["pruning"] = plan.summary(self.db, method)
+        if decision is not None:
+            result.details["rollup"] = decision
         return result
 
     def ping(self) -> bool:

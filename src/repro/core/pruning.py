@@ -53,7 +53,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.storage.zonemap import ALL_FALSE, ALL_TRUE, CHUNK_ROWS
+from repro.storage.zonemap import ALL_FALSE, ALL_TRUE, CHUNK_ROWS, MIXED
 
 #: Rows per synthesized pruned block.  Matches the process executor's
 #: claim size; pruned runs split into blocks of this size (aligned to
@@ -196,6 +196,12 @@ class PrunePlan:
     pruned_runs: tuple[tuple[int, int, int], ...]
     chunks_total: int
     chunks_pruned: int
+    #: Partition-level outcome when the table is range-partitioned
+    #: (:mod:`repro.rollup.partition`): how many non-empty partitions
+    #: exist and how many were dropped whole (every covered chunk
+    #: pruned).  Zero/zero on unpartitioned tables.
+    partitions_total: int = 0
+    partitions_pruned: int = 0
 
     @property
     def nothing_pruned(self) -> bool:
@@ -218,6 +224,9 @@ class PrunePlan:
             "rows_pruned": self.rows_pruned,
             "chunk_rows": self.chunk_rows,
         }
+        if self.partitions_total:
+            out["partitions_total"] = self.partitions_total
+            out["partitions_pruned"] = self.partitions_pruned
         if db is not None and method is not None:
             columns = METHOD_SCAN_COLUMNS.get(method)
             if columns is None and method == "run_selection":
@@ -243,6 +252,14 @@ def compute_prune_plan(
     atom stops the walk (beyond it the engines' masks depend on data the
     statistics cannot see).  Returns None when there is nothing to
     classify.
+
+    On a range-partitioned table (:mod:`repro.rollup.partition`) a
+    partition-level pre-pass runs first: chunks wholly inside a
+    partition the partition min/max statistics decide inherit that
+    verdict, and the per-chunk zone map is consulted -- or built at all
+    -- only for atoms with undecided chunks left.  Partition verdicts
+    are coarsenings of chunk verdicts (same exact interval logic over a
+    superset of rows), so the composition never weakens a decision.
     """
     if not atoms:
         return None
@@ -250,12 +267,24 @@ def compute_prune_plan(
     n_rows = table.n_rows
     if n_rows <= 0:
         return None
-    verdicts = np.stack([
-        table.zone_map(atom.column).classify(
+    partitioning = getattr(table, "partitioning", None)
+    verdict_rows = []
+    for atom in atoms:
+        pre = None
+        if partitioning is not None and atom.column == partitioning.column:
+            pre = partitioning.chunk_verdicts(
+                atom.op, atom.threshold, chunk_rows, n_rows
+            )
+            if not (pre == MIXED).any():
+                verdict_rows.append(pre)
+                continue
+        from_zone_map = table.zone_map(atom.column).classify(
             atom.op, atom.threshold, table.encoding(atom.column)
         )
-        for atom in atoms
-    ])
+        if pre is not None:
+            from_zone_map = np.where(pre == MIXED, from_zone_map, pre)
+        verdict_rows.append(from_zone_map)
+    verdicts = np.stack(verdict_rows)
     n_chunks = verdicts.shape[1]
     is_false = verdicts == ALL_FALSE
     prefix_true = np.cumprod(verdicts == ALL_TRUE, axis=0).astype(bool)
@@ -280,6 +309,16 @@ def compute_prune_plan(
                 kept_segments[-1] = (kept_segments[-1][0], hi)
             else:
                 kept_segments.append((lo, hi))
+    partitions_total = partitions_pruned = 0
+    if partitioning is not None:
+        for p in range(partitioning.n_partitions):
+            lo, hi = partitioning.partition_range(p)
+            if hi <= lo:
+                continue
+            partitions_total += 1
+            covered = prunable[lo // chunk_rows: -(-hi // chunk_rows)]
+            if covered.size and covered.all():
+                partitions_pruned += 1
     return PrunePlan(
         atoms=tuple(atoms),
         chunk_rows=chunk_rows,
@@ -288,6 +327,8 @@ def compute_prune_plan(
         pruned_runs=tuple(pruned_runs),
         chunks_total=n_chunks,
         chunks_pruned=int(prunable.sum()),
+        partitions_total=partitions_total,
+        partitions_pruned=partitions_pruned,
     )
 
 

@@ -60,6 +60,10 @@ class QueryClient:
         """The N slowest queries (slowest first) under ``slowlog``."""
         return self.request({"op": "slowlog"})
 
+    def rollups(self) -> dict:
+        """Rollup routing totals under the ``rollups`` key."""
+        return self.request({"op": "rollups"})
+
     def close(self) -> None:
         try:
             self._file.close()

@@ -53,6 +53,11 @@ def dispatch(service: QueryService, message: dict) -> dict:
         return {"status": protocol.STATUS_OK, "metrics": service.metrics_text()}
     if op == "slowlog":
         return {"status": protocol.STATUS_OK, "slowlog": service.slowlog_snapshot()}
+    if op == "rollups":
+        return {
+            "status": protocol.STATUS_OK,
+            "rollups": service.stats_snapshot()["rollups"],
+        }
     if op == "shutdown":
         return {"status": protocol.STATUS_OK, "stopping": True}
     if op is not None:
@@ -60,7 +65,7 @@ def dispatch(service: QueryService, message: dict) -> dict:
             "status": protocol.STATUS_ERROR,
             "error": (
                 f"unknown op {op!r} "
-                f"(expected ping, stats, metrics, slowlog or shutdown)"
+                f"(expected ping, stats, metrics, slowlog, rollups or shutdown)"
             ),
         }
     sql = message.get("sql")
@@ -106,7 +111,7 @@ def run_repl(service: QueryService, stdin=None, stdout=None) -> None:
     engine = service.config.default_engine
     stdout.write(
         f"repro query REPL -- engine {engine}; "
-        f":engine NAME, :stats, :metrics, :slowlog, :quit\n"
+        f":engine NAME, :stats, :metrics, :slowlog, :rollups, :quit\n"
     )
     stdout.flush()
     for line in stdin:
@@ -123,6 +128,12 @@ def run_repl(service: QueryService, stdin=None, stdout=None) -> None:
                 stdout.write(service.metrics_text())
             elif parts[0] == "slowlog":
                 stdout.write(protocol.encode({"slowlog": service.slowlog_snapshot()}).decode())
+            elif parts[0] == "rollups":
+                stdout.write(
+                    protocol.encode(
+                        {"rollups": service.stats_snapshot()["rollups"]}
+                    ).decode()
+                )
             elif parts[0] == "engine" and len(parts) > 1:
                 engine = " ".join(parts[1:])  # engine names may contain spaces
                 stdout.write(f"engine set to {engine}\n")

@@ -191,6 +191,16 @@ class QueryService:
             "rows_pruned": 0,
             "bytes_pruned": 0,
         }
+        self._rollup_lock = threading.Lock()
+        self._rollup_totals = {
+            "queries": 0,
+            "routed": 0,
+            "fallbacks": 0,
+            "rows_read": 0,
+            "base_rows_avoided": 0,
+            "bytes_read": 0,
+            "base_bytes_avoided": 0,
+        }
         self._register_metrics()
         self._workers: list[threading.Thread] = []
         self._stop = threading.Event()
@@ -253,6 +263,26 @@ class QueryService:
         )
         self._m_prune_rows = m.counter(
             "repro_prune_rows_pruned_total", "Rows skipped via zone maps"
+        )
+        self._m_rollup_routed = m.counter(
+            "repro_rollup_routed_total",
+            "Queries answered from a materialized rollup",
+        )
+        self._m_rollup_fallbacks = m.counter(
+            "repro_rollup_fallbacks_total",
+            "Rollup-eligible queries that fell back to base execution",
+            ("reason",),
+        )
+        self._m_rollup_rows_read = m.counter(
+            "repro_rollup_rows_read_total",
+            "Pre-aggregated rollup rows read by routed queries",
+        )
+        self._m_rollup_rows_avoided = m.counter(
+            "repro_rollup_base_rows_avoided_total",
+            "Base-table rows routed queries did not scan",
+        )
+        self._m_rollup_tables = m.gauge(
+            "repro_rollup_tables", "Rollup tables attached to the served database"
         )
 
     # -- lifecycle -----------------------------------------------------
@@ -528,6 +558,60 @@ class QueryService:
             engine, self.db, method, dict(kwargs_items), plan
         )
 
+    def _thread_routed(self, bound, engine, options: dict):
+        """Try to answer on this thread from a materialized rollup.
+
+        Returns ``(result, decision)`` from
+        :func:`repro.rollup.router.attempt`: ``(None, None)`` when
+        routing is inactive, ``(None, decision)`` on a reasoned
+        fallback, a routed result otherwise."""
+        from repro.core import parallel
+        from repro.rollup import router
+
+        merged = bound.call_kwargs()
+        merged.update(options)
+        try:
+            method, kwargs_items = parallel.normalized_call(
+                engine, bound.method, bound.args, merged
+            )
+        except ValueError:
+            return None, None  # no morsel support: rollups target scans
+        return router.attempt(
+            self.db, engine, method, dict(kwargs_items), executor="thread"
+        )
+
+    def _record_rollup(self, result) -> None:
+        """Fold one result's routing decision into service totals and
+        the rollup metric family (both executors ship the decision in
+        ``result.details['rollup']``)."""
+        info = result.details.get("rollup")
+        if not info:
+            return
+        routed = bool(info.get("rollup_used"))
+        rows_read = int(info.get("rows_read", 0))
+        rows_avoided = int(info.get("base_rows_avoided", 0))
+        with self._rollup_lock:
+            totals = self._rollup_totals
+            totals["queries"] += 1
+            if routed:
+                totals["routed"] += 1
+                totals["rows_read"] += rows_read
+                totals["base_rows_avoided"] += rows_avoided
+                totals["bytes_read"] += int(info.get("bytes_read", 0))
+                totals["base_bytes_avoided"] += int(
+                    info.get("base_bytes_avoided", 0)
+                )
+            else:
+                totals["fallbacks"] += 1
+        if routed:
+            self._m_rollup_routed.inc()
+            self._m_rollup_rows_read.inc(rows_read)
+            self._m_rollup_rows_avoided.inc(rows_avoided)
+        else:
+            self._m_rollup_fallbacks.labels(
+                reason=str(info.get("reason", "unknown"))
+            ).inc()
+
     def _record_pruning(self, result) -> None:
         """Fold one result's pruning decision into service totals and
         the prune metric family (works for both executors: the decision
@@ -579,7 +663,13 @@ class QueryService:
                     )
                     self._m_pool_queries.inc()
                 else:
-                    result = self._thread_pruned(bound, engine, request.options)
+                    result, rollup_decision = self._thread_routed(
+                        bound, engine, request.options
+                    )
+                    if result is None:
+                        result = self._thread_pruned(
+                            bound, engine, request.options
+                        )
                     if result is None and tracing:
                         # Thread mode runs the whole table as one morsel
                         # on this worker thread; record it in the same
@@ -596,12 +686,15 @@ class QueryService:
                             )
                     elif result is None:
                         result = bound.execute(engine, self.db, **request.options)
+                    if rollup_decision is not None and "rollup" not in result.details:
+                        result.details["rollup"] = rollup_decision
                 if tracing:
                     trace.annotate(
                         cached=bool(result.details.get("cached")),
                         **self.profiler().span_attrs(engine, result),
                     )
             self._record_pruning(result)
+            self._record_rollup(result)
         except SqlError as exc:
             self._finish(
                 request,
@@ -671,6 +764,22 @@ class QueryService:
             totals = dict(self._pruning_totals)
         return {"enabled": pruning_enabled(), **totals}
 
+    def _rollup_stats(self) -> dict:
+        """Rollup routing state and service-lifetime totals.  Never
+        triggers generation -- an unserved database reports only the
+        toggle and counters."""
+        from repro.rollup import rollups_enabled
+
+        with self._db_lock:
+            db = self._db
+        stats: dict = {
+            "enabled": rollups_enabled(),
+            "tables": sorted(getattr(db, "rollup_names", ())) if db else [],
+        }
+        with self._rollup_lock:
+            stats.update(self._rollup_totals)
+        return stats
+
     def stats_snapshot(self) -> dict:
         snapshot = self.stats.snapshot()
         with self._plans_lock:
@@ -688,6 +797,7 @@ class QueryService:
         snapshot["executor"] = self.config.executor
         snapshot["storage"] = self._storage_stats()
         snapshot["pruning"] = self._pruning_stats()
+        snapshot["rollups"] = self._rollup_stats()
         with self._pool_lock:
             if self._pool is not None:
                 snapshot["process_pool"] = {
@@ -712,6 +822,9 @@ class QueryService:
         self._m_exec_entries.set(len(EXECUTION_CACHE))
         self._m_queue_depth.set(self.queue_depth())
         self._m_workers.set(len(self._workers))
+        with self._db_lock:
+            db = self._db
+        self._m_rollup_tables.set(len(getattr(db, "rollup_names", ())) if db else 0)
 
     def metrics_snapshot(self) -> dict:
         """This service's metrics merged with every pool worker

@@ -58,6 +58,12 @@ class BoundQuery:
     #: from equality like ``plan``: two bindings of the same workload
     #: are the same query.
     atoms: tuple = field(default=(), compare=False)
+    #: Rollup routing profile
+    #: (:class:`repro.rollup.router.QueryProfile`) when the bound call's
+    #: value can in principle be assembled from pre-aggregated partials;
+    #: None for shapes no rollup can answer.  Derived metadata, so
+    #: excluded from equality like ``plan`` and ``atoms``.
+    rollup_profile: object | None = field(default=None, compare=False)
 
     def call_kwargs(self) -> dict:
         return dict(self.kwargs)
@@ -250,6 +256,28 @@ def _match_groupby(core: ir.PlanNode) -> BoundQuery | None:
 _MATCHERS = (_match_projection, _match_selection, _match_join, _match_groupby)
 
 
+#: ``run_tpch`` query id -> per-query runner, mirroring
+#: :meth:`Engine.run_tpch` dispatch for routing-profile purposes.
+_TPCH_RUNNERS = {"Q1": "run_q1", "Q6": "run_q6", "Q9": "run_q9", "Q18": "run_q18"}
+
+
+def _rollup_profile(method: str, args: tuple, kwargs: tuple):
+    """Routing profile of a bound call (None when unroutable).
+
+    ``run_tpch`` resolves to its per-query runner and positional
+    projection degrees become the keyword :func:`profile_for` expects,
+    so the profile describes the call the engine will actually execute.
+    """
+    from repro.rollup.router import profile_for
+
+    call_kwargs = dict(kwargs)
+    if method == "run_tpch":
+        method = _TPCH_RUNNERS.get(args[0], method) if args else method
+    elif method == "run_projection" and args:
+        call_kwargs.setdefault("degree", args[0])
+    return profile_for(method, call_kwargs)
+
+
 def lower(plan: ir.PlanNode, sql: str | None = None) -> BoundQuery:
     """Bind a logical plan onto an engine entry point, or raise."""
     from repro.core.pruning import plan_atoms
@@ -264,6 +292,9 @@ def lower(plan: ir.PlanNode, sql: str | None = None) -> BoundQuery:
             kwargs=template.kwargs,
             plan=plan,
             atoms=plan_atoms(core),
+            rollup_profile=_rollup_profile(
+                template.method, template.args, template.kwargs
+            ),
         )
     for matcher in _MATCHERS:
         bound = matcher(core)
@@ -275,6 +306,9 @@ def lower(plan: ir.PlanNode, sql: str | None = None) -> BoundQuery:
                 kwargs=bound.kwargs,
                 plan=plan,
                 atoms=plan_atoms(core),
+                rollup_profile=_rollup_profile(
+                    bound.method, bound.args, bound.kwargs
+                ),
             )
     raise _no_binding(plan, sql)
 

@@ -33,6 +33,7 @@ class Database:
         self.uid = f"anondb-{next(_uid_counter)}"
         self._tables: dict[str, ColumnTable] = {}
         self._row_tables: dict[str, RowTable] = {}
+        self._rollups: dict = {}
 
     @property
     def identity(self) -> str:
@@ -56,6 +57,35 @@ class Database:
                 f"database {self.name!r} has no table {name!r}; "
                 f"available: {sorted(self._tables)}"
             ) from None
+
+    def add_rollup(self, rollup) -> None:
+        """Register a materialized rollup
+        (:class:`repro.rollup.table.RollupTable`).
+
+        Deliberately does *not* invalidate the database identity: a
+        rollup is derived data over unchanged base tables, so memoized
+        base-table executions stay valid (routing happens upstream of
+        the execution cache and is keyed separately via
+        ``REPRO_ROLLUPS``)."""
+        if rollup.base_table not in self._tables:
+            raise KeyError(
+                f"rollup {rollup.name!r} references unknown base table "
+                f"{rollup.base_table!r}"
+            )
+        self._rollups[rollup.name] = rollup
+
+    def rollup(self, name: str):
+        try:
+            return self._rollups[name]
+        except KeyError:
+            raise KeyError(
+                f"database {self.name!r} has no rollup {name!r}; "
+                f"available: {sorted(self._rollups)}"
+            ) from None
+
+    @property
+    def rollup_names(self) -> tuple[str, ...]:
+        return tuple(self._rollups)
 
     def row_table(self, name: str) -> RowTable:
         """Row-layout twin of a table (materialised on first use)."""

@@ -58,6 +58,7 @@ class ColumnTable:
         self.name = name
         self._columns: dict[str, Column | EncodedColumn] = {}
         self._zone_maps: dict = {}
+        self._partitioning = None
         self._n_rows: int | None = None
         for column_name, values in (columns or {}).items():
             self.add_column(column_name, values)
@@ -132,6 +133,24 @@ class ColumnTable:
         """Attach precomputed statistics (dbcache load / shm attach)."""
         self.column(name)  # raises on unknown columns
         self._zone_maps[name] = zone_map
+
+    @property
+    def partitioning(self):
+        """Clustered-partition metadata
+        (:class:`repro.rollup.partition.Partitioning`), or None when the
+        table is unpartitioned."""
+        return self._partitioning
+
+    def set_partitioning(self, partitioning) -> None:
+        """Attach partition metadata.  The table's rows must already be
+        clustered accordingly -- builders guarantee this; the bounds are
+        validated against the row count as a cheap sanity check."""
+        if partitioning is not None and partitioning.n_rows != self.n_rows:
+            raise ValueError(
+                f"partitioning covers {partitioning.n_rows} rows, table "
+                f"{self.name!r} has {self.n_rows}"
+            )
+        self._partitioning = partitioning
 
     @property
     def nbytes(self) -> int:

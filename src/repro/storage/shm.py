@@ -69,6 +69,18 @@ def _aligned(offset: int) -> int:
     return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
 
 
+def _attached_arrays(
+    segment: shared_memory.SharedMemory, descriptors: dict
+) -> dict[str, np.ndarray]:
+    """Read-only zero-copy views for one manifest ``arrays`` section."""
+    arrays = {}
+    for part_name, (dtype, length, offset) in descriptors.items():
+        view = np.ndarray((length,), dtype=dtype, buffer=segment.buf, offset=offset)
+        view.flags.writeable = False
+        arrays[part_name] = view
+    return arrays
+
+
 class SharedDatabase:
     """Owner handle for a database exported into one shm segment."""
 
@@ -195,6 +207,40 @@ def export_database(db: Database, name: str | None = None) -> SharedDatabase:
             columns[column_name] = {"meta": meta, "arrays": parts}
         zone_layout[table_name] = columns
 
+    # Partition metadata and rollup tables are derived data measured in
+    # KiB-to-MiB next to the base columns; packing them into the same
+    # segment keeps the worker attach a single zero-copy mapping.
+    partition_layout: dict[str, dict] = {}
+    partition_payloads: dict[str, dict[str, np.ndarray]] = {}
+    for table_name in db.table_names:
+        partitioning = db.table(table_name).partitioning
+        if partitioning is None:
+            continue
+        meta, arrays = partitioning.payload()
+        parts = {}
+        for part_name in sorted(arrays):
+            part = np.ascontiguousarray(arrays[part_name])
+            arrays[part_name] = part
+            offset = _aligned(offset)
+            parts[part_name] = (part.dtype.str, len(part), offset)
+            offset += part.nbytes
+        partition_payloads[table_name] = arrays
+        partition_layout[table_name] = {"meta": meta, "arrays": parts}
+
+    rollup_layout: dict[str, dict] = {}
+    rollup_payloads: dict[str, dict[str, np.ndarray]] = {}
+    for rollup_name in getattr(db, "rollup_names", ()):
+        meta, arrays = db.rollup(rollup_name).payload()
+        parts = {}
+        for part_name in sorted(arrays):
+            part = np.ascontiguousarray(arrays[part_name])
+            arrays[part_name] = part
+            offset = _aligned(offset)
+            parts[part_name] = (part.dtype.str, len(part), offset)
+            offset += part.nbytes
+        rollup_payloads[rollup_name] = arrays
+        rollup_layout[rollup_name] = {"meta": meta, "arrays": parts}
+
     segment = shared_memory.SharedMemory(create=True, size=max(offset, 1), name=name)
     try:
         for table_name, columns in layout.items():
@@ -227,6 +273,20 @@ def export_database(db: Database, name: str | None = None) -> SharedDatabase:
                     offset=part_offset,
                 )
                 view[:] = arrays[part_name]
+        for layout_section, payload_section in (
+            (partition_layout, partition_payloads),
+            (rollup_layout, rollup_payloads),
+        ):
+            for entry_name, descriptor in layout_section.items():
+                arrays = payload_section[entry_name]
+                for part_name, (dtype, length, part_offset) in descriptor[
+                    "arrays"
+                ].items():
+                    view = np.ndarray(
+                        (length,), dtype=dtype, buffer=segment.buf,
+                        offset=part_offset,
+                    )
+                    view[:] = arrays[part_name]
     except BaseException:
         segment.close()
         segment.unlink()
@@ -239,6 +299,8 @@ def export_database(db: Database, name: str | None = None) -> SharedDatabase:
         "identity": db.identity,
         "tables": layout,
         "zone_maps": zone_layout,
+        "partitioning": partition_layout,
+        "rollups": rollup_layout,
     }
     return SharedDatabase(segment, manifest)
 
@@ -305,7 +367,26 @@ def attach_database(manifest: dict) -> AttachedDatabase:
                     column_name,
                     ColumnZoneMap.from_payload(descriptor["meta"], arrays),
                 )
+            ptn_descriptor = manifest.get("partitioning", {}).get(table_name)
+            if ptn_descriptor is not None:
+                from repro.rollup.partition import Partitioning
+
+                table.set_partitioning(
+                    Partitioning.from_payload(
+                        ptn_descriptor["meta"],
+                        _attached_arrays(segment, ptn_descriptor["arrays"]),
+                    )
+                )
             db.add_table(table)
+        for descriptor in manifest.get("rollups", {}).values():
+            from repro.rollup.table import RollupTable
+
+            db.add_rollup(
+                RollupTable.from_payload(
+                    descriptor["meta"],
+                    _attached_arrays(segment, descriptor["arrays"]),
+                )
+            )
         # add_table resets identity; restore the content key last so
         # attached workers alias the exporter's caches.
         db.cache_key = manifest["identity"]

@@ -44,6 +44,14 @@ in-memory column carries the matching encoding (e.g. not under
 ``REPRO_ENCODING=off``); otherwise the lazy build recomputes
 value-domain statistics.
 
+Format 4 additionally persists partitioning metadata
+(:mod:`repro.rollup.partition`) as ``<table>.ptn.<part>.npy`` files and
+materialized rollup tables (:mod:`repro.rollup.table`) as
+``rollup.<name>.<part>.npy`` files, so a partitioned database with
+attached rollups round-trips through :func:`store`/:func:`load` with
+its routing surface intact.  Formats 1-3 stay readable (they simply
+carry no partitioning or rollups).
+
 Databases smaller than :data:`MIN_PERSIST_BYTES` are not persisted
 (they regenerate faster than they deserialise, and the test-suite's
 tiny fixtures would otherwise litter the cache); they still hit the
@@ -70,11 +78,13 @@ MIN_PERSIST_BYTES = 8 * 1024 * 1024
 #: In-process memo capacity (distinct database identities per process).
 MEMO_ENTRIES = 8
 
-_FORMAT_VERSION = 3
-_READABLE_FORMATS = (1, 2, 3)
+_FORMAT_VERSION = 4
+_READABLE_FORMATS = (1, 2, 3, 4)
 
 #: key -> {"meta": dict, "tables": {name: {column: ndarray}},
-#:         "zone_maps": {name: {column: ColumnZoneMap}}}
+#:         "zone_maps": {name: {column: ColumnZoneMap}},
+#:         "partitionings": {name: Partitioning},
+#:         "rollups": {name: RollupTable}}
 _memo: OrderedDict[str, dict] = OrderedDict()
 
 
@@ -148,13 +158,19 @@ def _attach_zone_maps(db: Database, zone_maps: dict) -> None:
 
 
 def _build_database(
-    key: str, meta: dict, tables: dict, zone_maps: dict | None = None
+    key: str,
+    meta: dict,
+    tables: dict,
+    zone_maps: dict | None = None,
+    partitionings: dict | None = None,
+    rollups: dict | None = None,
 ) -> Database:
     """Fresh Database/ColumnTable wrappers over (shared) column arrays.
 
     Wrappers are rebuilt per call so callers that mutate their Database
     (``add_table`` of derived tables, lazily materialised row twins)
-    never affect other holders of the same cached arrays.
+    never affect other holders of the same cached arrays.  Partitioning
+    metadata and rollup tables are immutable and shared as-is.
     """
     db = Database(
         name=meta["name"], scale_factor=meta["scale_factor"]
@@ -163,23 +179,43 @@ def _build_database(
         db.add_table(ColumnTable(table_name, dict(tables[table_name])))
     if zone_maps:
         _attach_zone_maps(db, zone_maps)
+    for table_name, partitioning in (partitionings or {}).items():
+        if table_name in db:
+            db.table(table_name).set_partitioning(partitioning)
+    for rollup in (rollups or {}).values():
+        db.add_rollup(rollup)
     db.cache_key = key
     return db
 
 
-def _memo_put(key: str, meta: dict, tables: dict, zone_maps: dict) -> None:
-    _memo[key] = {"meta": meta, "tables": tables, "zone_maps": zone_maps}
+def _memo_put(
+    key: str,
+    meta: dict,
+    tables: dict,
+    zone_maps: dict,
+    partitionings: dict | None = None,
+    rollups: dict | None = None,
+) -> None:
+    _memo[key] = {
+        "meta": meta,
+        "tables": tables,
+        "zone_maps": zone_maps,
+        "partitionings": partitionings or {},
+        "rollups": rollups or {},
+    }
     _memo.move_to_end(key)
     while len(_memo) > MEMO_ENTRIES:
         _memo.popitem(last=False)
 
 
-def _extract(db: Database) -> tuple[dict, dict, dict]:
+def _extract(db: Database) -> tuple[dict, dict, dict, dict, dict]:
     """Pull the stored column objects (raw arrays or EncodedColumns),
     policy-encoding any raw ones, building their zone maps, and
-    describe everything in the meta."""
+    describe everything -- including partitioning metadata and rollup
+    tables -- in the meta."""
     tables = {}
     zone_maps: dict[str, dict[str, ColumnZoneMap]] = {}
+    partitionings: dict[str, object] = {}
     for name in db.table_names:
         table = db.table(name)
         columns = {}
@@ -191,6 +227,10 @@ def _extract(db: Database) -> tuple[dict, dict, dict]:
             column: build_zone_map(value)
             for column, value in tables[name].items()
         }
+        partitioning = getattr(table, "partitioning", None)
+        if partitioning is not None:
+            partitionings[name] = partitioning
+    rollups = {name: db.rollup(name) for name in getattr(db, "rollup_names", ())}
     meta = {
         "format": _FORMAT_VERSION,
         # True when the encoding policy already ran over this entry, so
@@ -216,8 +256,22 @@ def _extract(db: Database) -> tuple[dict, dict, dict]:
             }
             for name, columns in zone_maps.items()
         },
+        "partitioning": {
+            name: {
+                **partitioning.payload()[0],
+                "parts": sorted(partitioning.payload()[1]),
+            }
+            for name, partitioning in partitionings.items()
+        },
+        "rollups": {
+            name: {
+                **rollup.payload()[0],
+                "parts": sorted(rollup.payload()[1]),
+            }
+            for name, rollup in rollups.items()
+        },
     }
-    return meta, tables, zone_maps
+    return meta, tables, zone_maps, partitionings, rollups
 
 
 def _describe(column: EncodedColumn) -> dict:
@@ -231,7 +285,12 @@ def load(key: str) -> Database | None:
     if entry is not None:
         _memo.move_to_end(key)
         return _build_database(
-            key, entry["meta"], entry["tables"], entry.get("zone_maps")
+            key,
+            entry["meta"],
+            entry["tables"],
+            entry.get("zone_maps"),
+            entry.get("partitionings"),
+            entry.get("rollups"),
         )
     if not disk_cache_enabled():
         return None
@@ -276,10 +335,12 @@ def load(key: str) -> Database | None:
             else:
                 tables[table_name] = encode_columns(loaded)
         zone_maps = _load_zone_maps(directory, meta)
+        partitionings = _load_partitionings(directory, meta)
+        rollups = _load_rollups(directory, meta)
     except (OSError, ValueError, KeyError):
         return None
-    _memo_put(key, meta, tables, zone_maps)
-    return _build_database(key, meta, tables, zone_maps)
+    _memo_put(key, meta, tables, zone_maps, partitionings, rollups)
+    return _build_database(key, meta, tables, zone_maps, partitionings, rollups)
 
 
 def _load_zone_maps(directory: Path, meta: dict) -> dict:
@@ -301,6 +362,38 @@ def _load_zone_maps(directory: Path, meta: dict) -> dict:
     return out
 
 
+def _load_partitionings(directory: Path, meta: dict) -> dict:
+    """Partitioning metadata of a format-4 entry ({} for older formats)."""
+    from repro.rollup.partition import Partitioning
+
+    out: dict[str, Partitioning] = {}
+    for table_name, descriptor in meta.get("partitioning", {}).items():
+        arrays = {
+            part: np.load(
+                directory / f"{table_name}.ptn.{part}.npy", mmap_mode="r"
+            )
+            for part in descriptor["parts"]
+        }
+        out[table_name] = Partitioning.from_payload(descriptor, arrays)
+    return out
+
+
+def _load_rollups(directory: Path, meta: dict) -> dict:
+    """Rollup tables of a format-4 entry ({} for older formats)."""
+    from repro.rollup.table import RollupTable
+
+    out: dict[str, RollupTable] = {}
+    for name, descriptor in meta.get("rollups", {}).items():
+        arrays = {
+            part: np.load(
+                directory / f"rollup.{name}.{part}.npy", mmap_mode="r"
+            )
+            for part in descriptor["parts"]
+        }
+        out[name] = RollupTable.from_payload(descriptor, arrays)
+    return out
+
+
 def store(key: str, db: Database) -> Database:
     """Record a freshly generated database; returns a cache-backed view.
 
@@ -309,17 +402,24 @@ def store(key: str, db: Database) -> Database:
     from the memoised arrays so every caller sees the same wrapper
     semantics whether it hit or missed.
     """
-    meta, tables, zone_maps = _extract(db)
-    _memo_put(key, meta, tables, zone_maps)
+    meta, tables, zone_maps, partitionings, rollups = _extract(db)
+    _memo_put(key, meta, tables, zone_maps, partitionings, rollups)
     if disk_cache_enabled() and db.nbytes >= MIN_PERSIST_BYTES:
         try:
-            _persist(key, meta, tables, zone_maps)
+            _persist(key, meta, tables, zone_maps, partitionings, rollups)
         except OSError:
             pass  # a full/read-only disk must never fail generation
-    return _build_database(key, meta, tables, zone_maps)
+    return _build_database(key, meta, tables, zone_maps, partitionings, rollups)
 
 
-def _persist(key: str, meta: dict, tables: dict, zone_maps: dict) -> None:
+def _persist(
+    key: str,
+    meta: dict,
+    tables: dict,
+    zone_maps: dict,
+    partitionings: dict | None = None,
+    rollups: dict | None = None,
+) -> None:
     directory = _entry_dir(key)
     existing = directory / "meta.json"
     if existing.exists():
@@ -354,6 +454,14 @@ def _persist(key: str, meta: dict, tables: dict, zone_maps: dict) -> None:
                         staging / f"{table_name}.{column}.zm.{part}.npy",
                         payload,
                     )
+        for table_name, partitioning in (partitionings or {}).items():
+            _, arrays = partitioning.payload()
+            for part, payload in arrays.items():
+                np.save(staging / f"{table_name}.ptn.{part}.npy", payload)
+        for name, rollup in (rollups or {}).items():
+            _, arrays = rollup.payload()
+            for part, payload in arrays.items():
+                np.save(staging / f"rollup.{name}.{part}.npy", payload)
         (staging / "meta.json").write_text(json.dumps(meta))
         try:
             staging.rename(directory)

@@ -25,6 +25,8 @@ EXPECTED_IDS = {
     "sec10-measured-scaling",
     # Zone-map pruning on clustered data (repro.core.pruning).
     "sec-pruning",
+    # Rollup routing on partitioned data (repro.rollup).
+    "sec-rollup",
 }
 
 

@@ -126,9 +126,10 @@ class TestMemoization:
 
 
 class TestModeKeys:
-    """The cache key discriminates the storage-encoding and pruning
-    modes: a result computed under one mode must never serve another
-    (the modes change details like compressed byte accounting)."""
+    """The cache key discriminates the storage-encoding, pruning and
+    rollup-routing modes: a result computed under one mode must never
+    serve another (the modes change details like compressed byte
+    accounting and routing decisions)."""
 
     def test_encoding_flip_misses(self, db, monkeypatch):
         engine = TyperEngine()
@@ -146,9 +147,18 @@ class TestModeKeys:
         assert EXECUTION_CACHE.hits == 0
         assert len(EXECUTION_CACHE) == 2
 
+    def test_rollup_flip_misses(self, db, monkeypatch):
+        engine = TyperEngine()
+        engine.run_groupby(db)
+        monkeypatch.setenv("REPRO_ROLLUPS", "0")
+        engine.run_groupby(db)
+        assert EXECUTION_CACHE.hits == 0
+        assert len(EXECUTION_CACHE) == 2
+
     def test_same_modes_still_hit(self, db, monkeypatch):
         monkeypatch.setenv("REPRO_ENCODING", "0")
         monkeypatch.setenv("REPRO_PRUNING", "0")
+        monkeypatch.setenv("REPRO_ROLLUPS", "0")
         engine = TyperEngine()
         engine.run_projection(db, 2)
         result = engine.run_projection(db, 2)

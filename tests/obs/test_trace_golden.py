@@ -385,6 +385,128 @@ class TestPrunedGolden:
             find(response["trace"], "prune")
 
 
+#: Routing-decision attrs pinned on the ``route`` span.
+ROUTE_ATTRS = GOLDEN_ATTRS | frozenset({"rollup_used", "reason"})
+
+
+class TestRoutedGolden:
+    """Group-by over a partitioned database with a rollup attached, in
+    thread mode: the entire tree collapses to a single ``route`` span
+    under ``execute`` -- no prune, no morsel, no execcache -- and is
+    pinned bit-for-bit."""
+
+    @pytest.fixture(scope="class")
+    def routed_db(self, tiny_db):
+        from repro.rollup import (
+            PartitionSpec, build_and_attach, partitioned_database,
+        )
+        from repro.tpch.schema import DATE_1998_09_02
+
+        db = partitioned_database(
+            tiny_db,
+            PartitionSpec("l_shipdate", (2300.0, DATE_1998_09_02 + 0.5)),
+        )
+        build_and_attach(db)
+        return db
+
+    def golden_routed_tree(self, engine: str) -> dict:
+        return {
+            "name": "query", "span_id": 1, "parent_id": None,
+            "start_ms": 0.0, "duration_ms": 17.0,
+            "attrs": {"engine": engine},
+            "children": [
+                {"name": "admission", "span_id": 2, "parent_id": 1,
+                 "start_ms": 1.0, "duration_ms": 1.0,
+                 "attrs": {"queued_depth": 0}, "children": []},
+                {"name": "plan_cache", "span_id": 3, "parent_id": 1,
+                 "start_ms": 3.0, "duration_ms": 7.0,
+                 "attrs": {"outcome": "miss"},
+                 "children": [
+                     {"name": "parse", "span_id": 4, "parent_id": 3,
+                      "start_ms": 4.0, "duration_ms": 1.0,
+                      "attrs": {}, "children": []},
+                     {"name": "plan", "span_id": 5, "parent_id": 3,
+                      "start_ms": 6.0, "duration_ms": 1.0,
+                      "attrs": {}, "children": []},
+                     {"name": "lower", "span_id": 6, "parent_id": 3,
+                      "start_ms": 8.0, "duration_ms": 1.0,
+                      "attrs": {}, "children": []},
+                 ]},
+                {"name": "execute", "span_id": 7, "parent_id": 1,
+                 "start_ms": 11.0, "duration_ms": 3.0,
+                 "attrs": {"engine": engine, "executor": "thread"},
+                 "children": [
+                     {"name": "route", "span_id": 8, "parent_id": 7,
+                      "start_ms": 12.0, "duration_ms": 1.0,
+                      "attrs": {"executor": "thread",
+                                "rollup_used": True,
+                                "reason": "routed"},
+                      "children": []},
+                 ]},
+                {"name": "serialize", "span_id": 9, "parent_id": 1,
+                 "start_ms": 15.0, "duration_ms": 1.0,
+                 "attrs": {}, "children": []},
+            ],
+        }
+
+    def _service(self, db):
+        EXECUTION_CACHE.clear()
+        return QueryService(
+            ServiceConfig(workers=1, queue_depth=4),
+            db=db,
+            clock=FakeClock(step=0.001),
+        )
+
+    def test_trace_matches_golden(self, routed_db):
+        from repro.tpch.sql import GROUPBY_SQL
+
+        with self._service(routed_db) as service:
+            response = service.submit(GROUPBY_SQL, trace_query=True)
+        assert response["status"] == "ok", response
+        expected = self.golden_routed_tree("Typer")
+        assert project(response["trace"], keep=ROUTE_ATTRS) == expected
+
+    def test_fallback_route_span_carries_reason(self, routed_db):
+        """An engine whose Q1 finisher cannot merge partials still gets
+        a route span -- rollup_used False with the reason -- and then
+        takes the normal prune/morsel path."""
+        from repro.tpch.sql import TPCH_SQL
+
+        with self._service(routed_db) as service:
+            response = service.submit(TPCH_SQL["Q1"], engine="DBMS R",
+                                      trace_query=True)
+        assert response["status"] == "ok", response
+        route = find(response["trace"], "route")
+        assert project(route, keep=ROUTE_ATTRS) == {
+            "name": "route", "span_id": 8, "parent_id": 7,
+            "start_ms": 12.0, "duration_ms": 1.0,
+            "attrs": {"executor": "thread", "rollup_used": False,
+                      "reason": "engine-finisher-not-decomposable"},
+            "children": [],
+        }
+        find(response["trace"], "morsel")  # base path actually ran
+
+    def test_disabled_rollups_emit_no_route_span(self, routed_db,
+                                                 monkeypatch):
+        from repro.tpch.sql import GROUPBY_SQL
+
+        monkeypatch.setenv("REPRO_ROLLUPS", "0")
+        with self._service(routed_db) as service:
+            response = service.submit(GROUPBY_SQL, trace_query=True)
+        assert response["status"] == "ok", response
+        with pytest.raises(AssertionError, match="no span named"):
+            find(response["trace"], "route")
+
+    def test_no_rollups_attached_emits_no_route_span(self, tiny_db):
+        from repro.tpch.sql import GROUPBY_SQL
+
+        with self._service(tiny_db) as service:
+            response = service.submit(GROUPBY_SQL, trace_query=True)
+        assert response["status"] == "ok", response
+        with pytest.raises(AssertionError, match="no span named"):
+            find(response["trace"], "route")
+
+
 @pytest.fixture(scope="module")
 def process_service(tiny_db):
     EXECUTION_CACHE.clear()

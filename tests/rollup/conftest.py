@@ -1,0 +1,23 @@
+"""Shared fixtures for the rollup subsystem tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rollup import PartitionSpec, build_and_attach, partitioned_database
+from repro.tpch.schema import DATE_1998_09_02
+
+#: Breaks aligned with the Q1 cutoff: ``searchsorted(side="right")``
+#: puts a value equal to a break into the upper partition, so the upper
+#: break sits just past the cutoff and every partition decides the Q1
+#: predicate wholly.
+ALIGNED_BREAKS = (2100.0, 2300.0, DATE_1998_09_02 + 0.5)
+
+
+@pytest.fixture(scope="module")
+def rollup_db(tiny_db):
+    """Shipdate-partitioned twin of ``tiny_db`` with the default
+    lineitem rollup attached."""
+    db = partitioned_database(tiny_db, PartitionSpec("l_shipdate", ALIGNED_BREAKS))
+    build_and_attach(db)
+    return db

@@ -1,0 +1,226 @@
+"""Tests for declarative partitioning (:mod:`repro.rollup.partition`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rollup.partition import (
+    PartitionSpec,
+    Partitioning,
+    build_partitioning,
+    partitioned_database,
+)
+from repro.storage.zonemap import ALL_FALSE, ALL_TRUE, MIXED
+
+
+class TestPartitionSpec:
+    def test_breaks_must_be_strictly_increasing(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            PartitionSpec("x", (1.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            PartitionSpec("x", (2.0, 1.0))
+
+    def test_needs_at_least_one_break(self):
+        with pytest.raises(ValueError, match="at least one break"):
+            PartitionSpec("x", ())
+
+    def test_partition_ids_bracket_breaks(self):
+        spec = PartitionSpec("x", (10.0, 20.0))
+        ids = spec.partition_ids(np.array([5.0, 10.0, 15.0, 20.0, 25.0]))
+        # A value equal to a break lands in the upper partition
+        # (searchsorted side="right").
+        np.testing.assert_array_equal(ids, [0, 1, 1, 2, 2])
+        assert spec.n_partitions == 3
+
+
+class TestBuildPartitioning:
+    def test_bounds_and_extrema(self):
+        spec = PartitionSpec("x", (10.0, 20.0))
+        values = np.array([1.0, 9.0, 12.0, 19.0, 21.0, 30.0])
+        p = build_partitioning(values, spec)
+        np.testing.assert_array_equal(p.bounds, [0, 2, 4, 6])
+        np.testing.assert_array_equal(p.row_counts, [2, 2, 2])
+        assert p.n_rows == 6
+        np.testing.assert_array_equal(p.mins, [1.0, 12.0, 21.0])
+        np.testing.assert_array_equal(p.maxs, [9.0, 19.0, 30.0])
+        assert p.partition_range(1) == (2, 4)
+
+    def test_unclustered_values_raise(self):
+        spec = PartitionSpec("x", (10.0,))
+        with pytest.raises(ValueError, match="not clustered"):
+            build_partitioning(np.array([15.0, 5.0]), spec)
+
+    def test_empty_partitions_get_nan_extrema(self):
+        spec = PartitionSpec("x", (10.0, 20.0))
+        p = build_partitioning(np.array([25.0, 30.0]), spec)
+        np.testing.assert_array_equal(p.row_counts, [0, 0, 2])
+        assert np.isnan(p.mins[0]) and np.isnan(p.maxs[1])
+        assert p.mins[2] == 25.0
+
+    def test_within_partition_order_is_free(self):
+        # Clustering constrains partition ids, not values: descending
+        # values inside one partition are fine.
+        spec = PartitionSpec("x", (10.0,))
+        p = build_partitioning(np.array([9.0, 3.0, 7.0, 11.0]), spec)
+        np.testing.assert_array_equal(p.bounds, [0, 3, 4])
+
+
+class TestVerdicts:
+    def _partitioning(self):
+        spec = PartitionSpec("x", (10.0, 20.0))
+        return build_partitioning(
+            np.array([1.0, 9.0, 12.0, 19.0, 21.0, 30.0]), spec
+        )
+
+    def test_le_verdicts(self):
+        p = self._partitioning()
+        np.testing.assert_array_equal(
+            p.verdicts("le", 9.0), [ALL_TRUE, ALL_FALSE, ALL_FALSE]
+        )
+        np.testing.assert_array_equal(
+            p.verdicts("le", 15.0), [ALL_TRUE, MIXED, ALL_FALSE]
+        )
+
+    def test_empty_partition_is_all_false(self):
+        spec = PartitionSpec("x", (10.0,))
+        p = build_partitioning(np.array([15.0, 16.0]), spec)
+        # Partition 0 is empty: vacuously ALL_FALSE for any predicate.
+        assert p.verdicts("le", 100.0)[0] == ALL_FALSE
+
+    @pytest.mark.parametrize(
+        "op,true_thr,false_thr",
+        [("le", 30.0, 0.5), ("lt", 31.0, 1.0), ("ge", 1.0, 31.0), ("gt", 0.5, 30.0)],
+    )
+    def test_all_ops_prove_both_directions(self, op, true_thr, false_thr):
+        p = self._partitioning()
+        assert set(p.verdicts(op, true_thr)) == {ALL_TRUE}
+        assert set(p.verdicts(op, false_thr)) == {ALL_FALSE}
+
+    def test_eq_verdict(self):
+        spec = PartitionSpec("x", (10.0,))
+        p = build_partitioning(np.array([7.0, 7.0, 12.0, 15.0]), spec)
+        assert p.verdicts("eq", 7.0)[0] == ALL_TRUE
+        assert p.verdicts("eq", 7.0)[1] == ALL_FALSE
+        assert p.verdicts("eq", 12.0)[1] == MIXED
+
+
+class TestChunkVerdicts:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        values = np.sort(rng.uniform(0.0, 100.0, size=1000))
+        spec = PartitionSpec("x", (25.0, 50.0, 75.0))
+        p = build_partitioning(values, spec)
+        chunk_rows = 64
+        got = p.chunk_verdicts("le", 50.0, chunk_rows, len(values))
+        verdicts = p.verdicts("le", 50.0)
+        counts = p.row_counts
+        for c, verdict in enumerate(got):
+            lo, hi = c * chunk_rows, min((c + 1) * chunk_rows, len(values))
+            spanned = {
+                int(verdicts[q])
+                for q in range(p.n_partitions)
+                if counts[q] > 0
+                and p.partition_range(q)[0] < hi
+                and p.partition_range(q)[1] > lo
+            }
+            expected = spanned.pop() if len(spanned) == 1 else MIXED
+            assert verdict == expected, f"chunk {c}"
+
+    def test_verdicts_never_contradict_data(self):
+        rng = np.random.default_rng(11)
+        values = np.sort(rng.uniform(0.0, 100.0, size=777))
+        p = build_partitioning(values, PartitionSpec("x", (30.0, 60.0)))
+        chunk_rows = 50
+        got = p.chunk_verdicts("le", 45.0, chunk_rows, len(values))
+        for c, verdict in enumerate(got):
+            chunk = values[c * chunk_rows : (c + 1) * chunk_rows]
+            truth = chunk <= 45.0
+            if verdict == ALL_TRUE:
+                assert truth.all()
+            elif verdict == ALL_FALSE:
+                assert not truth.any()
+
+    def test_row_count_mismatch_raises(self):
+        p = build_partitioning(np.array([1.0, 2.0]), PartitionSpec("x", (5.0,)))
+        with pytest.raises(ValueError, match="covers 2 rows"):
+            p.chunk_verdicts("le", 1.0, 8, 99)
+
+
+class TestPayloadRoundTrip:
+    def test_round_trip(self):
+        p = build_partitioning(
+            np.array([1.0, 9.0, 12.0, 21.0]), PartitionSpec("x", (10.0, 20.0))
+        )
+        meta, arrays = p.payload()
+        again = Partitioning.from_payload(meta, arrays)
+        assert again.column == p.column and again.breaks == p.breaks
+        np.testing.assert_array_equal(again.bounds, p.bounds)
+        np.testing.assert_array_equal(again.mins, p.mins)
+        np.testing.assert_array_equal(again.maxs, p.maxs)
+
+    def test_meta_is_json_clean(self):
+        import json
+
+        p = build_partitioning(np.array([1.0]), PartitionSpec("x", (10.0,)))
+        meta, _ = p.payload()
+        assert json.loads(json.dumps(meta)) == meta
+
+
+class TestPartitionedDatabase:
+    def test_rows_are_clustered_and_metadata_attached(self, tiny_db):
+        spec = PartitionSpec("l_shipdate", (2200.0, 2400.0))
+        twin = partitioned_database(tiny_db, spec)
+        table = twin.table("lineitem")
+        ids = spec.partition_ids(np.asarray(table["l_shipdate"]))
+        assert not np.any(np.diff(ids) < 0)
+        p = table.partitioning
+        assert p is not None and p.n_rows == table.n_rows
+        assert twin.table("orders").partitioning is None
+
+    def test_preserves_multiset_of_rows(self, tiny_db):
+        spec = PartitionSpec("l_shipdate", (2300.0,))
+        twin = partitioned_database(tiny_db, spec)
+        for column in ("l_extendedprice", "l_quantity"):
+            np.testing.assert_array_equal(
+                np.sort(np.asarray(twin.table("lineitem")[column])),
+                np.sort(np.asarray(tiny_db.table("lineitem")[column])),
+            )
+
+    def test_unknown_column_raises(self, tiny_db):
+        with pytest.raises(KeyError, match="no column"):
+            partitioned_database(tiny_db, PartitionSpec("nope", (1.0,)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), max_size=200
+    ),
+    breaks=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=5,
+        unique=True,
+    ),
+)
+def test_verdicts_are_theorems(data, breaks):
+    """Property: a partition verdict never contradicts its rows."""
+    spec = PartitionSpec("x", tuple(sorted(breaks)))
+    values = np.sort(np.asarray(data, dtype=np.float64))
+    p = build_partitioning(values, spec)
+    for op, fn in (
+        ("le", np.less_equal), ("lt", np.less),
+        ("ge", np.greater_equal), ("gt", np.greater),
+    ):
+        threshold = float(breaks[0])
+        verdicts = p.verdicts(op, threshold)
+        for q in range(p.n_partitions):
+            lo, hi = p.partition_range(q)
+            truth = fn(values[lo:hi], threshold)
+            if verdicts[q] == ALL_TRUE:
+                assert truth.all()
+            elif verdicts[q] == ALL_FALSE:
+                assert not truth.any()

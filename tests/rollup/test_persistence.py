@@ -1,0 +1,141 @@
+"""Partitioning + rollups through dbcache format 4 and shm segments."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engines import TyperEngine
+from repro.rollup import (
+    PartitionSpec,
+    build_and_attach,
+    partitioned_database,
+    route,
+)
+from repro.storage.shm import attach_database, export_database
+from repro.tpch import dbcache
+from repro.tpch.schema import DATE_1998_09_02
+
+BREAKS = (2100.0, 2300.0, DATE_1998_09_02 + 0.5)
+
+
+@pytest.fixture
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+    monkeypatch.setattr(dbcache, "MIN_PERSIST_BYTES", 0)
+    dbcache.clear_memo()
+    yield tmp_path
+    dbcache.clear_memo()
+
+
+def _partitioned(tiny_db):
+    db = partitioned_database(tiny_db, PartitionSpec("l_shipdate", BREAKS))
+    build_and_attach(db)
+    return db
+
+
+def assert_equivalent(attached, original):
+    """Partitioning, rollup payloads and routed values all match."""
+    p0 = original.table("lineitem").partitioning
+    p1 = attached.table("lineitem").partitioning
+    assert p1 is not None
+    assert p1.column == p0.column and p1.breaks == p0.breaks
+    np.testing.assert_array_equal(p1.bounds, p0.bounds)
+    np.testing.assert_array_equal(p1.mins, p0.mins)
+    np.testing.assert_array_equal(p1.maxs, p0.maxs)
+
+    assert attached.rollup_names == original.rollup_names
+    r0 = original.rollup(original.rollup_names[0])
+    r1 = attached.rollup(attached.rollup_names[0])
+    assert r1.n_rows == r0.n_rows
+    selected = np.arange(r0.n_rows)
+    for spec in r0.aggregates:
+        if spec.kind == "sum":
+            assert r1.sum_units(spec.name, selected) == r0.sum_units(
+                spec.name, selected
+            )
+        else:
+            np.testing.assert_array_equal(
+                r1.plain_column(spec.name), r0.plain_column(spec.name)
+            )
+
+    engine = TyperEngine()
+    routed, decision = route(attached, engine, "run_q1", {})
+    assert decision["reason"] == "routed"
+    assert routed.value == engine.run_q1(original).value
+
+
+class TestDbcacheFormat4:
+    def test_disk_round_trip(self, isolated_cache, tiny_db):
+        db = _partitioned(tiny_db)
+        key = "rollup-roundtrip"
+        dbcache.store(key, db)
+        dbcache.clear_memo()  # force the disk path
+        loaded = dbcache.load(key)
+        assert loaded is not None and loaded.cache_key == key
+        assert_equivalent(loaded, db)
+
+    def test_memo_round_trip(self, isolated_cache, tiny_db):
+        db = _partitioned(tiny_db)
+        dbcache.store("memo-key", db)
+        loaded = dbcache.load("memo-key")
+        assert loaded is not None
+        assert_equivalent(loaded, db)
+
+    def test_meta_records_sections(self, isolated_cache, tiny_db):
+        db = _partitioned(tiny_db)
+        dbcache.store("meta-key", db)
+        meta = json.loads(
+            (isolated_cache / "dbgen" / "meta-key" / "meta.json").read_text()
+        )
+        assert meta["format"] == 4
+        assert "lineitem" in meta["partitioning"]
+        assert sorted(meta["partitioning"]["lineitem"]["parts"]) == [
+            "bounds", "maxs", "mins",
+        ]
+        (rollup_name,) = db.rollup_names
+        assert rollup_name in meta["rollups"]
+        entry = isolated_cache / "dbgen" / "meta-key"
+        assert list(entry.glob("lineitem.ptn.*.npy"))
+        assert list(entry.glob(f"rollup.{rollup_name}.*.npy"))
+
+    def test_unpartitioned_entries_stay_clean(self, isolated_cache, tiny_db):
+        from repro.tpch.dbgen import generate_database
+
+        db = generate_database(0.002, seed=7)
+        meta = json.loads(
+            (isolated_cache / "dbgen" / db.cache_key / "meta.json").read_text()
+        )
+        assert meta["partitioning"] == {}
+        assert meta["rollups"] == {}
+
+
+class TestShmTransport:
+    def test_attach_round_trip(self, tiny_db):
+        db = _partitioned(tiny_db)
+        db.cache_key = "shm-test-identity"
+        with export_database(db) as shared:
+            with attach_database(shared.manifest) as attached:
+                assert attached.cache_key == "shm-test-identity"
+                assert_equivalent(attached, db)
+
+    def test_attached_payloads_are_read_only_views(self, tiny_db):
+        db = _partitioned(tiny_db)
+        with export_database(db) as shared:
+            handle = attach_database(shared.manifest)
+            attached = handle.database
+            bounds = attached.table("lineitem").partitioning.bounds
+            assert not bounds.flags.writeable
+            rollup = attached.rollup(attached.rollup_names[0])
+            assert not rollup.partition_ids.flags.writeable
+            handle.close()
+
+    def test_manifest_stays_picklable(self, tiny_db):
+        import pickle
+
+        db = _partitioned(tiny_db)
+        with export_database(db) as shared:
+            pickle.loads(pickle.dumps(shared.manifest))

@@ -113,9 +113,10 @@ class TestRoundTrip:
 
 
 class TestZoneMapPersistence:
-    """Format 3 persists per-column zone maps next to the payloads and
-    reattaches them on load; format-1/2 entries stay readable and fall
-    back to the lazy per-column build."""
+    """Format 3+ persists per-column zone maps next to the payloads and
+    reattaches them on load (format 4 adds partitioning and rollups);
+    format-1/2 entries stay readable and fall back to the lazy
+    per-column build."""
 
     def assert_equal_zone_maps(self, actual, expected):
         assert actual.domain == expected.domain
@@ -134,7 +135,7 @@ class TestZoneMapPersistence:
         db = generate_database(0.005, seed=21, tables=("lineitem",))
         entry = isolated_cache / "dbgen" / db.cache_key
         meta = json.loads((entry / "meta.json").read_text())
-        assert meta["format"] == 3
+        assert meta["format"] == 4
         assert "l_shipdate" in meta["zone_maps"]["lineitem"]
         assert list(entry.glob("lineitem.l_shipdate.zm.*.npy"))
 

@@ -1,0 +1,92 @@
+"""Encoded-aggregation smoke: code-domain sums are bit-identical to
+the decoded path and to raw storage on both executors.
+
+Builds a small encoded TPC-H database plus a raw twin, checks that
+Q1's morph decision actually routes slots into the code domain, and
+asserts value/tuples/work equality across three legs per workload:
+``REPRO_ENCODED_AGG`` on (sum codes), off (decode first), and the raw
+twin — on the thread path and the morsel-parallel process pool.  Run
+from CI as a real file (not a heredoc): the process pool uses the
+spawn start method, which re-imports ``__main__`` and therefore needs
+a path-backed script.
+
+Usage::
+
+    PYTHONPATH=src REPRO_EXEC_CACHE=0 python benchmarks/encoded_agg_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+
+def assert_identical(a, b, context) -> None:
+    assert a.value == b.value, context
+    assert a.tuples == b.tuples, context
+    assert a.work == b.work, context
+
+
+def main() -> int:
+    from repro.core.parallel import WorkerPool
+    from repro.engines import TectorwiseEngine, TyperEngine
+    from repro.storage import ColumnTable, Database
+    from repro.tpch import generate_database
+
+    os.environ.pop("REPRO_ENCODED_AGG", None)  # default: toggle on
+
+    encoded = generate_database(scale_factor=0.01, seed=7)
+    raw = Database(name=encoded.name, scale_factor=encoded.scale_factor)
+    for name in encoded.table_names:
+        table = encoded.table(name)
+        raw.add_table(ColumnTable(
+            name, {c: np.asarray(table[c]) for c in table.column_names}
+        ))
+
+    # The morph decision must actually route Q1 slots code-domain.
+    q1 = TyperEngine().run_q1(encoded)
+    decision = q1.details["encoded_agg"]
+    assert decision["code_domain"] >= 2, decision
+    modes = {m["slot"]: m["mode"] for m in decision["measures"]}
+    assert modes["sum_qty"] == "code-domain", modes
+
+    workloads = (
+        ("run_q1", {}),
+        ("run_groupby", {}),
+        ("run_projection", {"degree": 1}),
+    )
+    for engine in (TyperEngine(), TectorwiseEngine()):
+        for method, kwargs in workloads:
+            on = getattr(engine, method)(encoded, **kwargs)
+            os.environ["REPRO_ENCODED_AGG"] = "0"
+            off = getattr(engine, method)(encoded, **kwargs)
+            os.environ.pop("REPRO_ENCODED_AGG", None)
+            base = getattr(engine, method)(raw, **kwargs)
+            context = (engine.name, method, kwargs)
+            assert_identical(on, off, context)
+            assert_identical(off, base, context)
+
+    # Process pool: workers inherit the toggle at spawn, so run one
+    # pool per setting and pin both against the single-shot result.
+    single = TectorwiseEngine().run_q1(encoded)
+    for toggle in (None, "0"):
+        if toggle is None:
+            os.environ.pop("REPRO_ENCODED_AGG", None)
+        else:
+            os.environ["REPRO_ENCODED_AGG"] = toggle
+        with WorkerPool(encoded, n_workers=2) as pool:
+            pooled = pool.run_query(TectorwiseEngine(), "run_q1")
+        assert_identical(pooled, single, ("pool", toggle))
+    os.environ.pop("REPRO_ENCODED_AGG", None)
+
+    print(
+        "code-domain == decoded == raw on thread and process executors "
+        f"({decision['code_domain']} Q1 slots code-domain, "
+        f"{decision['decoded']} decoded)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,11 @@ compare against a recorded trajectory instead of folklore:
   aggregates (Q1, group-by, projection) answered from the
   pre-aggregated rollup vs the base-table scan on a partitioned SF>=1
   database, with bit-identity asserted on every routed value, plus the
-  reasoned-fallback overhead on a non-subsumed query (Q6).
+  reasoned-fallback overhead on a non-subsumed query (Q6),
+- code-domain aggregation (PR 8): end-to-end wall-clock of Q1,
+  group-by and the degree-1 projection on raw arrays vs the encoded
+  database with REPRO_ENCODED_AGG off vs on, bit-identity asserted on
+  every leg, with the per-slot morph decision recorded.
 
 Every record carries a uniform host-context stamp (git SHA, Python and
 numpy versions, machine, cpu count), so recorded numbers are always
@@ -330,7 +334,12 @@ def _compression_metrics(scale_factor: float) -> dict:
 
         engine = TyperEngine()
         timings = {}
+        aggregation_modes = {}
         for query, method in (("q1", engine.run_q1), ("q6", engine.run_q6)):
+            aggregation_modes[query] = method(encoded_db).details.get(
+                "encoded_agg",
+                {"measures": [], "code_domain": 0, "decoded": 0},
+            )
             raw_s = best_of(lambda m=method: m(raw_db))
             encoded_s = best_of(lambda m=method: m(encoded_db))
             timings[query] = {
@@ -345,12 +354,17 @@ def _compression_metrics(scale_factor: float) -> dict:
             "note": (
                 "speedups are single-core numpy wall-clock on this "
                 "machine (see 'cpus'/'machine'); predicate kernels read "
-                "1-2 byte codes instead of 8-byte values, measure "
-                "columns stay decoded.  Q6 is predicate-dominated and "
-                "shows the code-scan win; Q1 is dominated by "
-                "exact-summing the decoded measure columns (identical "
-                "work on both paths), so its ratio is host noise"
+                "1-2 byte codes instead of 8-byte values, and since "
+                "PR 8 eligible aggregates also sum in the code domain "
+                "('aggregation_modes' records the per-slot morph "
+                "decision; the 'encoded_agg' section carries the "
+                "before/after timings).  Q6 is predicate-dominated and "
+                "shows the code-scan win; Q1 now wins too, by folding "
+                "(returnflag, linestatus, quantity) codes into one "
+                "bincount instead of exact-summing the decoded "
+                "quantity column"
             ),
+            "aggregation_modes": aggregation_modes,
             "encode_throughput": {
                 "lineitem_mb": round(raw_bytes / 1e6, 1),
                 "seconds": round(encode_seconds, 3),
@@ -384,6 +398,102 @@ def _compression_metrics(scale_factor: float) -> dict:
             os.environ.pop(env_key, None)
         else:
             os.environ[env_key] = previous
+
+
+def _encoded_agg_metrics(scale_factor: float) -> dict:
+    """Measured code-domain aggregation wins (execution cache disabled).
+
+    Times each aggregation workload on Typer three ways: the raw twin
+    (plain arrays, no codes anywhere), the encoded database with
+    ``REPRO_ENCODED_AGG=0`` (codes feed predicates and group keys but
+    every aggregate decodes first -- the pre-PR-8 configuration whose
+    Q1 ran below 1x), and with the toggle on (eligible aggregates sum
+    codes, not values).  Every leg is asserted bit-identical before
+    timing, and each workload records its morph decision: which
+    aggregate slots ran in the code domain and why the rest stayed
+    decoded."""
+    from repro.engines import TyperEngine
+    from repro.storage import ColumnTable, Database
+    from repro.tpch.dbgen import generate_database
+
+    cache_key = "REPRO_EXEC_CACHE"
+    agg_key = "REPRO_ENCODED_AGG"
+    previous = {k: os.environ.get(k) for k in (cache_key, agg_key)}
+    os.environ[cache_key] = "0"
+    os.environ.pop(agg_key, None)  # default: toggle on
+    try:
+        encoded_db = generate_database(scale_factor=scale_factor, seed=42)
+        raw_db = Database(
+            name=encoded_db.name, scale_factor=encoded_db.scale_factor
+        )
+        for name in encoded_db.table_names:
+            table = encoded_db.table(name)
+            raw_db.add_table(ColumnTable(
+                name,
+                {c: np.asarray(table[c]) for c in table.column_names},
+            ))
+
+        def best_of(runner, repeats: int = 5) -> float:
+            runner()  # warm decode caches and shared structures alike
+            return min(
+                (lambda s: (runner(), time.perf_counter() - s)[1])(
+                    time.perf_counter()
+                )
+                for _ in range(repeats)
+            )
+
+        engine = TyperEngine()
+        record: dict = {
+            "scale_factor": scale_factor,
+            "engine": "Typer",
+            "note": (
+                "single-core numpy wall-clock, execution cache off, "
+                "best of 5 (see 'cpus'/'machine').  'decoded_agg' legs "
+                "run the encoded database with REPRO_ENCODED_AGG=0.  "
+                "On Q1 the code-domain path rebases each occupied "
+                "(returnflag, linestatus, quantity) bincount cell once "
+                "into ExactSum units; l_extendedprice is stored raw "
+                "and disc_price/charge round per row, so those slots "
+                "stay decoded -- 'aggregation_modes' says so per "
+                "slot.  Every leg was asserted bit-identical before "
+                "timing"
+            ),
+            "workloads": {},
+        }
+        for label, method, kwargs in (
+            ("q1", "run_q1", {}),
+            ("groupby", "run_groupby", {}),
+            ("projection_p1", "run_projection", {"degree": 1}),
+        ):
+            run = getattr(engine, method)
+            encoded_on = run(encoded_db, **kwargs)
+            os.environ[agg_key] = "0"
+            encoded_off = run(encoded_db, **kwargs)
+            os.environ.pop(agg_key, None)
+            raw = run(raw_db, **kwargs)
+            assert encoded_on.value == encoded_off.value == raw.value, label
+
+            on_s = best_of(lambda r=run, k=kwargs: r(encoded_db, **k))
+            os.environ[agg_key] = "0"
+            off_s = best_of(lambda r=run, k=kwargs: r(encoded_db, **k))
+            os.environ.pop(agg_key, None)
+            raw_s = best_of(lambda r=run, k=kwargs: r(raw_db, **k))
+
+            record["workloads"][label] = {
+                "raw_seconds": round(raw_s, 4),
+                "decoded_agg_seconds": round(off_s, 4),
+                "code_domain_seconds": round(on_s, 4),
+                "speedup_vs_raw": round(raw_s / on_s, 3),
+                "speedup_vs_decoded_agg": round(off_s / on_s, 3),
+                "aggregation_modes": encoded_on.details.get("encoded_agg"),
+            }
+        return record
+    finally:
+        for key, value in previous.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
 
 
 def _pruning_metrics(scale_factor: float) -> dict:
@@ -674,7 +784,7 @@ def _parallel_worker_counts() -> tuple[int, ...]:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_PR7.json"))
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_PR8.json"))
     parser.add_argument("--skip-suite", action="store_true")
     parser.add_argument("--skip-figures", action="store_true")
     parser.add_argument("--skip-parallel", action="store_true",
@@ -685,6 +795,9 @@ def main(argv=None) -> int:
                         help="scale factor for the service-throughput benchmark")
     parser.add_argument("--compression-sf", type=float, default=0.2,
                         help="scale factor for the compression benchmark")
+    parser.add_argument("--encoded-agg-sf", type=float, default=0.2,
+                        help="scale factor for the code-domain aggregation "
+                        "benchmark (the PR 8 headline)")
     parser.add_argument("--pruning-sf", type=float, default=0.2,
                         help="scale factor for the zone-map pruning benchmark")
     parser.add_argument("--rollup-sf", type=float, default=1.0,
@@ -699,7 +812,10 @@ def main(argv=None) -> int:
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-    record: dict = {"pr": 7, **_host_context()}
+    record: dict = {"pr": 8, **_host_context()}
+
+    print("code-domain aggregation ...", flush=True)
+    record["encoded_agg"] = _encoded_agg_metrics(args.encoded_agg_sf)
 
     print("rollup routing ...", flush=True)
     record["rollup"] = _rollup_metrics(args.rollup_sf)

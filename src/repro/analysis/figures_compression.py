@@ -73,8 +73,20 @@ def sec8_compression(db, profiler) -> FigureResult:
                 )
                 ratio = 1.0
             else:
+                # Measures whose morph decision chose decode-then-sum
+                # stream at logical width; code-domain aggregates and
+                # predicate/key columns stream at code width.
+                decoded_cols = {
+                    measure["column"]
+                    for measure in result.details.get("encoded_agg", {}).get(
+                        "measures", []
+                    )
+                    if measure["mode"] == "decoded" and measure["column"]
+                }
                 raw_bytes = bytes_for_rows(lineitem, columns, 0, n)
-                encoded_bytes = encoded_bytes_for_rows(lineitem, columns, 0, n)
+                encoded_bytes = encoded_bytes_for_rows(
+                    lineitem, columns, 0, n, decoded=decoded_cols
+                )
                 raw_bpt = raw_bytes / n if n else 0.0
                 encoded_bpt = encoded_bytes / n if n else 0.0
                 ratio = encoded_bytes / raw_bytes if raw_bytes else 1.0

@@ -96,6 +96,45 @@ class ExactSum:
             total += _float_to_units(value)
         return cls(total)
 
+    @classmethod
+    def of_counts(cls, values, counts) -> "ExactSum":
+        """Exact sum of ``values`` where ``values[i]`` occurs ``counts[i]``
+        times, without materialising the expansion.
+
+        This is the rebase primitive of code-domain aggregation
+        (:mod:`repro.storage.encoding`): a dictionary/RLE/FoR codec
+        reduces an aggregate to per-code (or per-run) occurrence counts,
+        and ``sum(units(v) * count(v))`` equals ``of_array`` over the
+        decoded expansion *bit for bit* -- each value is converted to
+        float64 first, exactly the rounding ``of_array``'s
+        ``np.asarray(..., dtype=float64)`` applies, and the per-value
+        units are exact integers, so scaling by an integer count is
+        exact too.
+        """
+        values = np.asarray(values, dtype=np.float64).ravel()
+        counts = np.asarray(counts).ravel()
+        if len(values) != len(counts):
+            raise ValueError("values and counts must have equal length")
+        total = 0
+        for value, count in zip(values.tolist(), counts.tolist()):
+            count = int(count)
+            if count:
+                total += _float_to_units(value) * count
+        return cls(total)
+
+    @classmethod
+    def of_integer_total(cls, total: int) -> "ExactSum":
+        """An already-exact integer sum, lifted into units.
+
+        The FoR identity ``sum(values) = reference * count + sum(codes)``
+        produces an arbitrary-precision Python integer; ``total * 2**1074``
+        represents it exactly.  Callers must guarantee every *individual*
+        summed value converts to float64 exactly (|value| <= 2**53), so
+        the decoded path's per-element float64 conversion is the
+        identity and both paths sum the same multiset of units.
+        """
+        return cls(int(total) << _SHIFT)
+
     def add_array(self, values) -> "ExactSum":
         self.units += _array_to_units(np.asarray(values))
         return self

@@ -40,7 +40,7 @@ from functools import wraps
 from repro.core.pruning import pruning_enabled
 from repro.obs import trace
 from repro.rollup.router import rollups_enabled
-from repro.storage.encoding import encoding_enabled
+from repro.storage.encoding import encoded_agg_enabled, encoding_enabled
 
 #: Engine methods that are memoized (the complete execution surface).
 CACHED_METHODS = (
@@ -164,6 +164,7 @@ def memoized_execution(method_name: str, func):
                 # behaviour are not -- a raw-storage run must never be
                 # served an entry produced under different settings.
                 encoding_enabled(),
+                encoded_agg_enabled(),
                 pruning_enabled(),
                 rollups_enabled(),
             )

@@ -44,7 +44,13 @@ from repro.engines.morsel import (
     row_scan_bytes,
     shared_structure,
 )
-from repro.engines.scan import predicate_mask
+from repro.engines.scan import (
+    AGG_STATE_KEY,
+    decision_details,
+    exact_sum_column,
+    predicate_mask,
+    record_encoded_agg,
+)
 from repro.storage import Database
 from repro.tpch import schema as sc
 
@@ -148,15 +154,29 @@ class InterpreterEngine(Engine):
         lineitem = db.table("lineitem")
         lo, hi = resolve_range(row_range, lineitem.n_rows)
         m = hi - lo
-        total = np.zeros(m)
-        for column in columns:
-            total = total + lineitem[column][lo:hi]
+        if degree == 1:
+            # Single column: ``0.0 + v`` carries the same ExactSum units
+            # as ``v`` (both signed zeros convert to zero units), so the
+            # sum may come straight from the storage codec.
+            total_sum, mode, why = exact_sum_column(lineitem, columns[0], lo, hi)
+            decision = (("sum", columns[0], mode, why),)
+        else:
+            # Higher degrees round per row inside ``a + b + ...``; no
+            # per-column code rebase reproduces that, so decode.
+            total = np.zeros(m)
+            for column in columns:
+                total = total + lineitem[column][lo:hi]
+            total_sum = ExactSum.of_array(total)
+            decision = tuple(
+                ("sum", column, "decoded", "per-row-rounding")
+                for column in columns
+            )
 
         work = self._new_work()
         # Plan: Scan -> Project -> Aggregate.
         self._interp_work(work, m, n_operators=3, term_evals=m * 2 * degree)
         work.record_sequential_read(self._scan_bytes(db, "lineitem", columns, lo, hi))
-        state = {"sum": ExactSum.of_array(total)}
+        state = {"sum": total_sum, AGG_STATE_KEY: decision}
         label = f"projection-p{degree}"
         if row_range is not None:
             return self._partial_result(label, state, m, work, (lo, hi))
@@ -167,9 +187,18 @@ class InterpreterEngine(Engine):
     def _finish_projection(
         self, db: Database, merged: MergedPartials, degree: int, simd: bool = False
     ) -> QueryResult:
+        decision = merged.state.pop(AGG_STATE_KEY, None)
         work = self._finalize_profile(merged.work)
+        details = {}
+        if decision:
+            record_encoded_agg(decision)
+            details["encoded_agg"] = decision_details(decision)
         return QueryResult(
-            f"projection-p{degree}", merged.state["sum"].total(), merged.tuples, work
+            f"projection-p{degree}",
+            merged.state["sum"].total(),
+            merged.tuples,
+            work,
+            details,
         )
 
     def run_selection(
@@ -363,15 +392,23 @@ class InterpreterEngine(Engine):
         # Constant-rate stream: every morsel records the same global
         # fraction, so the merged stream keeps it bit-for-bit.
         work.record_branch_stream("group collision", m, table.collision_fraction())
-        state = {"sum": ExactSum.of_array(lineitem["l_extendedprice"][lo:hi])}
+        total, mode, why = exact_sum_column(lineitem, "l_extendedprice", lo, hi)
+        state = {
+            "sum": total,
+            AGG_STATE_KEY: (("sum", "l_extendedprice", mode, why),),
+        }
         if row_range is not None:
             return self._partial_result("groupby-micro", state, m, work, (lo, hi))
         return self._finish_groupby(db, MergedPartials(state, work, m))
 
     def _finish_groupby(self, db: Database, merged: MergedPartials) -> QueryResult:
         table = self._groupby_table(db)
+        decision = merged.state.pop(AGG_STATE_KEY, None)
         work = self._finalize_profile(merged.work)
         details = {"groups": table.n_groups, "chain_stats": table.chain_stats()}
+        if decision:
+            record_encoded_agg(decision)
+            details["encoded_agg"] = decision_details(decision)
         return QueryResult(
             "groupby-micro", merged.state["sum"].total(), merged.tuples, work, details
         )
@@ -394,7 +431,19 @@ class InterpreterEngine(Engine):
         ]
         work.record_sequential_read(self._scan_bytes(db, "lineitem", columns, lo, hi))
         work.record_branch_outcomes("shipdate filter", mask)
-        state = {"qualifying": q}
+        # The interpreters model *cost*; values come from the reference
+        # implementation in the finisher, so no aggregate here can move
+        # into the code domain -- recorded honestly in the decision.
+        decision = tuple(
+            (slot, column, "decoded", "finisher-reference")
+            for slot, column in (
+                ("sum_qty", "l_quantity"),
+                ("sum_base_price", "l_extendedprice"),
+                ("sum_disc_price", None),
+                ("sum_charge", None),
+            )
+        )
+        state = {"qualifying": q, AGG_STATE_KEY: decision}
         if row_range is not None:
             return self._partial_result("Q1", state, m, work, (lo, hi))
         return self._finish_q1(db, MergedPartials(state, work, m))
@@ -402,9 +451,14 @@ class InterpreterEngine(Engine):
     def _finish_q1(self, db: Database, merged: MergedPartials) -> QueryResult:
         from repro.tpch.queries import q1_reference
 
+        decision = merged.state.pop(AGG_STATE_KEY, None)
         groups = q1_reference(db)
         work = self._finalize_profile(merged.work)
-        return QueryResult("Q1", groups, merged.tuples, work, {"groups": len(groups)})
+        details = {"groups": len(groups)}
+        if decision:
+            record_encoded_agg(decision)
+            details["encoded_agg"] = decision_details(decision)
+        return QueryResult("Q1", groups, merged.tuples, work, details)
 
     def run_q6(self, db: Database, predicated: bool = False, row_range=None) -> QueryResult:
         from repro.tpch.queries import q6_predicates

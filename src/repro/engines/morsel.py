@@ -95,16 +95,25 @@ def bytes_for_rows(table, column_names, lo: int, hi: int) -> int:
     return sum(table.column(name).itemsize for name in column_names) * (hi - lo)
 
 
-def encoded_bytes_for_rows(table, column_names, lo: int, hi: int) -> float:
+def encoded_bytes_for_rows(
+    table, column_names, lo: int, hi: int, decoded=()
+) -> float:
     """Bytes a code-domain scan of rows ``[lo, hi)`` actually reads:
     the encoded scan width for encoded columns, the raw width
     otherwise.  This is the opt-in side channel the compression
     analyses (``sec8-compression``, the bench) feed into the bandwidth
-    model; the default execution path never records it."""
+    model; the default execution path never records it.
+
+    ``decoded`` names columns the execution decodes before use despite
+    their encoding -- measures whose morph decision
+    (``details["encoded_agg"]``) chose decode-then-sum stream at their
+    *logical* width, which keeps modeled byte volumes honest now that
+    aggregation itself can stay in the code domain."""
+    decoded = set(decoded)
     total = 0.0
     for name in column_names:
         encoded = table.encoding(name) if hasattr(table, "encoding") else None
-        if encoded is not None:
+        if encoded is not None and name not in decoded:
             total += encoded.scan_itemsize * (hi - lo)
         else:
             total += table.column(name).itemsize * (hi - lo)

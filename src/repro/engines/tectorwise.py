@@ -46,7 +46,15 @@ from repro.engines.morsel import (
     resolve_range,
     shared_structure,
 )
-from repro.engines.scan import combined_key, predicate_mask
+from repro.engines.scan import (
+    AGG_STATE_KEY,
+    combined_key,
+    decision_details,
+    exact_sum_column,
+    predicate_mask,
+    q1_encoded_aggregation,
+    record_encoded_agg,
+)
 from repro.storage import Database
 from repro.tpch import schema as sc
 
@@ -154,9 +162,23 @@ class TectorwiseEngine(Engine):
         lo, hi = resolve_range(row_range, lineitem.n_rows)
         m = hi - lo
 
-        total = np.zeros(m)
-        for column in columns:
-            total = total + lineitem[column][lo:hi]
+        if degree == 1:
+            # Single column: ``0.0 + v`` carries the same ExactSum units
+            # as ``v`` (both signed zeros convert to zero units), so the
+            # sum may come straight from the storage codec.
+            total_sum, mode, why = exact_sum_column(lineitem, columns[0], lo, hi)
+            decision = (("sum", columns[0], mode, why),)
+        else:
+            # Higher degrees round per row inside ``a + b + ...``; no
+            # per-column code rebase reproduces that, so decode.
+            total = np.zeros(m)
+            for column in columns:
+                total = total + lineitem[column][lo:hi]
+            total_sum = ExactSum.of_array(total)
+            decision = tuple(
+                ("sum", column, "decoded", "per-row-rounding")
+                for column in columns
+            )
 
         work = self._new_work()
         work.record_sequential_read(bytes_for_rows(lineitem, columns, lo, hi))
@@ -171,7 +193,7 @@ class TectorwiseEngine(Engine):
             self._materialize(work, m, vectors=add_passes, simd=simd)
         self._reduce(work, m, simd=simd)
         label = f"projection-p{degree}" + ("-simd" if simd else "")
-        state = {"sum": ExactSum.of_array(total)}
+        state = {"sum": total_sum, AGG_STATE_KEY: decision}
         if row_range is not None:
             return self._partial_result(label, state, m, work, (lo, hi))
         return self._finish_projection(
@@ -181,10 +203,15 @@ class TectorwiseEngine(Engine):
     def _finish_projection(
         self, db: Database, merged: MergedPartials, degree: int, simd: bool = False
     ) -> QueryResult:
+        decision = merged.state.pop(AGG_STATE_KEY, None)
         work = self._finalize_profile(merged.work)
         label = f"projection-p{degree}" + ("-simd" if simd else "")
+        details = {"simd": simd}
+        if decision:
+            record_encoded_agg(decision)
+            details["encoded_agg"] = decision_details(decision)
         return QueryResult(
-            label, merged.state["sum"].total(), merged.tuples, work, {"simd": simd}
+            label, merged.state["sum"].total(), merged.tuples, work, details
         )
 
     # ------------------------------------------------------------------
@@ -460,19 +487,27 @@ class TectorwiseEngine(Engine):
             bytes_for_rows(lineitem, ["l_partkey", "l_returnflag", "l_extendedprice"], lo, hi)
         )
         self._record_groupby_updates(work, table, lo, hi)
-        state = {"sum": ExactSum.of_array(lineitem["l_extendedprice"][lo:hi])}
+        total, mode, why = exact_sum_column(lineitem, "l_extendedprice", lo, hi)
+        state = {
+            "sum": total,
+            AGG_STATE_KEY: (("sum", "l_extendedprice", mode, why),),
+        }
         if row_range is not None:
             return self._partial_result("groupby-micro", state, m, work, (lo, hi))
         return self._finish_groupby(db, MergedPartials(state, work, m))
 
     def _finish_groupby(self, db: Database, merged: MergedPartials) -> QueryResult:
         table = self._groupby_table(db)
+        decision = merged.state.pop(AGG_STATE_KEY, None)
         work = self._finalize_profile(merged.work)
         details = {
             "groups": table.n_groups,
             "chain_stats": table.chain_stats(),
             "collision_fraction": table.collision_fraction(),
         }
+        if decision:
+            record_encoded_agg(decision)
+            details["encoded_agg"] = decision_details(decision)
         return QueryResult(
             "groupby-micro", merged.state["sum"].total(), merged.tuples, work, details
         )
@@ -509,15 +544,26 @@ class TectorwiseEngine(Engine):
         selected = np.flatnonzero(mask)
         q = len(selected)
 
-        quantity = lineitem["l_quantity"][lo:hi][selected]
+        encoded_payload, agg_decision = q1_encoded_aggregation(
+            lineitem, lo, hi, selected
+        )
         price = lineitem["l_extendedprice"][lo:hi][selected]
         discount = lineitem["l_discount"][lo:hi][selected]
         tax = lineitem["l_tax"][lo:hi][selected]
         disc_price = price * (1.0 - discount)
         charge = disc_price * (1.0 + tax)
-        group_key = combined_key(
-            lineitem, "l_returnflag", "l_linestatus", 2, lo, hi, take=selected
-        )
+        if encoded_payload is not None:
+            # One combined bincount over (flag x status x quantity-code)
+            # cells delivered both the exact quantity sum and the set of
+            # observed group keys; the decoded quantity/key columns are
+            # never materialised.
+            sum_qty, keys = encoded_payload
+        else:
+            sum_qty = ExactSum.of_array(lineitem["l_quantity"][lo:hi][selected])
+            group_key = combined_key(
+                lineitem, "l_returnflag", "l_linestatus", 2, lo, hi, take=selected
+            )
+            keys = set(np.unique(group_key).tolist())
 
         work = self._new_work()
         columns = (
@@ -539,17 +585,19 @@ class TectorwiseEngine(Engine):
         work.record_work(chain=q * 2.0)
         self._materialize(work, q, vectors=7.0)
         state = {
-            "sum_qty": ExactSum.of_array(quantity),
+            "sum_qty": sum_qty,
             "sum_base_price": ExactSum.of_array(price),
             "sum_disc_price": ExactSum.of_array(disc_price),
             "sum_charge": ExactSum.of_array(charge),
-            "keys": set(np.unique(group_key).tolist()),
+            "keys": keys,
+            AGG_STATE_KEY: agg_decision,
         }
         if row_range is not None:
             return self._partial_result("Q1", state, m, work, (lo, hi))
         return self._finish_q1(db, MergedPartials(state, work, m))
 
     def _finish_q1(self, db: Database, merged: MergedPartials) -> QueryResult:
+        decision = merged.state.pop(AGG_STATE_KEY, None)
         work = self._finalize_profile(merged.work)
         groups = len(merged.state["keys"])
         value = {
@@ -559,7 +607,11 @@ class TectorwiseEngine(Engine):
             "sum_charge": merged.state["sum_charge"].total(),
             "groups": groups,
         }
-        return QueryResult("Q1", value, merged.tuples, work, {"groups": groups})
+        details = {"groups": groups}
+        if decision:
+            record_encoded_agg(decision)
+            details["encoded_agg"] = decision_details(decision)
+        return QueryResult("Q1", value, merged.tuples, work, details)
 
     def run_q6(self, db: Database, predicated: bool = False, row_range=None) -> QueryResult:
         lineitem = db.table("lineitem")

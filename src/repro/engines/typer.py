@@ -44,7 +44,16 @@ from repro.engines.morsel import (
     resolve_range,
     shared_structure,
 )
-from repro.engines.scan import between_mask, combined_key, predicate_mask
+from repro.engines.scan import (
+    AGG_STATE_KEY,
+    between_mask,
+    combined_key,
+    decision_details,
+    exact_sum_column,
+    predicate_mask,
+    q1_encoded_aggregation,
+    record_encoded_agg,
+)
 from repro.storage import Database
 from repro.tpch import schema as sc
 
@@ -76,9 +85,23 @@ class TyperEngine(Engine):
         lo, hi = resolve_range(row_range, lineitem.n_rows)
         m = hi - lo
 
-        total = np.zeros(m)
-        for column in columns:
-            total = total + lineitem[column][lo:hi]
+        if degree == 1:
+            # Single column: ``0.0 + v`` carries the same ExactSum units
+            # as ``v`` (both signed zeros convert to zero units), so the
+            # sum may come straight from the storage codec.
+            total_sum, mode, why = exact_sum_column(lineitem, columns[0], lo, hi)
+            decision = (("sum", columns[0], mode, why),)
+        else:
+            # Higher degrees round per row inside ``a + b + ...``; no
+            # per-column code rebase reproduces that, so decode.
+            total = np.zeros(m)
+            for column in columns:
+                total = total + lineitem[column][lo:hi]
+            total_sum = ExactSum.of_array(total)
+            decision = tuple(
+                ("sum", column, "decoded", "per-row-rounding")
+                for column in columns
+            )
 
         work = self._new_work()
         # Fused loop: degree loads, degree FP adds (including the
@@ -90,7 +113,7 @@ class TyperEngine(Engine):
             chain=m,  # serial accumulator update
         )
         work.record_sequential_read(bytes_for_rows(lineitem, columns, lo, hi))
-        state = {"sum": ExactSum.of_array(total)}
+        state = {"sum": total_sum, AGG_STATE_KEY: decision}
         label = f"projection-p{degree}"
         if row_range is not None:
             return self._partial_result(label, state, m, work, (lo, hi))
@@ -101,9 +124,18 @@ class TyperEngine(Engine):
     def _finish_projection(
         self, db: Database, merged: MergedPartials, degree: int, simd: bool = False
     ) -> QueryResult:
+        decision = merged.state.pop(AGG_STATE_KEY, None)
         work = self._finalize_profile(merged.work)
+        details = {}
+        if decision:
+            record_encoded_agg(decision)
+            details["encoded_agg"] = decision_details(decision)
         return QueryResult(
-            f"projection-p{degree}", merged.state["sum"].total(), merged.tuples, work
+            f"projection-p{degree}",
+            merged.state["sum"].total(),
+            merged.tuples,
+            work,
+            details,
         )
 
     # ------------------------------------------------------------------
@@ -370,19 +402,27 @@ class TyperEngine(Engine):
             lo,
             hi,
         )
-        state = {"sum": ExactSum.of_array(lineitem["l_extendedprice"][lo:hi])}
+        total, mode, why = exact_sum_column(lineitem, "l_extendedprice", lo, hi)
+        state = {
+            "sum": total,
+            AGG_STATE_KEY: (("sum", "l_extendedprice", mode, why),),
+        }
         if row_range is not None:
             return self._partial_result("groupby-micro", state, m, work, (lo, hi))
         return self._finish_groupby(db, MergedPartials(state, work, m))
 
     def _finish_groupby(self, db: Database, merged: MergedPartials) -> QueryResult:
         table = self._groupby_table(db)
+        decision = merged.state.pop(AGG_STATE_KEY, None)
         work = self._finalize_profile(merged.work)
         details = {
             "groups": table.n_groups,
             "chain_stats": table.chain_stats(),
             "collision_fraction": table.collision_fraction(),
         }
+        if decision:
+            record_encoded_agg(decision)
+            details["encoded_agg"] = decision_details(decision)
         return QueryResult(
             "groupby-micro", merged.state["sum"].total(), merged.tuples, work, details
         )
@@ -424,15 +464,24 @@ class TyperEngine(Engine):
         mask = predicate_mask(lineitem, "l_shipdate", "le", sc.DATE_1998_09_02, lo, hi)
         q = int(mask.sum())
 
-        quantity = lineitem["l_quantity"][lo:hi][mask]
+        encoded_payload, agg_decision = q1_encoded_aggregation(lineitem, lo, hi, mask)
         price = lineitem["l_extendedprice"][lo:hi][mask]
         discount = lineitem["l_discount"][lo:hi][mask]
         tax = lineitem["l_tax"][lo:hi][mask]
         disc_price = price * (1.0 - discount)
         charge = disc_price * (1.0 + tax)
-        group_key = combined_key(
-            lineitem, "l_returnflag", "l_linestatus", 2, lo, hi, take=mask
-        )
+        if encoded_payload is not None:
+            # One combined bincount over (flag x status x quantity-code)
+            # cells delivered both the exact quantity sum and the set of
+            # observed group keys; the decoded quantity/key columns are
+            # never materialised.
+            sum_qty, keys = encoded_payload
+        else:
+            sum_qty = ExactSum.of_array(lineitem["l_quantity"][lo:hi][mask])
+            group_key = combined_key(
+                lineitem, "l_returnflag", "l_linestatus", 2, lo, hi, take=mask
+            )
+            keys = set(np.unique(group_key).tolist())
 
         columns = (
             "l_shipdate", "l_returnflag", "l_linestatus", "l_quantity",
@@ -453,17 +502,19 @@ class TyperEngine(Engine):
         work.record_branch_outcomes("shipdate filter", mask)
         # The 4-group aggregation table lives in L1: no random pattern.
         state = {
-            "sum_qty": ExactSum.of_array(quantity),
+            "sum_qty": sum_qty,
             "sum_base_price": ExactSum.of_array(price),
             "sum_disc_price": ExactSum.of_array(disc_price),
             "sum_charge": ExactSum.of_array(charge),
-            "keys": set(np.unique(group_key).tolist()),
+            "keys": keys,
+            AGG_STATE_KEY: agg_decision,
         }
         if row_range is not None:
             return self._partial_result("Q1", state, m, work, (lo, hi))
         return self._finish_q1(db, MergedPartials(state, work, m))
 
     def _finish_q1(self, db: Database, merged: MergedPartials) -> QueryResult:
+        decision = merged.state.pop(AGG_STATE_KEY, None)
         work = self._finalize_profile(merged.work)
         groups = len(merged.state["keys"])
         value = {
@@ -473,7 +524,11 @@ class TyperEngine(Engine):
             "sum_charge": merged.state["sum_charge"].total(),
             "groups": groups,
         }
-        return QueryResult("Q1", value, merged.tuples, work, {"groups": groups})
+        details = {"groups": groups}
+        if decision:
+            record_encoded_agg(decision)
+            details["encoded_agg"] = decision_details(decision)
+        return QueryResult("Q1", value, merged.tuples, work, details)
 
     def run_q6(self, db: Database, predicated: bool = False, row_range=None) -> QueryResult:
         lineitem = db.table("lineitem")

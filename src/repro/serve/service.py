@@ -201,6 +201,13 @@ class QueryService:
             "bytes_read": 0,
             "base_bytes_avoided": 0,
         }
+        self._encoded_agg_lock = threading.Lock()
+        self._encoded_agg_totals = {
+            "queries": 0,
+            "queries_code_domain": 0,
+            "aggregates_code_domain": 0,
+            "aggregates_decoded": 0,
+        }
         self._register_metrics()
         self._workers: list[threading.Thread] = []
         self._stop = threading.Event()
@@ -283,6 +290,15 @@ class QueryService:
         )
         self._m_rollup_tables = m.gauge(
             "repro_rollup_tables", "Rollup tables attached to the served database"
+        )
+        self._m_encoded_agg_queries = m.counter(
+            "repro_encoded_agg_queries_total",
+            "Queries that aggregated at least one measure in the code domain",
+        )
+        self._m_encoded_agg_aggregates = m.counter(
+            "repro_encoded_agg_aggregates_total",
+            "Aggregate slots by morph decision (code-domain vs decoded)",
+            ("mode",),
         )
 
     # -- lifecycle -----------------------------------------------------
@@ -637,6 +653,29 @@ class QueryService:
         self._m_prune_pruned.inc(pruned)
         self._m_prune_rows.inc(rows_pruned)
 
+    def _record_encoded_agg(self, result) -> None:
+        """Fold one result's aggregation morph decision into service
+        totals and the encoded-agg metric family (both executors ship
+        the decision in ``result.details['encoded_agg']``)."""
+        info = result.details.get("encoded_agg")
+        if not info:
+            return
+        code_domain = int(info.get("code_domain", 0))
+        decoded = int(info.get("decoded", 0))
+        with self._encoded_agg_lock:
+            totals = self._encoded_agg_totals
+            totals["queries"] += 1
+            totals["queries_code_domain"] += 1 if code_domain else 0
+            totals["aggregates_code_domain"] += code_domain
+            totals["aggregates_decoded"] += decoded
+        if code_domain:
+            self._m_encoded_agg_queries.inc()
+            self._m_encoded_agg_aggregates.labels(mode="code-domain").inc(
+                code_domain
+            )
+        if decoded:
+            self._m_encoded_agg_aggregates.labels(mode="decoded").inc(decoded)
+
     def _execute_traced(self, request: _Request) -> None:
         tracing = request.tracer is not None
         if tracing:
@@ -695,6 +734,7 @@ class QueryService:
                     )
             self._record_pruning(result)
             self._record_rollup(result)
+            self._record_encoded_agg(result)
         except SqlError as exc:
             self._finish(
                 request,
@@ -780,6 +820,14 @@ class QueryService:
             stats.update(self._rollup_totals)
         return stats
 
+    def _encoded_agg_stats(self) -> dict:
+        """Code-domain aggregation state and service-lifetime totals."""
+        from repro.storage.encoding import encoded_agg_enabled
+
+        with self._encoded_agg_lock:
+            totals = dict(self._encoded_agg_totals)
+        return {"enabled": encoded_agg_enabled(), **totals}
+
     def stats_snapshot(self) -> dict:
         snapshot = self.stats.snapshot()
         with self._plans_lock:
@@ -798,6 +846,7 @@ class QueryService:
         snapshot["storage"] = self._storage_stats()
         snapshot["pruning"] = self._pruning_stats()
         snapshot["rollups"] = self._rollup_stats()
+        snapshot["encoded_agg"] = self._encoded_agg_stats()
         with self._pool_lock:
             if self._pool is not None:
                 snapshot["process_pool"] = {

@@ -63,9 +63,45 @@ _PROBE_SAMPLE = 4096
 _PROBE_MAX_SAMPLE_CARDINALITY = 512
 
 
+#: Environment toggle for code-domain *aggregation* (summing codes
+#: instead of decoded values).  Independent of ``REPRO_ENCODING`` so the
+#: two effects can be measured separately; tracked by the execution
+#: cache key like the other storage-tier modes.
+AGG_ENV_VAR = "REPRO_ENCODED_AGG"
+
+#: Largest FoR code width the count-based aggregation path will
+#: bincount over (2**16 bins); wider domains use the integer-sum
+#: identity or decode.
+AGG_MAX_BITS = 16
+
+#: Every |value| <= 2**53 converts to float64 exactly, which is what
+#: makes the FoR integer-sum identity bit-identical to the decoded path.
+_EXACT_FLOAT_BOUND = 1 << 53
+
+
 def encoding_enabled() -> bool:
     """Whether the encoding tier is on (``REPRO_ENCODING`` escape hatch)."""
     return os.environ.get(ENV_VAR, "on").strip().lower() not in _OFF_VALUES
+
+
+def encoded_agg_enabled() -> bool:
+    """Whether aggregates may run in the code domain
+    (``REPRO_ENCODED_AGG`` escape hatch; results are bit-identical
+    either way, only the execution strategy changes)."""
+    return os.environ.get(AGG_ENV_VAR, "on").strip().lower() not in _OFF_VALUES
+
+
+def selection_mask(selected, length: int) -> np.ndarray | None:
+    """Normalize ``selected`` (bool mask / indices / None) to a bool
+    mask of ``length`` rows, or None for "all rows"."""
+    if selected is None:
+        return None
+    selected = np.asarray(selected)
+    if selected.dtype == np.bool_:
+        return selected
+    mask = np.zeros(length, dtype=bool)
+    mask[selected] = True
+    return mask
 
 
 def _code_dtype(max_code: int) -> np.dtype:
@@ -203,6 +239,19 @@ class DictionaryEncoding:
             return codes == codes.dtype.type(cut)
         raise ValueError(f"unsupported op {op!r}")
 
+    def code_counts(self, lo: int, hi: int, selected=None) -> np.ndarray:
+        """Occurrences of each dictionary code over rows ``[lo, hi)``.
+
+        The rebase contract: ``sum(decoded[lo:hi][selected])`` equals
+        ``sum(counts[c] * float64(dictionary[c]))`` exactly -- decoding
+        is a gather through the dictionary, so the multiset of summed
+        values is fully described by these counts.
+        """
+        codes = self.codes[lo:hi]
+        if selected is not None:
+            codes = codes[selected]
+        return np.bincount(codes, minlength=len(self.dictionary))
+
     @property
     def encoded_nbytes(self) -> int:
         return int(self.dictionary.nbytes + self.codes.nbytes)
@@ -263,6 +312,30 @@ class RLEEncoding:
         first, last, counts = self._run_span(lo, hi)
         run_mask = compare_values(self.run_values[first : last + 1], op, threshold)
         return np.repeat(run_mask, counts)
+
+    def run_view(self, lo: int, hi: int, selected=None):
+        """``(run_values, counts)`` of the run fragments inside
+        ``[lo, hi)``: partial runs at the boundaries are split exactly
+        (a morsel or prune boundary mid-run contributes only the rows
+        inside the range), and a ``selected`` mask further reduces each
+        run to its selected row count.
+
+        The rebase contract: ``sum(decoded[lo:hi][selected])`` equals
+        ``sum(counts[r] * float64(run_values[r]))`` exactly -- decoding
+        repeats each run value ``counts[r]`` times.
+        """
+        if hi <= lo:
+            return self.run_values[:0], np.empty(0, dtype=np.int64)
+        first, last, counts = self._run_span(lo, hi)
+        values = self.run_values[first : last + 1]
+        mask = selection_mask(selected, hi - lo)
+        if mask is not None:
+            # Per-run selected counts: reduceat over the run offsets
+            # inside the range (counts are all >= 1, so offsets are
+            # strictly increasing and every segment is non-empty).
+            offsets = np.concatenate(([0], np.cumsum(counts[:-1])))
+            counts = np.add.reduceat(mask.astype(np.int64), offsets)
+        return values, counts
 
     @property
     def encoded_nbytes(self) -> int:
@@ -372,6 +445,39 @@ class ForBitPackEncoding:
                 return _const_mask(len(codes), False)
             return codes == int(rebased)
         raise ValueError(f"unsupported op {op!r}")
+
+    def code_counts(self, lo: int, hi: int, selected=None) -> np.ndarray:
+        """Occurrences of each code over rows ``[lo, hi)`` (callers gate
+        on ``bits <= AGG_MAX_BITS`` so the bincount stays small)."""
+        codes = self.codes()[lo:hi]
+        if selected is not None:
+            codes = codes[selected]
+        return np.bincount(codes, minlength=1 << self.bits)
+
+    def code_total(self, lo: int, hi: int, selected=None):
+        """``(count, sum(values))`` over rows ``[lo, hi)`` as exact
+        Python integers via the FoR identity
+        ``sum(values) = reference * count + sum(codes)``, or None when
+        the identity cannot be bit-identical to the decoded path.
+
+        The guard: every value in ``[reference, reference + 2**bits)``
+        must convert to float64 exactly (|value| <= 2**53), because the
+        decoded path sums float64 conversions.  The code sum itself is
+        always exact -- a 16/16 hi/lo split keeps the int64 partials
+        overflow-free for any array length.
+        """
+        span_top = abs(self.reference) + (1 << self.bits)
+        if span_top > _EXACT_FLOAT_BOUND:
+            return None
+        codes = self.codes()[lo:hi]
+        if selected is not None:
+            codes = codes[selected]
+        n = len(codes)
+        wide = codes.astype(np.uint32, copy=False)
+        total = (int(np.sum(wide >> 16, dtype=np.int64)) << 16) + int(
+            np.sum(wide & 0xFFFF, dtype=np.int64)
+        )
+        return n, self.reference * n + total
 
     @property
     def encoded_nbytes(self) -> int:
@@ -491,6 +597,69 @@ class EncodedColumn:
             return self.encoding.codes[lo:hi]
         if self.encoding.kind == "for":
             return self.encoding.codes()[lo:hi]
+        return None
+
+    # -- code-domain aggregation --------------------------------------
+    def agg_domain(self) -> np.ndarray | None:
+        """Decode table ``domain[code] -> value`` for the count-based
+        aggregation path (dict codecs, and FoR codecs whose domain fits
+        :data:`AGG_MAX_BITS` bits of bincount); None when per-code
+        counting is not the right shape (RLE, wide FoR, raw)."""
+        if self.encoding.kind == "dict":
+            return self.encoding.dictionary
+        if self.encoding.kind == "for" and self.encoding.bits <= AGG_MAX_BITS:
+            return (
+                np.arange(1 << self.encoding.bits, dtype=np.int64)
+                + self.encoding.reference
+            )
+        return None
+
+    def code_counts(self, lo: int, hi: int, selected=None) -> np.ndarray | None:
+        """Per-code occurrence counts matching :meth:`agg_domain`."""
+        if self.encoding.kind == "dict":
+            return self.encoding.code_counts(lo, hi, selected)
+        if self.encoding.kind == "for" and self.encoding.bits <= AGG_MAX_BITS:
+            return self.encoding.code_counts(lo, hi, selected)
+        return None
+
+    def run_view(self, lo: int, hi: int, selected=None):
+        """RLE run fragments (values, counts) inside ``[lo, hi)``."""
+        if self.encoding.kind == "rle":
+            return self.encoding.run_view(lo, hi, selected)
+        return None
+
+    def exact_sum(self, lo: int, hi: int, selected=None):
+        """``sum(decoded[lo:hi][selected])`` computed in the code
+        domain, as an :class:`~repro.core.exactsum.ExactSum` that is
+        bit-identical to ``ExactSum.of_array`` over the decoded rows;
+        None when this codec/domain has no exact code-domain path.
+
+        Per-codec rebase contracts (each argued in DESIGN §2b.8):
+
+        - dict: ``sum = Σ count[c] * float64(dictionary[c])``
+        - RLE: ``sum = Σ count[run] * float64(run_value)`` with partial
+          runs at the range boundaries split exactly
+        - FoR, small domain: per-code counts like dict
+        - FoR, wide domain: ``reference * count + Σ codes`` as exact
+          integers, when every domain value converts to float64 exactly
+        """
+        from repro.core.exactsum import ExactSum
+
+        if self.encoding.kind == "rle":
+            values, counts = self.encoding.run_view(lo, hi, selected)
+            return ExactSum.of_counts(
+                np.asarray(values).astype(self._dtype, copy=False), counts
+            )
+        domain = self.agg_domain()
+        if domain is not None:
+            counts = self.code_counts(lo, hi, selected)
+            return ExactSum.of_counts(
+                np.asarray(domain).astype(self._dtype, copy=False), counts
+            )
+        if self.encoding.kind == "for":
+            totals = self.encoding.code_total(lo, hi, selected)
+            if totals is not None:
+                return ExactSum.of_integer_total(totals[1])
         return None
 
     # -- transport -----------------------------------------------------

@@ -155,8 +155,17 @@ class TestModeKeys:
         assert EXECUTION_CACHE.hits == 0
         assert len(EXECUTION_CACHE) == 2
 
+    def test_encoded_agg_flip_misses(self, db, monkeypatch):
+        engine = TyperEngine()
+        engine.run_q1(db)
+        monkeypatch.setenv("REPRO_ENCODED_AGG", "0")
+        engine.run_q1(db)
+        assert EXECUTION_CACHE.hits == 0
+        assert len(EXECUTION_CACHE) == 2
+
     def test_same_modes_still_hit(self, db, monkeypatch):
         monkeypatch.setenv("REPRO_ENCODING", "0")
+        monkeypatch.setenv("REPRO_ENCODED_AGG", "0")
         monkeypatch.setenv("REPRO_PRUNING", "0")
         monkeypatch.setenv("REPRO_ROLLUPS", "0")
         engine = TyperEngine()

@@ -132,6 +132,31 @@ class TestMorsels:
         )
 
 
+class TestAggToggle:
+    """``REPRO_ENCODED_AGG`` only changes execution strategy: flipping
+    it must leave values, work and raw-twin equivalence untouched, and
+    with the toggle off every aggregate must report a decoded mode."""
+
+    @pytest.mark.parametrize(("method", "kwargs"), [
+        ("run_q1", {}),
+        ("run_groupby", {}),
+        ("run_projection", {"degree": 1}),
+        ("run_projection", {"degree": 4}),
+    ], ids=["q1", "groupby", "projection-p1", "projection-p4"])
+    def test_toggle_off_matches_toggle_on(
+        self, encoded_db, raw_twin, engine, method, kwargs, monkeypatch
+    ):
+        on = getattr(engine, method)(encoded_db, **kwargs)
+        monkeypatch.setenv("REPRO_ENCODED_AGG", "0")
+        off = getattr(engine, method)(encoded_db, **kwargs)
+        raw = getattr(engine, method)(raw_twin, **kwargs)
+        assert_identical(on, off, f"{engine.name} {method} toggle flip")
+        assert_identical(off, raw, f"{engine.name} {method} toggle-off vs raw")
+        decision = off.details.get("encoded_agg")
+        if decision is not None:
+            assert decision["code_domain"] == 0
+
+
 class TestPredicateMasks:
     """The shared scan kernels, checked directly against numpy on the
     decoded arrays for every encoded lineitem column."""

@@ -1,0 +1,82 @@
+"""Plan-compilation smoke: compiled queries are bit-identical on both
+executors and the chooser prices every route.
+
+Compiles two of the queries that have no hand-wired template (Q5: a
+six-table join pipeline; Q12: grouped sums with decoded keys), checks
+that lowering actually fell back to the compiler, and asserts value
+equality between the single-shot thread path and the process pool
+(morsel partials merged through ExactSum units).  Also exercises the
+chooser (a decision with all three routes priced) and the
+``REPRO_COMPILE=0`` escape hatch (lowering must raise, not guess).
+Run from CI as a real file (not a heredoc): the process pool uses the
+spawn start method, which re-imports ``__main__`` and therefore needs
+a path-backed script.
+
+Usage::
+
+    PYTHONPATH=src REPRO_EXEC_CACHE=0 python benchmarks/compile_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def main() -> int:
+    from repro.compile.chooser import choose
+    from repro.core.parallel import WorkerPool
+    from repro.engines import TectorwiseEngine, TyperEngine
+    from repro.sql.api import compile_sql
+    from repro.sql.errors import SqlError
+    from repro.tpch import generate_database
+    from repro.tpch.sql import EXTENDED_TPCH_SQL
+
+    db = generate_database(scale_factor=0.01, seed=7)
+    engine = TyperEngine()
+
+    routes = set()
+    with WorkerPool(db, n_workers=2) as pool:
+        for qid in ("Q5", "Q12"):
+            bound = compile_sql(EXTENDED_TPCH_SQL[qid])
+            assert bound.method == "run_compiled", (qid, bound.method)
+
+            single = engine.run_compiled(db, bound.plan)
+            pooled = pool.run_query(engine, "run_compiled", plan=bound.plan)
+            assert pooled.value == single.value, qid
+            assert pooled.tuples == single.tuples, qid
+            assert (
+                pooled.details["exact_totals"] == single.details["exact_totals"]
+            ), qid
+
+            decision = choose(db, bound)
+            assert sorted(decision["predicted_cycles"]) == sorted(
+                ("Typer", "Tectorwise", "compiled")
+            ), qid
+            routes.add(decision["chosen"])
+
+    # A second engine style must agree bitwise on the compiled path.
+    plan = compile_sql(EXTENDED_TPCH_SQL["Q14"]).plan
+    typer = TyperEngine().run_compiled(db, plan)
+    tecto = TectorwiseEngine().run_compiled(db, plan)
+    assert typer.value == tecto.value
+
+    # The escape hatch: with the compiler off, lowering says why.
+    os.environ["REPRO_COMPILE"] = "0"
+    try:
+        compile_sql(EXTENDED_TPCH_SQL["Q5"])
+    except SqlError as error:
+        assert "REPRO_COMPILE" in str(error)
+    else:
+        raise AssertionError("REPRO_COMPILE=0 must disable the fallback")
+    finally:
+        os.environ.pop("REPRO_COMPILE", None)
+
+    print(
+        "compiled == single-shot on thread and process executors "
+        f"(Q5/Q12/Q14; chooser picked {sorted(routes)})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

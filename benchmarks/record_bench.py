@@ -28,7 +28,13 @@ compare against a recorded trajectory instead of folklore:
 - code-domain aggregation (PR 8): end-to-end wall-clock of Q1,
   group-by and the degree-1 projection on raw arrays vs the encoded
   database with REPRO_ENCODED_AGG off vs on, bit-identity asserted on
-  every leg, with the per-slot morph decision recorded.
+  every leg, with the per-slot morph decision recorded,
+- plan compilation (PR 9): end-to-end wall-clock of the six TPC-H
+  queries that only run through the compiled kernel programs (Q3, Q5,
+  Q10, Q12, Q14, Q19) with the chooser's per-route cycle predictions,
+  compiled-vs-hand-wired latency on Q1/Q6 (bit-identity asserted),
+  and chooser predicted-vs-measured route accuracy where all three
+  routes are measurable.
 
 Every record carries a uniform host-context stamp (git SHA, Python and
 numpy versions, machine, cpu count), so recorded numbers are always
@@ -774,6 +780,129 @@ def _rollup_metrics(scale_factor: float) -> dict:
             os.environ[env_key] = previous
 
 
+def _compile_metrics(scale_factor: float) -> dict:
+    """Measured plan-compilation latencies and chooser accuracy
+    (execution cache disabled).
+
+    Times the six TPC-H queries that only exist through the compiled
+    kernel programs, recording the chooser's per-route cycle
+    predictions next to the measured compiled latency.  On Q1/Q6 --
+    where the hand-wired Typer and Tectorwise paths also exist -- the
+    compiled result is asserted bit-identical to the hand-wired one,
+    all three routes are timed, and the chooser's predicted-cheapest
+    route is compared against the measured winner."""
+    from repro.compile.chooser import choose, clear_chooser_cache
+    from repro.engines import TectorwiseEngine, TyperEngine
+    from repro.sql.api import compile_sql
+    from repro.tpch.dbgen import generate_database
+    from repro.tpch.sql import EXTENDED_TPCH_SQL, TPCH_SQL
+
+    env_key = "REPRO_EXEC_CACHE"
+    previous = os.environ.get(env_key)
+    os.environ[env_key] = "0"
+    try:
+        db = generate_database(scale_factor=scale_factor, seed=42)
+        clear_chooser_cache()
+
+        def best_of(runner, repeats: int = 5) -> float:
+            runner()  # warm shared build sides / decode caches
+            return min(
+                (lambda s: (runner(), time.perf_counter() - s)[1])(
+                    time.perf_counter()
+                )
+                for _ in range(repeats)
+            )
+
+        engine = TyperEngine()
+        record: dict = {
+            "scale_factor": scale_factor,
+            "engine": "Typer",
+            "note": (
+                "single-core numpy wall-clock, execution cache off, "
+                "best of 5 (see 'cpus'/'machine').  'compiled_queries' "
+                "are the six TPC-H queries with no hand-wired template "
+                "-- before PR 9 they did not run at all, so the "
+                "recorded latency is the new capability, and "
+                "'predicted_cycles' is the chooser's per-route cycle "
+                "model next to it.  'chooser_accuracy' checks the "
+                "prediction where all three routes are measurable "
+                "(Q1/Q6): hand-wired Typer, hand-wired Tectorwise and "
+                "the compiled program are timed and the predicted "
+                "cheapest is compared with the measured winner; the "
+                "compiled value is asserted bit-identical to the "
+                "hand-wired one first"
+            ),
+            "compiled_queries": {},
+            "chooser_accuracy": {},
+        }
+
+        for qid in sorted(EXTENDED_TPCH_SQL):
+            bound = compile_sql(EXTENDED_TPCH_SQL[qid])
+            plan = bound.plan
+            decision = choose(db, bound)
+            seconds = best_of(lambda p=plan: engine.run_compiled(db, p))
+            record["compiled_queries"][qid.lower()] = {
+                "compiled_seconds": round(seconds, 4),
+                "chosen": decision["chosen"],
+                "predicted_cycles": {
+                    route: round(cycles)
+                    for route, cycles in decision["predicted_cycles"].items()
+                },
+            }
+
+        tectorwise = TectorwiseEngine()
+        for qid, hand_method in (("Q1", "run_q1"), ("Q6", "run_q6")):
+            from repro.sql.api import plan_sql
+
+            bound = compile_sql(TPCH_SQL[qid])
+            plan = plan_sql(TPCH_SQL[qid])
+            hand = getattr(engine, hand_method)(db)
+            compiled = engine.run_compiled(db, plan)
+            if qid == "Q6":
+                # One scalar: the compiled revenue must match bitwise.
+                assert compiled.value["rows"][0][0] == hand.value, qid
+            else:
+                # Q1: per-group rows vs the hand-wired flat totals; the
+                # quantity column is integer-valued, so summing the
+                # groups is exact.
+                rows = compiled.value["rows"]
+                assert len(rows) == hand.value["groups"], qid
+                assert sum(row[2] for row in rows) == hand.value["sum_qty"], qid
+            decision = choose(db, bound)
+            measured = {
+                "Typer": best_of(lambda m=hand_method: getattr(engine, m)(db)),
+                "Tectorwise": best_of(
+                    lambda m=hand_method: getattr(tectorwise, m)(db)
+                ),
+                "compiled": best_of(lambda p=plan: engine.run_compiled(db, p)),
+            }
+            winner = min(measured, key=measured.get)
+            record["chooser_accuracy"][qid.lower()] = {
+                "hand_tuples": hand.tuples,
+                "measured_seconds": {
+                    route: round(s, 4) for route, s in measured.items()
+                },
+                "measured_winner": winner,
+                "predicted_winner": decision["chosen"],
+                "prediction_correct": winner == decision["chosen"],
+                "predicted_cycles": {
+                    route: round(cycles)
+                    for route, cycles in decision["predicted_cycles"].items()
+                },
+            }
+        correct = [
+            entry["prediction_correct"]
+            for entry in record["chooser_accuracy"].values()
+        ]
+        record["chooser_hit_rate"] = round(sum(correct) / len(correct), 2)
+        return record
+    finally:
+        if previous is None:
+            os.environ.pop(env_key, None)
+        else:
+            os.environ[env_key] = previous
+
+
 def _parallel_worker_counts() -> tuple[int, ...]:
     """2, 4, and N (the machine's cores), deduplicated and sorted.
     On boxes with fewer than 4 cores the larger counts still run --
@@ -784,7 +913,7 @@ def _parallel_worker_counts() -> tuple[int, ...]:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_PR8.json"))
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_PR9.json"))
     parser.add_argument("--skip-suite", action="store_true")
     parser.add_argument("--skip-figures", action="store_true")
     parser.add_argument("--skip-parallel", action="store_true",
@@ -803,6 +932,9 @@ def main(argv=None) -> int:
     parser.add_argument("--rollup-sf", type=float, default=1.0,
                         help="scale factor for the rollup-routing benchmark "
                         "(the PR 7 headline is recorded at SF >= 1)")
+    parser.add_argument("--compile-sf", type=float, default=0.2,
+                        help="scale factor for the plan-compilation benchmark "
+                        "(the PR 9 headline)")
     parser.add_argument("--baseline-dir", default=None,
                         help="checkout of the pre-PR repo to time for a "
                         "same-machine baseline (e.g. a git worktree at the "
@@ -812,7 +944,10 @@ def main(argv=None) -> int:
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-    record: dict = {"pr": 8, **_host_context()}
+    record: dict = {"pr": 9, **_host_context()}
+
+    print("plan compilation & chooser ...", flush=True)
+    record["compile"] = _compile_metrics(args.compile_sf)
 
     print("code-domain aggregation ...", flush=True)
     record["encoded_agg"] = _encoded_agg_metrics(args.encoded_agg_sf)

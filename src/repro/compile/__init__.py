@@ -1,0 +1,41 @@
+"""Plan compilation: logical plans -> fused vectorized kernel programs.
+
+The hand-wired engine paths (:mod:`repro.engines`) cover the documented
+micro-benchmarks and four TPC-H queries; everything else used to raise.
+This package compiles *any* supported typed logical plan from
+:mod:`repro.sql.planner` into a straight-line kernel program -- filters
+evaluated through :func:`repro.engines.scan.predicate_mask` (code
+domain and prune-constant aware), a selection vector threaded through
+the pipeline so intermediates are never materialised, hash joins on
+:class:`repro.engines.hashtable.ChainedHashTable`, and aggregation in
+:class:`repro.core.exactsum.ExactSum` units so morsel partials merge
+bit-identically on both executors.
+
+This module is import-light on purpose: :mod:`repro.core.execcache`
+keys the execution cache on :func:`compile_enabled`, so importing it
+must not pull in the engines or the compiler itself.
+
+Toggle with ``REPRO_COMPILE`` (on by default).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["CompileError", "compile_enabled"]
+
+
+class CompileError(Exception):
+    """A plan shape the compiler declines, with the reason.
+
+    Lowering catches this and reports the reason in its "no binding"
+    diagnostic; it is never a silent fallback to a wrong program.
+    """
+
+
+def compile_enabled() -> bool:
+    """Whether lowering may fall back to the plan compiler
+    (``REPRO_COMPILE``, on unless explicitly disabled)."""
+    return os.environ.get("REPRO_COMPILE", "1").strip().lower() not in {
+        "0", "false", "no", "off",
+    }

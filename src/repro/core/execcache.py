@@ -37,12 +37,15 @@ import threading
 from collections import OrderedDict
 from functools import wraps
 
+from repro.compile import compile_enabled
 from repro.core.pruning import pruning_enabled
 from repro.obs import trace
 from repro.rollup.router import rollups_enabled
 from repro.storage.encoding import encoded_agg_enabled, encoding_enabled
 
 #: Engine methods that are memoized (the complete execution surface).
+#: ``run_compiled`` is defined concretely on the base Engine and
+#: wrapped by :func:`repro.engines.base._wrap_base_cached_methods`.
 CACHED_METHODS = (
     "run_projection",
     "run_selection",
@@ -52,6 +55,7 @@ CACHED_METHODS = (
     "run_q6",
     "run_q9",
     "run_q18",
+    "run_compiled",
 )
 
 
@@ -167,6 +171,7 @@ def memoized_execution(method_name: str, func):
                 encoded_agg_enabled(),
                 pruning_enabled(),
                 rollups_enabled(),
+                compile_enabled(),
             )
             hash(key)
         except TypeError:

@@ -373,6 +373,11 @@ class Engine(ABC):
             if size not in JOIN_SPECS:
                 raise ValueError(f"unknown join size {size!r}")
             return db.table(JOIN_SPECS[size].probe_table).n_rows
+        if method == "run_compiled":
+            from repro.compile.program import compiled_program
+
+            plan = kwargs.get("plan") or (kwargs.get("args") or [None])[0]
+            return db.table(compiled_program(plan).driving).n_rows
         return db.table("lineitem").n_rows
 
     # ------------------------------------------------------------------
@@ -432,6 +437,26 @@ class Engine(ABC):
             raise ValueError("predication is studied on Q6 only (Section 7)")
         return runners[query_id](db, **extra)
 
+    # ------------------------------------------------------------------
+    # Compiled kernel programs (repro.compile)
+    # ------------------------------------------------------------------
+    def run_compiled(self, db: Database, plan, row_range=None) -> QueryResult:
+        """Execute a compiled fused kernel program for ``plan``.
+
+        The program is shared across engines (compiled once per plan
+        per process) and accumulates in exact units, so every engine
+        and both executors produce bit-identical values.  Defined on
+        the base class: the compiled path *is* the bespoke engine.
+        """
+        from repro.compile.program import execute_compiled
+
+        return execute_compiled(self, db, plan, row_range)
+
+    def _finish_compiled(self, db: Database, merged, plan) -> QueryResult:
+        from repro.compile.program import finish_compiled
+
+        return finish_compiled(self, db, merged, plan)
+
     @abstractmethod
     def run_q1(self, db: Database) -> QueryResult:
         """TPC-H Q1: low-cardinality group by."""
@@ -447,3 +472,20 @@ class Engine(ABC):
     @abstractmethod
     def run_q18(self, db: Database) -> QueryResult:
         """TPC-H Q18: high-cardinality group by."""
+
+
+def _wrap_base_cached_methods() -> None:
+    """Memoize ``run_*`` methods defined on the base class itself.
+
+    ``__init_subclass__`` wraps only methods a subclass defines, so the
+    concrete ``run_compiled`` (shared by every engine) is wrapped here,
+    exactly once, with the same execution-cache semantics."""
+    from repro.core.execcache import memoized_execution
+
+    if not getattr(Engine.run_compiled, "_execcache_wrapped", False):
+        Engine.run_compiled = memoized_execution(
+            "run_compiled", Engine.run_compiled
+        )
+
+
+_wrap_base_cached_methods()

@@ -58,6 +58,22 @@ def dispatch(service: QueryService, message: dict) -> dict:
             "status": protocol.STATUS_OK,
             "rollups": service.stats_snapshot()["rollups"],
         }
+    if op == "explain":
+        sql = message.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            return {
+                "status": protocol.STATUS_ERROR,
+                "error": "explain needs a non-empty 'sql' string",
+            }
+        from repro.sql import SqlError
+
+        try:
+            return {
+                "status": protocol.STATUS_OK,
+                "explain": protocol.jsonable(service.explain(sql)),
+            }
+        except SqlError as exc:
+            return {"status": protocol.STATUS_ERROR, "error": str(exc)}
     if op == "shutdown":
         return {"status": protocol.STATUS_OK, "stopping": True}
     if op is not None:
@@ -65,7 +81,8 @@ def dispatch(service: QueryService, message: dict) -> dict:
             "status": protocol.STATUS_ERROR,
             "error": (
                 f"unknown op {op!r} "
-                f"(expected ping, stats, metrics, slowlog, rollups or shutdown)"
+                f"(expected ping, stats, metrics, slowlog, rollups, "
+                f"explain or shutdown)"
             ),
         }
     sql = message.get("sql")
@@ -111,7 +128,8 @@ def run_repl(service: QueryService, stdin=None, stdout=None) -> None:
     engine = service.config.default_engine
     stdout.write(
         f"repro query REPL -- engine {engine}; "
-        f":engine NAME, :stats, :metrics, :slowlog, :rollups, :quit\n"
+        f":engine NAME, :explain SQL, :stats, :metrics, :slowlog, "
+        f":rollups, :quit\n"
     )
     stdout.flush()
     for line in stdin:
@@ -134,6 +152,20 @@ def run_repl(service: QueryService, stdin=None, stdout=None) -> None:
                         {"rollups": service.stats_snapshot()["rollups"]}
                     ).decode()
                 )
+            elif parts[0] == "explain" and len(parts) > 1:
+                from repro.sql import SqlError
+
+                sql = line[1:].split(None, 1)[1]
+                try:
+                    report = service.explain(sql)
+                except SqlError as exc:
+                    stdout.write(f"error: {exc}\n")
+                else:
+                    stdout.write(
+                        protocol.encode(
+                            {"explain": protocol.jsonable(report)}
+                        ).decode()
+                    )
             elif parts[0] == "engine" and len(parts) > 1:
                 engine = " ".join(parts[1:])  # engine names may contain spaces
                 stdout.write(f"engine set to {engine}\n")

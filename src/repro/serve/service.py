@@ -208,6 +208,18 @@ class QueryService:
             "aggregates_code_domain": 0,
             "aggregates_decoded": 0,
         }
+        self._compile_lock = threading.Lock()
+        self._compile_totals = {
+            "queries": 0,
+            "joins": 0,
+            "groups_emitted": 0,
+        }
+        self._chooser_lock = threading.Lock()
+        self._chooser_totals = {
+            "decisions": 0,
+            "declined": 0,
+            "chosen": {},
+        }
         self._register_metrics()
         self._workers: list[threading.Thread] = []
         self._stop = threading.Event()
@@ -299,6 +311,29 @@ class QueryService:
             "repro_encoded_agg_aggregates_total",
             "Aggregate slots by morph decision (code-domain vs decoded)",
             ("mode",),
+        )
+        self._m_compile_queries = m.counter(
+            "repro_compile_queries_total",
+            "Queries executed through a compiled kernel program",
+        )
+        self._m_compile_hits = m.counter(
+            "repro_compile_cache_hits_total", "Compiled-program cache hits"
+        )
+        self._m_compile_misses = m.counter(
+            "repro_compile_cache_misses_total",
+            "Compiled-program cache misses (fresh compilations)",
+        )
+        self._m_compile_entries = m.gauge(
+            "repro_compile_cache_entries", "Compiled programs currently cached"
+        )
+        self._m_chooser_decisions = m.counter(
+            "repro_chooser_decisions_total",
+            "Engine-chooser decisions by predicted-fastest route",
+            ("chosen",),
+        )
+        self._m_chooser_declined = m.counter(
+            "repro_chooser_declined_total",
+            "Queries the engine chooser could not model",
         )
 
     # -- lifecycle -----------------------------------------------------
@@ -676,6 +711,73 @@ class QueryService:
         if decoded:
             self._m_encoded_agg_aggregates.labels(mode="decoded").inc(decoded)
 
+    def _record_compile(self, result, bound) -> None:
+        """Fold one compiled-path execution into service totals and the
+        compile metric family (the program summary rides in
+        ``result.details['compiled']``)."""
+        if bound.method != "run_compiled":
+            return
+        info = result.details.get("compiled") or {}
+        with self._compile_lock:
+            totals = self._compile_totals
+            totals["queries"] += 1
+            totals["joins"] += len(info.get("joins", ()))
+            totals["groups_emitted"] += int(result.details.get("groups", 0))
+        self._m_compile_queries.inc()
+
+    def _chooser_decision(self, bound) -> dict:
+        """The engine chooser's prediction for ``bound`` (a
+        ``{"declined": reason}`` stub when the plan cannot be
+        modelled).  Runs parent-side (both executors) so worker
+        processes never pay for it."""
+        from repro.compile.chooser import ChooserError, choose
+
+        with trace.span("chooser"):
+            try:
+                decision = choose(self.db, bound)
+            except ChooserError as exc:
+                trace.annotate(outcome="declined")
+                with self._chooser_lock:
+                    self._chooser_totals["declined"] += 1
+                self._m_chooser_declined.inc()
+                return {"declined": str(exc)}
+            trace.annotate(
+                outcome="decided",
+                chosen=decision["chosen"],
+                predicted_cycles=decision["predicted_cycles"][decision["chosen"]],
+            )
+        with self._chooser_lock:
+            totals = self._chooser_totals
+            totals["decisions"] += 1
+            chosen = decision["chosen"]
+            totals["chosen"][chosen] = totals["chosen"].get(chosen, 0) + 1
+        self._m_chooser_decisions.labels(chosen=decision["chosen"]).inc()
+        return decision
+
+    def explain(self, sql: str) -> dict:
+        """Compile ``sql`` and report how it would run, without running
+        it: the bound route (hand-wired template vs compiled kernel
+        program), the program shape when compiled, and the engine
+        chooser's predicted cycles per candidate route."""
+        from repro.compile import CompileError, compile_enabled
+        from repro.compile.program import compiled_program
+
+        bound = self.compile(sql)
+        report: dict = {
+            "workload": bound.workload,
+            "method": bound.method,
+            "route": "compiled" if bound.method == "run_compiled" else "template",
+            "binding": str(bound),
+        }
+        if bound.plan is not None and compile_enabled():
+            try:
+                report["program"] = compiled_program(bound.plan).describe()
+            except CompileError as exc:
+                report["program"] = None
+                report["compile_declined"] = str(exc)
+        report["chooser"] = self._chooser_decision(bound)
+        return report
+
     def _execute_traced(self, request: _Request) -> None:
         tracing = request.tracer is not None
         if tracing:
@@ -727,6 +829,8 @@ class QueryService:
                         result = bound.execute(engine, self.db, **request.options)
                     if rollup_decision is not None and "rollup" not in result.details:
                         result.details["rollup"] = rollup_decision
+                if "chooser" not in result.details:
+                    result.details["chooser"] = self._chooser_decision(bound)
                 if tracing:
                     trace.annotate(
                         cached=bool(result.details.get("cached")),
@@ -735,6 +839,7 @@ class QueryService:
             self._record_pruning(result)
             self._record_rollup(result)
             self._record_encoded_agg(result)
+            self._record_compile(result, bound)
         except SqlError as exc:
             self._finish(
                 request,
@@ -828,6 +933,26 @@ class QueryService:
             totals = dict(self._encoded_agg_totals)
         return {"enabled": encoded_agg_enabled(), **totals}
 
+    def _compile_stats(self) -> dict:
+        """Compiled-path state, program-cache counters and totals."""
+        from repro.compile import compile_enabled
+        from repro.compile.program import compile_cache_stats
+
+        with self._compile_lock:
+            totals = dict(self._compile_totals)
+        return {
+            "enabled": compile_enabled(),
+            "cache": compile_cache_stats(),
+            **totals,
+        }
+
+    def _chooser_stats(self) -> dict:
+        """Engine-chooser decision totals."""
+        with self._chooser_lock:
+            totals = dict(self._chooser_totals)
+            totals["chosen"] = dict(totals["chosen"])
+        return totals
+
     def stats_snapshot(self) -> dict:
         snapshot = self.stats.snapshot()
         with self._plans_lock:
@@ -847,6 +972,8 @@ class QueryService:
         snapshot["pruning"] = self._pruning_stats()
         snapshot["rollups"] = self._rollup_stats()
         snapshot["encoded_agg"] = self._encoded_agg_stats()
+        snapshot["compile"] = self._compile_stats()
+        snapshot["chooser"] = self._chooser_stats()
         with self._pool_lock:
             if self._pool is not None:
                 snapshot["process_pool"] = {
@@ -859,8 +986,13 @@ class QueryService:
     def _sync_mirrored_metrics(self) -> None:
         """Refresh metrics that mirror state owned elsewhere (plan
         cache, execcache, queue, pool) at scrape time."""
+        from repro.compile.program import compile_cache_stats
         from repro.core.execcache import EXECUTION_CACHE
 
+        compile_cache = compile_cache_stats()
+        self._m_compile_hits.sync(compile_cache["hits"])
+        self._m_compile_misses.sync(compile_cache["misses"])
+        self._m_compile_entries.set(compile_cache["entries"])
         with self._plans_lock:
             self._m_plan_hits.sync(self.plan_hits)
             self._m_plan_misses.sync(self.plan_misses)

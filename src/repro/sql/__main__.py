@@ -22,9 +22,19 @@ from repro.sql.tokens import normalize_sql
 
 
 def _documented_workloads() -> list[tuple[str, str]]:
-    from repro.tpch.sql import GROUPBY_SQL, JOIN_SQL, TPCH_SQL, projection_sql
+    from repro.tpch.sql import (
+        EXTENDED_TPCH_SQL,
+        GROUPBY_SQL,
+        JOIN_SQL,
+        TPCH_SQL,
+        projection_sql,
+    )
 
     entries = [(f"TPC-H {qid}", sql) for qid, sql in TPCH_SQL.items()]
+    entries += [
+        (f"TPC-H {qid} (compiled)", sql)
+        for qid, sql in EXTENDED_TPCH_SQL.items()
+    ]
     entries += [(f"join {size}", sql) for size, sql in JOIN_SQL.items()]
     entries.append(("groupby", GROUPBY_SQL))
     entries += [
@@ -46,10 +56,28 @@ def _show(title: str, sql: str, execute: bool, scale_factor: float) -> int:
     print()
     print(ir.to_text(plan))
     print(f"-> {bound}")
+    _show_route(bound)
     if execute:
         _execute(sql, scale_factor)
     print()
     return 0
+
+
+def _show_route(bound) -> None:
+    """One line on how the binding runs: hand-wired template or
+    compiled kernel program (with the program's shape)."""
+    if bound.method != "run_compiled":
+        print(f"   route: hand-wired template ({bound.method})")
+        return
+    from repro.compile.program import compiled_program
+
+    shape = compiled_program(bound.plan).describe()
+    joins = ", ".join(join["table"] for join in shape["joins"]) or "none"
+    groups = ", ".join(shape["group_by"]) or "global"
+    print(
+        f"   route: compiled kernel program -- drives {shape['driving']}, "
+        f"{shape['filters']} filter(s), joins: {joins}, groups: {groups}"
+    )
 
 
 def _execute(sql: str, scale_factor: float) -> None:
@@ -58,9 +86,26 @@ def _execute(sql: str, scale_factor: float) -> None:
 
     db = generate_database(scale_factor=scale_factor, seed=7)
     bound = compile_sql(sql)
+    _show_chooser(db, bound)
     for engine_cls in ALL_ENGINES:
         result = bound.execute(engine_cls(), db)
         print(f"   {engine_cls.name:<12} value={result.value} tuples={result.tuples}")
+
+
+def _show_chooser(db, bound) -> None:
+    """The engine chooser's model-predicted cycles per route."""
+    from repro.compile.chooser import ChooserError, choose
+
+    try:
+        decision = choose(db, bound)
+    except ChooserError as exc:
+        print(f"   chooser: declined ({exc})")
+        return
+    cycles = ", ".join(
+        f"{name}={value:.3g}"
+        for name, value in sorted(decision["predicted_cycles"].items())
+    )
+    print(f"   chooser: predicts {decision['chosen']} fastest ({cycles} cycles)")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -15,13 +15,21 @@ computes and binds the call.  Recognition is exact, in two layers:
   thresholds, join size), so e.g. a selection with thresholds taken
   from a different scale factor still lowers.
 
-A plan that matches neither raises :class:`SqlError`: the engines model
-fixed workloads, they are not general executors, and pretending
+* **Compilation fallback** -- a plan matching no hand-wired template is
+  handed to :mod:`repro.compile`, which turns any supported
+  select/join/group/aggregate shape into a fused vectorized kernel
+  program executed through ``Engine.run_compiled``.  Only when the
+  compiler also declines does lowering raise.
+
+A plan that matches nothing raises :class:`SqlError` describing the
+full supported surface and the nearest profiled workload: the engines
+model fixed workloads plus the compilable fragment, and pretending
 otherwise would silently profile the wrong thing.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 from dataclasses import dataclass, field
 
@@ -36,6 +44,7 @@ BINDABLE_METHODS = (
     "run_join",
     "run_groupby",
     "run_tpch",
+    "run_compiled",
 )
 
 
@@ -81,7 +90,13 @@ class BoundQuery:
 
     def __str__(self) -> str:
         parts = [repr(a) for a in self.args]
-        parts += [f"{k}={v!r}" for k, v in self.kwargs]
+        # The compiled path carries the whole logical plan as an
+        # argument; elide it (the plan is printed separately everywhere
+        # a binding is shown).
+        parts += [
+            f"{k}=<plan>" if k == "plan" else f"{k}={v!r}"
+            for k, v in self.kwargs
+        ]
         return f"{self.workload}: {self.method}({', '.join(parts)})"
 
 
@@ -310,15 +325,109 @@ def lower(plan: ir.PlanNode, sql: str | None = None) -> BoundQuery:
                     bound.method, bound.args, bound.kwargs
                 ),
             )
-    raise _no_binding(plan, sql)
+    compile_reason = None
+    from repro.compile import CompileError, compile_enabled
+
+    if compile_enabled():
+        from repro.compile.program import compiled_program
+
+        try:
+            program = compiled_program(plan)
+        except CompileError as exc:
+            compile_reason = str(exc)
+        else:
+            # Compiled programs partition their own driving table and
+            # merge exactly, but they stay outside zone-map pruning and
+            # rollup routing: atoms/profile describe the hand-wired
+            # templates' access paths, not an arbitrary kernel DAG.
+            return BoundQuery(
+                workload=program.workload,
+                method="run_compiled",
+                kwargs=(("plan", plan),),
+                plan=plan,
+            )
+    else:
+        compile_reason = "plan compilation is disabled (REPRO_COMPILE=0)"
+    raise _no_binding(plan, sql, compile_reason)
 
 
-def _no_binding(plan: ir.PlanNode, sql: str | None) -> SqlError:
+def _plan_features(node) -> frozenset[str]:
+    """Structural fingerprint of a plan for nearest-workload hints:
+    tables scanned, columns referenced, aggregate functions, and coarse
+    shape markers (join / grouped)."""
+    features: set[str] = set()
+
+    def walk(obj) -> None:
+        if isinstance(obj, ir.ColRef):
+            features.add(f"table:{obj.table}")
+            features.add(f"column:{obj.table}.{obj.column}")
+            return
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            if isinstance(obj, ir.Scan):
+                features.add(f"table:{obj.table}")
+            elif isinstance(obj, ir.Join):
+                features.add("shape:join")
+            elif isinstance(obj, ir.Aggregate):
+                features.add("shape:grouped" if obj.group_by else "shape:global")
+            elif isinstance(obj, ir.AggCall):
+                features.add(f"agg:{obj.func}")
+            for field_ in dataclasses.fields(obj):
+                walk(getattr(obj, field_.name))
+        elif isinstance(obj, (tuple, list)):
+            for item in obj:
+                walk(item)
+
+    walk(node)
+    return frozenset(features)
+
+
+def _nearest_workload(core: ir.PlanNode) -> str | None:
+    """The documented workload whose plan shares the most structure
+    with ``core`` (Jaccard overlap of :func:`_plan_features`), as a
+    'did you mean' hint.  None when nothing overlaps at all."""
+    target = _plan_features(core)
+    if not target:
+        return None
+    best_name, best_score = None, 0.0
+    for template_plan, bound in sorted(
+        _template_index().items(), key=lambda item: item[1].workload
+    ):
+        candidate = _plan_features(template_plan)
+        union = target | candidate
+        score = len(target & candidate) / len(union) if union else 0.0
+        if score > best_score:
+            best_name, best_score = bound.workload, score
+    return best_name
+
+
+def _no_binding(
+    plan: ir.PlanNode, sql: str | None, compile_reason: str | None = None
+) -> SqlError:
+    """Describe the *full* supported surface: documented templates,
+    parameterised micro-benchmark shapes, the per-query TPC-H runners
+    behind ``run_tpch``, and the compiled fallback."""
+    core = ir.strip_decorations(plan)
     known = sorted({bound.workload for bound in _template_index().values()})
-    message = (
-        "query is valid but does not match any profiled workload; the "
-        "engines execute the documented workloads only "
-        f"({', '.join(known)} and parameterised micro-benchmark shapes).\n"
-        f"plan was:\n{ir.to_text(plan)}"
+    runners = ", ".join(
+        f"{query_id}->{runner}" for query_id, runner in sorted(_TPCH_RUNNERS.items())
     )
-    return err(message, sql, None)
+    lines = [
+        "query is valid but does not match any profiled workload and "
+        "could not be compiled.",
+        f"- documented templates: {', '.join(known)}",
+        "- parameterised shapes: projection degree 1-"
+        f"{len(PROJECTION_COLUMNS)}, selection with free thresholds over "
+        f"{', '.join(SELECTION_PREDICATE_COLUMNS)}, the three join sizes, "
+        "the lineitem group-by",
+        f"- TPC-H runners: {runners}",
+        "- compiled fallback: single-block select / equi-join / "
+        "group-by / SUM-COUNT-AVG aggregate plans over the stored "
+        "schema lower to fused kernel programs (run_compiled)",
+    ]
+    if compile_reason:
+        lines.append(f"- the compiler declined this plan: {compile_reason}")
+    nearest = _nearest_workload(core)
+    if nearest:
+        lines.append(f"- nearest profiled workload by plan structure: {nearest}")
+    lines.append(f"plan was:\n{ir.to_text(plan)}")
+    return err("\n".join(lines), sql, None)

@@ -20,7 +20,14 @@ from __future__ import annotations
 from repro.sql import ast
 from repro.sql import plan as ir
 from repro.sql.errors import SqlError, err
-from repro.tpch.schema import GREEN_CATEGORY, SCHEMAS
+from repro.tpch.schema import (
+    GREEN_CATEGORY,
+    LINESTATUS_CODES,
+    NATION_NAMES,
+    REGION_NAMES,
+    RETURNFLAG_CODES,
+    SCHEMAS,
+)
 
 _COMPARISON_OPS = ("=", "<", "<=", ">", ">=", "<>")
 _MIRROR = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
@@ -37,6 +44,24 @@ ALIAS_COLUMNS = {"customer": {"c_name": "c_custkey"}}
 #: (table, virtual column, pattern) -> (stored column, code).
 LIKE_REWRITES = {
     ("part", "p_name", "%green%"): ("p_namecat", float(GREEN_CATEGORY)),
+}
+
+#: Dictionary-encoded columns whose string equality predicates rewrite
+#: to integer-code comparisons (the decode tables live in the schema,
+#: so ``r_name = 'ASIA'`` becomes ``r_name = 2.0`` losslessly).
+STRING_EQUALITY_CODES: dict[tuple[str, str], dict[str, float]] = {
+    ("region", "r_name"): {
+        name: float(code) for code, name in enumerate(REGION_NAMES)
+    },
+    ("nation", "n_name"): {
+        name: float(code) for code, name in enumerate(NATION_NAMES)
+    },
+    ("lineitem", "l_returnflag"): {
+        name: float(code) for name, code in RETURNFLAG_CODES.items()
+    },
+    ("lineitem", "l_linestatus"): {
+        name: float(code) for name, code in LINESTATUS_CODES.items()
+    },
 }
 
 
@@ -236,6 +261,11 @@ class _Binder:
 
     def _classify_term(self, term, scopes, join_pairs) -> None:
         if isinstance(term, ast.Binary) and term.op in _COMPARISON_OPS:
+            if term.op in ("=", "<>") and (
+                isinstance(term.left, ast.String) != isinstance(term.right, ast.String)
+            ):
+                self._push_string_equality(term, scopes)
+                return
             left = self._convert(term.left, scopes, agg_ok=False)
             right = self._convert(term.right, scopes, agg_ok=False)
             if (
@@ -277,6 +307,38 @@ class _Binder:
         raise self.error(
             "WHERE supports AND-ed comparisons, BETWEEN, LIKE and IN (subquery)",
             getattr(term, "pos", -1),
+        )
+
+    def _push_string_equality(self, term: ast.Binary, scopes) -> None:
+        """``col = 'NAME'`` on a dictionary-encoded column -> the exact
+        integer-code comparison (see :data:`STRING_EQUALITY_CODES`)."""
+        if isinstance(term.right, ast.String):
+            column_side, literal = term.left, term.right
+        else:
+            column_side, literal = term.right, term.left
+        if not isinstance(column_side, ast.Column):
+            raise self.error(
+                "string comparison needs a plain column on one side", term.pos
+            )
+        resolved = self._resolve(column_side, scopes)
+        scope = self._scope_of(resolved.ref.table, scopes)
+        codes = STRING_EQUALITY_CODES.get((scope.base_table, resolved.ref.column))
+        if codes is None:
+            supported = sorted(col for _, col in STRING_EQUALITY_CODES)
+            raise self.error(
+                f"column {resolved.ref.column!r} has no string dictionary; "
+                f"string equality is supported on: {supported}",
+                term.pos,
+            )
+        code = codes.get(literal.value)
+        if code is None:
+            raise self.error(
+                f"unknown value {literal.value!r} for "
+                f"{resolved.ref.column!r}; known values: {sorted(codes)}",
+                literal.pos,
+            )
+        scope.filters.append(
+            ir.Compare(left=resolved, op=term.op, right=ir.ConstExpr(value=code))
         )
 
     def _push_like(self, term: ast.Like, scopes) -> None:

@@ -129,3 +129,81 @@ WHERE o_orderkey IN (SELECT l_orderkey
 GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
 ORDER BY o_totalprice DESC, o_orderdate;""",
 }
+
+#: TPC-H queries served by the *compiled* path (:mod:`repro.compile`)
+#: rather than a hand-wired engine template.  Adapted to the stored
+#: schema subset: columns the schema does not keep (``c_mktsegment``,
+#: ``l_shipmode``, ``p_brand``/``p_container``, CASE arms) are replaced
+#: by predicates over stored columns with comparable selectivity, and
+#: dictionary-encoded names compare through their integer codes (see
+#: :data:`repro.sql.planner.STRING_EQUALITY_CODES`).
+EXTENDED_TPCH_SQL = {
+    "Q3": """\
+SELECT l_orderkey,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate
+FROM customer, orders, lineitem
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND c_nationkey < 5
+  AND o_orderdate < DATE '1995-03-15'
+  AND l_shipdate > DATE '1995-03-15'
+GROUP BY l_orderkey, o_orderdate
+ORDER BY revenue DESC
+LIMIT 10;""",
+    "Q5": """\
+SELECT n_name,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= DATE '1994-01-01'
+  AND o_orderdate < DATE '1995-01-01'
+GROUP BY n_name
+ORDER BY revenue DESC;""",
+    "Q10": """\
+SELECT c_custkey,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND c_nationkey = n_nationkey
+  AND o_orderdate >= DATE '1993-10-01'
+  AND o_orderdate < DATE '1994-01-01'
+  AND l_returnflag = 'R'
+GROUP BY c_custkey, c_acctbal, n_name
+ORDER BY revenue DESC
+LIMIT 20;""",
+    "Q12": """\
+SELECT l_returnflag,
+       COUNT(*) AS line_count,
+       SUM(l_extendedprice) AS revenue
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey
+  AND l_commitdate < l_receiptdate
+  AND l_shipdate < l_commitdate
+  AND l_receiptdate >= DATE '1994-01-01'
+  AND l_receiptdate < DATE '1995-01-01'
+GROUP BY l_returnflag
+ORDER BY l_returnflag;""",
+    "Q14": """\
+SELECT SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND p_name LIKE '%green%'
+  AND l_shipdate >= DATE '1995-09-01'
+  AND l_shipdate < DATE '1995-10-01';""",
+    "Q19": """\
+SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND p_retailprice BETWEEN 1000 AND 1500
+  AND l_quantity BETWEEN 10 AND 20
+  AND l_shipdate < DATE '1997-01-01';""",
+}

@@ -1,0 +1,222 @@
+"""Compiled kernels vs naive references, property-based.
+
+Three layers of the compiler's kernel set are checked against
+independently written references:
+
+* :func:`repro.compile.expr.compile_scalar` kernels against a
+  per-element pure-Python evaluator (IEEE double arithmetic is the
+  same scalar-by-scalar as vectorized, so equality is exact);
+* :func:`repro.engines.scan.predicate_mask` against plain numpy
+  comparisons on the stored values;
+* :class:`repro.core.exactsum.ExactSum` against ``math.fsum`` (both
+  are correctly rounded) plus the partition-invariance property the
+  morsel merge protocol relies on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compile import CompileError
+from repro.compile.expr import compile_scalar
+from repro.core.exactsum import ExactSum
+from repro.engines.scan import predicate_mask
+from repro.sql import plan as ir
+
+# ---------------------------------------------------------------------------
+# Scalar expression kernels
+# ---------------------------------------------------------------------------
+
+COLUMNS = ("a", "b", "c")
+
+_column = st.sampled_from(COLUMNS).map(
+    lambda name: ir.ColumnExpr(ref=ir.ColRef(table="t", column=name))
+)
+_const = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+).map(lambda value: ir.ConstExpr(value=value))
+
+_trees = st.recursive(
+    st.one_of(_column, _const),
+    lambda child: st.builds(
+        ir.Arith, op=st.sampled_from(["+", "-", "*"]), left=child, right=child
+    ),
+    max_leaves=10,
+)
+
+_values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def _naive_scalar(expr, row: dict) -> float:
+    """Reference evaluator: one row at a time, plain Python floats."""
+    if isinstance(expr, ir.ColumnExpr):
+        return row[expr.ref.column]
+    if isinstance(expr, ir.ConstExpr):
+        return float(expr.value)
+    left = _naive_scalar(expr.left, row)
+    right = _naive_scalar(expr.right, row)
+    if expr.op == "+":
+        return left + right
+    if expr.op == "-":
+        return left - right
+    if expr.op == "*":
+        return left * right
+    raise AssertionError(expr.op)
+
+
+def _count_arith(expr) -> int:
+    if isinstance(expr, ir.Arith):
+        return 1 + _count_arith(expr.left) + _count_arith(expr.right)
+    return 0
+
+
+def _used_columns(expr) -> list:
+    if isinstance(expr, ir.ColumnExpr):
+        return [(expr.ref.table, expr.ref.column)]
+    if isinstance(expr, ir.Arith):
+        return _used_columns(expr.left) + _used_columns(expr.right)
+    return []
+
+
+class TestScalarKernels:
+    @given(
+        expr=_trees,
+        rows=st.lists(
+            st.tuples(_values, _values, _values), min_size=1, max_size=24
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_per_element_reference(self, expr, rows):
+        columns = {
+            name: np.array([row[i] for row in rows], dtype=np.float64)
+            for i, name in enumerate(COLUMNS)
+        }
+        kernel = compile_scalar(expr)
+        out = kernel.evaluate(lambda table, col: columns[col], len(rows))
+        expected = [
+            _naive_scalar(expr, dict(zip(COLUMNS, row))) for row in rows
+        ]
+        assert out.shape == (len(rows),)
+        for got, want in zip(out.tolist(), expected):
+            assert got == want  # bitwise: same IEEE ops in the same order
+
+    @given(expr=_trees)
+    @settings(max_examples=100, deadline=None)
+    def test_refs_and_nodes_describe_the_tree(self, expr):
+        kernel = compile_scalar(expr)
+        used = _used_columns(expr)
+        assert list(kernel.refs) == list(dict.fromkeys(used))
+        assert kernel.nodes == _count_arith(expr)
+
+    def test_constant_only_kernel_broadcasts(self):
+        kernel = compile_scalar(
+            ir.Arith(op="*", left=ir.ConstExpr(value=3.0), right=ir.ConstExpr(value=0.5))
+        )
+        out = kernel.evaluate(lambda table, col: pytest.fail("no columns"), 5)
+        assert out.tolist() == [1.5] * 5
+
+    def test_declines_year_extraction(self):
+        col = ir.ColumnExpr(ref=ir.ColRef(table="orders", column="o_orderdate"))
+        with pytest.raises(CompileError, match="EXTRACT"):
+            compile_scalar(ir.YearOf(arg=col))
+
+    def test_declines_unknown_operator(self):
+        bad = ir.Arith(op="%", left=ir.ConstExpr(value=1.0), right=ir.ConstExpr(value=2.0))
+        with pytest.raises(CompileError, match="arithmetic"):
+            compile_scalar(bad)
+
+    def test_declines_nested_aggregate(self):
+        agg = ir.AggCall(func="sum", arg=ir.ConstExpr(value=1.0))
+        with pytest.raises(CompileError, match="aggregate"):
+            compile_scalar(ir.Arith(op="+", left=agg, right=ir.ConstExpr(value=0.0)))
+
+
+# ---------------------------------------------------------------------------
+# Predicate masks (the compiler's filter kernels)
+# ---------------------------------------------------------------------------
+
+_NAIVE_OPS = {
+    "le": lambda values, threshold: values <= threshold,
+    "lt": lambda values, threshold: values < threshold,
+    "ge": lambda values, threshold: values >= threshold,
+    "gt": lambda values, threshold: values > threshold,
+    "eq": lambda values, threshold: values == threshold,
+}
+
+
+class TestPredicateMask:
+    @given(
+        column=st.sampled_from(["l_shipdate", "l_quantity", "l_discount"]),
+        op=st.sampled_from(sorted(_NAIVE_OPS)),
+        threshold=st.one_of(
+            st.integers(min_value=-5, max_value=3000),
+            st.floats(min_value=-1.0, max_value=60.0, allow_nan=False),
+        ),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_naive_comparison(self, tiny_db, column, op, threshold):
+        table = tiny_db.table("lineitem")
+        lo, hi = 0, table.n_rows
+        mask = predicate_mask(table, column, op, threshold, lo, hi)
+        naive = _NAIVE_OPS[op](table[column][lo:hi], threshold)
+        assert np.array_equal(mask, naive)
+
+    def test_subrange_is_a_slice_of_the_full_mask(self, tiny_db):
+        table = tiny_db.table("lineitem")
+        full = predicate_mask(table, "l_quantity", "lt", 24, 0, table.n_rows)
+        lo, hi = 1024, 4096
+        part = predicate_mask(table, "l_quantity", "lt", 24, lo, hi)
+        assert np.array_equal(part, full[lo:hi])
+
+    def test_encoded_column_compares_in_code_domain(self, tiny_db):
+        from repro.tpch import schema as sc
+
+        table = tiny_db.table("lineitem")
+        code = sc.RETURNFLAG_CODES["R"]
+        mask = predicate_mask(table, "l_returnflag", "eq", code, 0, table.n_rows)
+        assert np.array_equal(mask, table["l_returnflag"][:] == code)
+        assert mask.any(), "tiny db should contain returned lineitems"
+
+
+# ---------------------------------------------------------------------------
+# Exact aggregation state
+# ---------------------------------------------------------------------------
+
+_arrays = st.lists(
+    st.floats(
+        min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+    ),
+    min_size=0,
+    max_size=64,
+)
+
+
+class TestExactSum:
+    @given(values=_arrays)
+    @settings(max_examples=200, deadline=None)
+    def test_total_is_correctly_rounded(self, values):
+        assert ExactSum.of_array(values).total() == math.fsum(values)
+
+    @given(values=_arrays, cut=st.integers(min_value=0, max_value=64))
+    @settings(max_examples=200, deadline=None)
+    def test_partition_invariance(self, values, cut):
+        cut = min(cut, len(values))
+        whole = ExactSum.of_array(values)
+        merged = ExactSum.of_array(values[:cut]) + ExactSum.of_array(values[cut:])
+        assert merged.units == whole.units
+        assert merged.total() == whole.total()
+
+    def test_catastrophic_cancellation_stays_exact(self):
+        values = [1e16, 1.0, -1e16]
+        assert ExactSum.of_array(values).total() == 1.0
+        assert float(np.sum(np.array(values))) != 1.0, (
+            "the naive float sum must actually lose the 1.0 for this "
+            "property to be meaningful"
+        )

@@ -18,6 +18,19 @@ from repro.tpch.sql import projection_sql
 
 ENGINES = ("DBMS R", "DBMS C", "Typer", "Tectorwise")
 
+
+@pytest.fixture(autouse=True)
+def _fresh_compiler_state():
+    """The compiled-program and chooser-decision caches are process
+    global; pinned trees assume a fresh compile inside the chooser
+    span, so every golden test starts from a cleared state."""
+    from repro.compile.chooser import clear_chooser_cache
+    from repro.compile.program import clear_compile_cache
+
+    clear_compile_cache()
+    clear_chooser_cache()
+    yield
+
 #: Attrs that are part of the pinned golden shape.  The modeled-cost
 #: attrs (modeled_cycles, modeled_ms, instructions, ...) are asserted
 #: separately: their values are engine-dependent floats.
@@ -71,12 +84,14 @@ def golden_thread_tree(engine: str, n_rows: int) -> dict:
     Clock readings advance 1 ms each; spans appear in this exact order:
     root, submitted_at, admission-end, plan_cache open, parse, plan,
     lower (open+close each), plan_cache close, execute open, morsel
-    open, execcache open+close, morsel close, execute close, serialize
-    open+close, root finish.
+    open, execcache open+close, morsel close, chooser open, compile
+    open+close, chooser close, execute close, serialize open+close,
+    root finish.  The chooser span holds a fresh ``compile`` child
+    because the autouse fixture clears the compiled-program cache.
     """
     return {
         "name": "query", "span_id": 1, "parent_id": None,
-        "start_ms": 0.0, "duration_ms": 19.0,
+        "start_ms": 0.0, "duration_ms": 23.0,
         "attrs": {"engine": engine},
         "children": [
             {
@@ -108,7 +123,7 @@ def golden_thread_tree(engine: str, n_rows: int) -> dict:
             },
             {
                 "name": "execute", "span_id": 7, "parent_id": 1,
-                "start_ms": 11.0, "duration_ms": 5.0,
+                "start_ms": 11.0, "duration_ms": 9.0,
                 "attrs": {"engine": engine, "executor": "thread"},
                 "children": [
                     {
@@ -132,11 +147,24 @@ def golden_thread_tree(engine: str, n_rows: int) -> dict:
                             },
                         ],
                     },
+                    {
+                        "name": "chooser", "span_id": 10, "parent_id": 7,
+                        "start_ms": 16.0, "duration_ms": 3.0,
+                        "attrs": {"outcome": "decided"},
+                        "children": [
+                            {
+                                "name": "compile", "span_id": 11,
+                                "parent_id": 10,
+                                "start_ms": 17.0, "duration_ms": 1.0,
+                                "attrs": {}, "children": [],
+                            },
+                        ],
+                    },
                 ],
             },
             {
-                "name": "serialize", "span_id": 10, "parent_id": 1,
-                "start_ms": 17.0, "duration_ms": 1.0,
+                "name": "serialize", "span_id": 12, "parent_id": 1,
+                "start_ms": 21.0, "duration_ms": 1.0,
                 "attrs": {}, "children": [],
             },
         ],
@@ -164,7 +192,12 @@ class TestThreadGolden:
         """Two runs under identical conditions yield identical trees,
         modeled attrs and all."""
         def run():
+            from repro.compile.chooser import clear_chooser_cache
+            from repro.compile.program import clear_compile_cache
+
             EXECUTION_CACHE.clear()
+            clear_compile_cache()
+            clear_chooser_cache()
             service = QueryService(
                 ServiceConfig(workers=1, queue_depth=4),
                 db=tiny_db,
@@ -256,7 +289,7 @@ class TestPrunedGolden:
     def golden_pruned_tree(self, engine: str, plan, summary: dict) -> dict:
         return {
             "name": "query", "span_id": 1, "parent_id": None,
-            "start_ms": 0.0, "duration_ms": 21.0,
+            "start_ms": 0.0, "duration_ms": 25.0,
             "attrs": {"engine": engine},
             "children": [
                 {"name": "admission", "span_id": 2, "parent_id": 1,
@@ -277,7 +310,7 @@ class TestPrunedGolden:
                       "attrs": {}, "children": []},
                  ]},
                 {"name": "execute", "span_id": 7, "parent_id": 1,
-                 "start_ms": 11.0, "duration_ms": 7.0,
+                 "start_ms": 11.0, "duration_ms": 11.0,
                  "attrs": {"engine": engine, "executor": "thread"},
                  "children": [
                      {"name": "prune", "span_id": 8, "parent_id": 7,
@@ -292,9 +325,18 @@ class TestPrunedGolden:
                      {"name": "merge", "span_id": 10, "parent_id": 7,
                       "start_ms": 16.0, "duration_ms": 1.0,
                       "attrs": {"morsels": 2}, "children": []},
+                     {"name": "chooser", "span_id": 11, "parent_id": 7,
+                      "start_ms": 18.0, "duration_ms": 3.0,
+                      "attrs": {"outcome": "decided"},
+                      "children": [
+                          {"name": "compile", "span_id": 12,
+                           "parent_id": 11,
+                           "start_ms": 19.0, "duration_ms": 1.0,
+                           "attrs": {}, "children": []},
+                      ]},
                  ]},
-                {"name": "serialize", "span_id": 11, "parent_id": 1,
-                 "start_ms": 19.0, "duration_ms": 1.0,
+                {"name": "serialize", "span_id": 13, "parent_id": 1,
+                 "start_ms": 23.0, "duration_ms": 1.0,
                  "attrs": {}, "children": []},
             ],
         }
@@ -412,7 +454,7 @@ class TestRoutedGolden:
     def golden_routed_tree(self, engine: str) -> dict:
         return {
             "name": "query", "span_id": 1, "parent_id": None,
-            "start_ms": 0.0, "duration_ms": 17.0,
+            "start_ms": 0.0, "duration_ms": 21.0,
             "attrs": {"engine": engine},
             "children": [
                 {"name": "admission", "span_id": 2, "parent_id": 1,
@@ -433,7 +475,7 @@ class TestRoutedGolden:
                       "attrs": {}, "children": []},
                  ]},
                 {"name": "execute", "span_id": 7, "parent_id": 1,
-                 "start_ms": 11.0, "duration_ms": 3.0,
+                 "start_ms": 11.0, "duration_ms": 7.0,
                  "attrs": {"engine": engine, "executor": "thread"},
                  "children": [
                      {"name": "route", "span_id": 8, "parent_id": 7,
@@ -442,9 +484,18 @@ class TestRoutedGolden:
                                 "rollup_used": True,
                                 "reason": "routed"},
                       "children": []},
+                     {"name": "chooser", "span_id": 9, "parent_id": 7,
+                      "start_ms": 14.0, "duration_ms": 3.0,
+                      "attrs": {"outcome": "decided"},
+                      "children": [
+                          {"name": "compile", "span_id": 10,
+                           "parent_id": 9,
+                           "start_ms": 15.0, "duration_ms": 1.0,
+                           "attrs": {}, "children": []},
+                      ]},
                  ]},
-                {"name": "serialize", "span_id": 9, "parent_id": 1,
-                 "start_ms": 15.0, "duration_ms": 1.0,
+                {"name": "serialize", "span_id": 11, "parent_id": 1,
+                 "start_ms": 19.0, "duration_ms": 1.0,
                  "attrs": {}, "children": []},
             ],
         }
@@ -548,6 +599,17 @@ class TestProcessGolden:
             {"name": "merge", "span_id": base + 1 + morsels,
              "parent_id": base, "attrs": {"morsels": merged}, "children": []}
         )
+        # The chooser prices every query parent-side; the compiled-
+        # program cache is cleared per test, so a compile child appears.
+        execute_children.append(
+            {"name": "chooser", "span_id": base + 2 + morsels,
+             "parent_id": base, "attrs": {"outcome": "decided"},
+             "children": [
+                 {"name": "compile", "span_id": base + 3 + morsels,
+                  "parent_id": base + 2 + morsels, "attrs": {},
+                  "children": []},
+             ]}
+        )
         return {
             "name": "query", "span_id": 1, "parent_id": None,
             "attrs": {"engine": engine},
@@ -560,7 +622,7 @@ class TestProcessGolden:
                 {"name": "execute", "span_id": base, "parent_id": 1,
                  "attrs": {"engine": engine, "executor": "process"},
                  "children": execute_children},
-                {"name": "serialize", "span_id": base + 2 + morsels,
+                {"name": "serialize", "span_id": base + 4 + morsels,
                  "parent_id": 1, "attrs": {}, "children": []},
             ],
         }

@@ -116,9 +116,17 @@ class TestErrors:
         assert "unknown column" in response["error"]
 
     def test_unbindable_query(self, service):
-        response = service.submit("SELECT SUM(o_totalprice) FROM orders")
+        # A plain projection of a non-lineitem table: no template
+        # matches and the compiler declines non-aggregate plans.
+        response = service.submit("SELECT o_orderkey FROM orders")
         assert response["status"] == "error"
         assert "profiled workload" in response["error"]
+
+    def test_unmatched_aggregate_falls_back_to_the_compiler(self, service):
+        # Bound by the plan compiler (PR 9); previously an error.
+        response = service.submit("SELECT SUM(o_totalprice) FROM orders")
+        assert response["status"] == "ok", response
+        assert response["method"] == "run_compiled"
 
     def test_unknown_engine(self, service):
         response = service.submit(projection_sql(1), engine="Postgres")

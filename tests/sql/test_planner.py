@@ -37,9 +37,19 @@ class TestValidation:
                 "GROUP BY l_returnflag"
             )
 
-    def test_string_literal_outside_like(self):
-        with pytest.raises(SqlError, match="string literal"):
-            plan_sql("SELECT l_quantity FROM lineitem WHERE l_returnflag = 'A'")
+    def test_string_equality_rewrites_to_dictionary_code(self):
+        # PR 9: string equality on dictionary-encoded columns becomes
+        # the exact integer-code comparison instead of an error.
+        plan = plan_sql(
+            "SELECT SUM(l_quantity) FROM lineitem WHERE l_returnflag = 'A'"
+        )
+        predicate = plan.child.predicates[0]
+        assert isinstance(predicate.right, ir.ConstExpr)
+        assert predicate.right.value == 0  # RETURNFLAG_CODES["A"]
+
+    def test_string_literal_without_dictionary_rejected(self):
+        with pytest.raises(SqlError, match="no string dictionary"):
+            plan_sql("SELECT l_quantity FROM lineitem WHERE l_shipdate = 'x'")
 
     def test_order_by_must_be_in_select_list(self):
         with pytest.raises(SqlError, match="ORDER BY"):

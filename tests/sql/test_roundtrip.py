@@ -48,9 +48,17 @@ class TestLowering:
         assert kwargs["selectivity"] is None
         assert len(kwargs["thresholds"]) == 3
 
-    def test_valid_but_unprofiled_query_rejected(self):
+    def test_unprofiled_aggregate_falls_back_to_the_compiler(self):
+        # PR 9: aggregates with no hand-wired template lower to the
+        # plan compiler instead of erroring.
+        bound = compile_sql("SELECT SUM(o_totalprice) FROM orders")
+        assert bound.method == "run_compiled"
+
+    def test_valid_but_uncompilable_query_rejected(self):
+        # A bare projection has nothing to aggregate, so neither a
+        # template nor the compiler accepts it.
         with pytest.raises(SqlError, match="does not match any profiled"):
-            compile_sql("SELECT SUM(o_totalprice) FROM orders")
+            compile_sql("SELECT o_orderkey FROM orders")
 
     def test_placeholder_selection_sql_rejected_by_parser(self):
         with pytest.raises(SqlError):

@@ -374,6 +374,11 @@ class WorkerPool:
 
         ctx = multiprocessing.get_context("spawn")
         self._exported = shm.export_database(db)
+        # The pool adopts exit-time ownership of the segment: close()
+        # (registered below) stops workers FIRST and unlinks LAST, so
+        # there is exactly one atexit hook with an explicit order
+        # instead of two independent ones racing at interpreter exit.
+        self._exported.disown_atexit()
         self._ledger = MorselLedger(ctx, n_workers)
         self._results = ctx.Queue()
         self._inboxes = [ctx.Queue() for _ in range(n_workers)]
@@ -461,26 +466,16 @@ class WorkerPool:
             payloads[worker_id] = payload
         return payloads
 
-    def run_query(self, engine, method: str, *args, **kwargs):
-        """Execute ``engine.<method>(db, *args, **kwargs)`` morsel-parallel.
+    def _dispatch_morsels(self, engine, method: str, kwargs_items: tuple):
+        """Prune, assign ledger ranges, broadcast and collect morsels.
 
-        Returns a QueryResult bit-identical to the single-process call.
+        Returns ``(partials, plan)`` where ``partials`` is the list of
+        per-worker merged partials (plus synthesized pruned partials)
+        and ``plan`` the prune plan, or None when nothing was pruned.
+        Shared by :meth:`run_query` (which finishes the merge locally)
+        and :meth:`run_partial` (which hands the still-partial state to
+        a scatter-gather coordinator).
         """
-        if self._closed:
-            raise RuntimeError("pool is closed")
-        method, kwargs_items = normalized_call(engine, method, args, kwargs)
-        # Rollup routing happens parent-side: a routed query reads the
-        # (tiny) pre-aggregated table, so fanning it out to workers
-        # would cost more in dispatch than the scan itself.
-        from repro.rollup import router as rollup_router
-
-        routed, decision = rollup_router.attempt(
-            self.db, engine, method, dict(kwargs_items), executor="process"
-        )
-        if routed is not None:
-            with self._lock:
-                self.queries_run += 1
-            return routed
         engine_cls = type(engine)
         engine_spec = (engine_cls.__module__, engine_cls.__qualname__)
         plan = None
@@ -540,12 +535,57 @@ class WorkerPool:
             )
         if not partials:
             raise WorkerCrashed("no worker produced a partial result")
+        return partials, plan
+
+    def run_query(self, engine, method: str, *args, **kwargs):
+        """Execute ``engine.<method>(db, *args, **kwargs)`` morsel-parallel.
+
+        Returns a QueryResult bit-identical to the single-process call.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        method, kwargs_items = normalized_call(engine, method, args, kwargs)
+        # Rollup routing happens parent-side: a routed query reads the
+        # (tiny) pre-aggregated table, so fanning it out to workers
+        # would cost more in dispatch than the scan itself.
+        from repro.rollup import router as rollup_router
+
+        routed, decision = rollup_router.attempt(
+            self.db, engine, method, dict(kwargs_items), executor="process"
+        )
+        if routed is not None:
+            with self._lock:
+                self.queries_run += 1
+            return routed
+        partials, plan = self._dispatch_morsels(engine, method, kwargs_items)
         result = engine.merge_morsels(self.db, method, kwargs_items, partials)
         if plan is not None:
             result.details["pruning"] = plan.summary(self.db, method)
         if decision is not None:
             result.details["rollup"] = decision
         return result
+
+    def run_partial(self, engine, method: str, *args, **kwargs):
+        """Execute one engine call morsel-parallel but stop *before* the
+        finisher: return ``(partial, prune_summary)`` where ``partial``
+        is a single still-mergeable QueryResult (state under
+        ``details["partial"]``, span under ``details["row_range"]``).
+
+        This is the shard-node entry point: a scatter-gather
+        coordinator merges such partials across node boundaries with
+        the same exact mergers :meth:`run_query` uses within one node,
+        so the distributed result stays bit-identical.  Rollup routing
+        is intentionally skipped here -- it returns *finished* values,
+        which would round per shard; shard-aware rollup routing
+        synthesizes partials instead (see ``repro.shard.partial_exec``).
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        method, kwargs_items = normalized_call(engine, method, args, kwargs)
+        partials, plan = self._dispatch_morsels(engine, method, kwargs_items)
+        partial = merge_worker_partials(partials)
+        summary = plan.summary(self.db, method) if plan is not None else None
+        return partial, summary
 
     def ping(self) -> bool:
         with self._lock:

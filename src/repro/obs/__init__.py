@@ -19,6 +19,7 @@ from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     MetricsRegistry,
     REGISTRY,
+    histogram_quantiles,
     merge_snapshots,
     parse_exposition,
     render_snapshot,
@@ -54,6 +55,7 @@ __all__ = [
     "annotate",
     "current_span",
     "deactivate",
+    "histogram_quantiles",
     "merge_snapshots",
     "parse_exposition",
     "record",

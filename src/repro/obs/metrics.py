@@ -249,6 +249,38 @@ class MetricsRegistry:
 REGISTRY = MetricsRegistry()
 
 
+def histogram_quantiles(buckets, series: dict, quantiles=(0.5, 0.99, 0.999)) -> dict:
+    """Estimate quantiles from one snapshotted histogram series.
+
+    ``buckets`` are the family's upper bounds and ``series`` one
+    ``{"counts", "sum", "count"}`` entry from :meth:`snapshot`.  Uses
+    the Prometheus convention: linear interpolation inside the owning
+    bucket, with the +Inf bucket clamped to the largest finite bound
+    (quantiles beyond the instrumented range are reported *at* the
+    range edge rather than invented).  Empty series report 0.0.
+    """
+    counts = series["counts"]
+    total = series["count"]
+    out = {}
+    for quantile in quantiles:
+        if total <= 0:
+            out[quantile] = 0.0
+            continue
+        rank = quantile * total
+        cumulative = 0.0
+        previous_bound = 0.0
+        value = float(buckets[-1])
+        for bound, count in zip(buckets, counts):
+            if count and cumulative + count >= rank:
+                inside = (rank - cumulative) / count
+                value = previous_bound + (float(bound) - previous_bound) * inside
+                break
+            cumulative += count
+            previous_bound = float(bound)
+        out[quantile] = value
+    return out
+
+
 # ----------------------------------------------------------------------
 # Snapshot aggregation and exposition
 # ----------------------------------------------------------------------

@@ -12,6 +12,7 @@ The REPL reads bare SQL lines from stdin (``:engine NAME``, ``:stats``,
 
 from __future__ import annotations
 
+import os
 import socketserver
 import sys
 import threading
@@ -40,6 +41,19 @@ class _Handler(socketserver.StreamRequestHandler):
                     target=self.server.shutdown, daemon=True
                 ).start()
                 return
+            if message.get("op") == "die" and response.get("dying"):
+                # Fault injection (gated in dispatch): simulate a node
+                # crash *after* acking, so the client's next request --
+                # not this one -- observes the dead node.
+                self.wfile.flush()
+                if os.environ.get("REPRO_SHARD_NODE") == "1":
+                    os._exit(17)  # a real process death: no cleanup
+                threading.Thread(target=self._stop_server, daemon=True).start()
+                return
+
+    def _stop_server(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
 
 
 def dispatch(service: QueryService, message: dict) -> dict:
@@ -76,13 +90,46 @@ def dispatch(service: QueryService, message: dict) -> dict:
             return {"status": protocol.STATUS_ERROR, "error": str(exc)}
     if op == "shutdown":
         return {"status": protocol.STATUS_OK, "stopping": True}
+    if op == "partial":
+        if not getattr(service.config, "shard_node", False):
+            return {
+                "status": protocol.STATUS_ERROR,
+                "error": "this service is not a shard node",
+            }
+        from repro.shard import wire
+
+        try:
+            method, kwargs_items = wire.decode_call(message)
+            partial = service.execute_partial(
+                method, kwargs_items, engine=message.get("engine")
+            )
+        except wire.CorruptPartial as exc:
+            return {"status": protocol.STATUS_ERROR, "error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - a node must answer, not die
+            return {
+                "status": protocol.STATUS_ERROR,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        return {"status": protocol.STATUS_OK, **wire.encode_partial(partial)}
+    if op == "die":
+        allowed = (
+            getattr(service.config, "shard_node", False)
+            and os.environ.get("REPRO_SHARD_FAULTS") == "1"
+        )
+        if not allowed:
+            return {
+                "status": protocol.STATUS_ERROR,
+                "error": "die is enabled only on shard nodes with "
+                "REPRO_SHARD_FAULTS=1",
+            }
+        return {"status": protocol.STATUS_OK, "dying": True}
     if op is not None:
         return {
             "status": protocol.STATUS_ERROR,
             "error": (
                 f"unknown op {op!r} "
                 f"(expected ping, stats, metrics, slowlog, rollups, "
-                f"explain or shutdown)"
+                f"explain, partial, die or shutdown)"
             ),
         }
     sql = message.get("sql")

@@ -63,6 +63,10 @@ class ServiceConfig:
     plan_cache_size: int = 64
     #: How many of the slowest queries the slowlog retains.
     slowlog_capacity: int = 32
+    #: True on services fronting one shard of a sharded database: the
+    #: server then accepts the ``partial`` op (execute-and-stop-before-
+    #: the-finisher, see :meth:`QueryService.execute_partial`).
+    shard_node: bool = False
 
     def __post_init__(self) -> None:
         if self.executor not in ("thread", "process"):
@@ -427,6 +431,39 @@ class QueryService:
                 self._plans.move_to_end(key)
             bound = self._plans[key]
         return bound
+
+    def execute_partial(self, method: str, kwargs_items: tuple, engine=None):
+        """One shard's share of a scattered query: execute the already
+        normalized call over this service's (shard) database and stop
+        *before* the finisher, returning a still-mergeable partial
+        QueryResult for the coordinator's exact cross-node merge.
+
+        The coordinator lowered and normalized once; this node never
+        parses SQL for scattered work.  Shard-aware reuse happens in
+        :mod:`repro.shard.partial_exec`: zone-map pruning runs against
+        this shard's own morsels, and rollup routing contributes
+        ExactSum partials instead of finished (rounded) values.
+        """
+        if not self.config.shard_node:
+            raise RuntimeError("execute_partial requires a shard_node service")
+        from repro.shard import partial_exec
+
+        engine_obj = self.engine(engine or self.config.default_engine)
+        kwargs_items = tuple(kwargs_items)
+        if self.config.executor == "process":
+            partial, prune_summary, rollup_decision = partial_exec.pooled_partial(
+                self.pool(), engine_obj, method, kwargs_items
+            )
+        else:
+            partial, prune_summary, rollup_decision = partial_exec.thread_partial(
+                self.db, engine_obj, method, kwargs_items
+            )
+        if prune_summary is not None:
+            partial.details["pruning"] = prune_summary
+            self._record_pruning(partial)
+        if rollup_decision is not None:
+            self._record_rollup(partial)
+        return partial
 
     def queue_depth(self) -> int:
         return self._queue.qsize()

@@ -1,0 +1,88 @@
+"""Deterministic fault injection for the shard client.
+
+A :class:`FaultPlan` is armed on the coordinator and consumed at
+attempt time, so tests decide exactly which shard misbehaves, how,
+and how many times -- no sleeps-and-hope scheduling:
+
+- ``kill``: ask the *current* replica to exit mid-query (the node
+  honours the ``die`` op only when launched with faults enabled), then
+  proceed with the attempt, which fails like a real node crash;
+- ``drop``: refuse the connection before any bytes are sent;
+- ``delay``: stall the attempt, as a slow network or GC pause would;
+- ``corrupt``: flip bytes in the received partial payload, which the
+  wire digest turns into :class:`~repro.shard.wire.CorruptPartial`.
+
+Each armed fault fires ``times`` times and then disarms, so a plan
+with ``times=1`` exercises failover (first replica fails, second
+serves) while ``times=n_replicas`` proves the all-replicas-down path
+ends in a clean error rather than a hang.
+"""
+
+from __future__ import annotations
+
+import threading
+
+KINDS = ("kill", "drop", "delay", "corrupt")
+
+
+class FaultPlan:
+    """Armed faults per (kind, shard), consumed as attempts happen."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._armed: dict[tuple[str, int], dict] = {}
+        #: Chronological record of fired faults, for assertions.
+        self.fired: list[dict] = []
+
+    def _arm(self, kind: str, shard_id: int, times: int, **extra) -> "FaultPlan":
+        if kind not in KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        with self._lock:
+            self._armed[(kind, shard_id)] = {"times": times, **extra}
+        return self
+
+    def kill(self, shard_id: int, times: int = 1) -> "FaultPlan":
+        """Kill the replica serving the next ``times`` attempts."""
+        return self._arm("kill", shard_id, times)
+
+    def drop(self, shard_id: int, times: int = 1) -> "FaultPlan":
+        """Drop the connection for the next ``times`` attempts."""
+        return self._arm("drop", shard_id, times)
+
+    def delay(self, shard_id: int, seconds: float, times: int = 1) -> "FaultPlan":
+        """Stall the next ``times`` attempts by ``seconds``."""
+        return self._arm("delay", shard_id, times, seconds=float(seconds))
+
+    def corrupt(self, shard_id: int, times: int = 1) -> "FaultPlan":
+        """Corrupt the partial returned by the next ``times`` attempts."""
+        return self._arm("corrupt", shard_id, times)
+
+    def take(self, kind: str, shard_id: int) -> dict | None:
+        """Consume one firing if ``kind`` is armed for ``shard_id``."""
+        with self._lock:
+            armed = self._armed.get((kind, shard_id))
+            if armed is None:
+                return None
+            armed["times"] -= 1
+            if armed["times"] <= 0:
+                del self._armed[(kind, shard_id)]
+            fired = {"kind": kind, "shard": shard_id, **{
+                key: value for key, value in armed.items() if key != "times"
+            }}
+            self.fired.append(fired)
+            return fired
+
+
+def mangle_payload(message: dict) -> dict:
+    """The injected-corruption transform: flip characters inside the
+    base64 payload (and pad if tiny) so the digest check must fire."""
+    payload = message.get("payload", "")
+    if len(payload) < 8:
+        mangled = payload + "AAAA"
+    else:
+        middle = len(payload) // 2
+        flipped = "B" if payload[middle] != "B" else "C"
+        mangled = payload[:middle] + flipped + payload[middle + 1:]
+    return {**message, "payload": mangled}

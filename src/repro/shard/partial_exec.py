@@ -1,0 +1,132 @@
+"""Shard-node partial execution: run this shard's rows, stop before
+the finisher.
+
+Every path here returns ``(partial, prune_summary, rollup_decision)``
+where ``partial`` is one still-mergeable QueryResult (state under
+``details["partial"]``) -- the shard's contribution to the
+coordinator's exact cross-node merge.
+
+Two shard-aware reuses of the single-node machinery:
+
+- **Zone-map pruning is per shard**: each shard prunes its *own*
+  morsels against its own zone maps (shard subsets keep the parent
+  code spaces, so code-domain zone maps stay valid), and synthesizes
+  the same exact pruned partials a single node would.
+- **Rollup routing returns partials, not values**: the single-node
+  router finishes (rounds) its result, which would break cross-shard
+  exactness, so here a matching shard rollup contributes its ExactSum
+  units as a *partial* and the coordinator's finisher rounds exactly
+  once, globally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import parallel, pruning
+from repro.obs import trace
+
+
+def rollup_partial(db, engine, method: str, kwargs: dict):
+    """(partial, decision) from a subsuming shard rollup, else (None, None).
+
+    Only whole-table global sums route here (``run_projection`` /
+    ``run_groupby``): their finishers consume exactly
+    ``state["sum"]`` + merged tuples, so a partial synthesized from
+    rollup ExactSum units is indistinguishable from a scan partial.
+    Profiles with atoms or per-group output (Q1) fall through to the
+    scan path -- their shard-level value would need partition-aligned
+    predicates per shard, which hash sharding does not preserve.
+    """
+    from repro.core.exactsum import ExactSum
+    from repro.rollup import router
+
+    if not router.rollups_enabled():
+        return None, None
+    names = getattr(db, "rollup_names", ())
+    if not names:
+        return None, None
+    profile = router.profile_for(method, kwargs)
+    if profile is None or profile.atoms or profile.keys or profile.needs_groups:
+        return None, None
+    for name in names:
+        rollup = db.rollup(name)
+        matched = router._match(db, rollup, profile)
+        if isinstance(matched, str):
+            continue
+        selected = np.flatnonzero(matched[rollup.partition_ids])
+        agg = rollup.aggregate_named("sum", profile.expressions[0])
+        n_rows = db.table(rollup.base_table).n_rows
+        n_read = len(selected)
+        if method == "run_groupby":
+            label = "groupby-micro"
+        else:
+            label = f"projection-p{int(kwargs['degree'])}"
+        work = engine._new_work()
+        # Same honest work model as the single-node router: a tight
+        # decode-and-accumulate loop over the rollup rows touched.
+        work.record_work(
+            instructions=8.0 * n_read,
+            alu=4.0 * n_read,
+            loads=2.0 * n_read,
+            chain=float(n_read),
+        )
+        work.record_sequential_read(float(rollup.row_bytes((agg.name,)) * n_read))
+        state = {"sum": ExactSum(rollup.sum_units(agg.name, selected))}
+        # tuples stays the shard's base-row count: finishers report the
+        # rows the query logically covered, and cross-shard sums must
+        # equal the single-node scan's count.
+        partial = engine._partial_result(label, state, n_rows, work, (0, n_rows))
+        decision = {
+            "rollup_used": True,
+            "reason": "routed",
+            "rollup": rollup.name,
+            "rows_read": int(n_read),
+            "base_rows_avoided": int(n_rows),
+        }
+        partial.details["rollup"] = decision
+        return partial, decision
+    return None, None
+
+
+def thread_partial(db, engine, method: str, kwargs_items: tuple):
+    """In-process shard execution (thread-executor nodes)."""
+    kwargs = dict(kwargs_items)
+    partial, decision = rollup_partial(db, engine, method, kwargs)
+    if partial is not None:
+        return partial, None, decision
+    plan = None
+    if pruning.pruning_enabled():
+        atoms = pruning.atoms_for(db, method, kwargs)
+        if atoms:
+            with trace.span("prune", executor="shard"):
+                plan = pruning.compute_prune_plan(db, atoms)
+                if plan is not None:
+                    trace.annotate(**plan.summary(db, method))
+    if plan is not None and plan.nothing_pruned:
+        plan = None
+    runner = getattr(engine, method)
+    partials = []
+    if plan is None:
+        n_rows = engine.partition_rows(db, method, kwargs)
+        partials.append(runner(db, row_range=(0, n_rows), **kwargs))
+    else:
+        for lo, hi in plan.kept_segments:
+            partials.append(runner(db, row_range=(lo, hi), **kwargs))
+        partials.extend(pruning.pruned_partials(engine, db, method, kwargs, plan))
+    if not partials:
+        raise ValueError("shard produced no partial result")
+    merged = parallel.merge_worker_partials(partials)
+    summary = plan.summary(db, method) if plan is not None else None
+    return merged, summary, None
+
+
+def pooled_partial(pool, engine, method: str, kwargs_items: tuple):
+    """Worker-pool shard execution (process-executor nodes): the node's
+    own pool prunes, fans out morsels and pre-merges worker partials."""
+    kwargs = dict(kwargs_items)
+    partial, decision = rollup_partial(pool.db, engine, method, kwargs)
+    if partial is not None:
+        return partial, None, decision
+    partial, summary = pool.run_partial(engine, method, **kwargs)
+    return partial, summary, None

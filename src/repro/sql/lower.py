@@ -381,6 +381,64 @@ def _plan_features(node) -> frozenset[str]:
     return frozenset(features)
 
 
+@dataclass(frozen=True)
+class PartitionBinding:
+    """How one bound call maps onto horizontally partitioned data.
+
+    ``table`` is the table whose rows the morsel executor partitions
+    for this call (:meth:`Engine.partition_rows` uses the same rule);
+    ``referenced`` is every table the call reads at all.  A
+    scatter-gather coordinator scatters a call only when ``table`` is
+    the sharded fact table; a call that never touches the fact table
+    runs on any single shard (dimensions are fully replicated); a call
+    that reads the fact table without driving over it cannot be
+    scattered safely and is rejected with a clean error.
+    """
+
+    table: str | None
+    referenced: frozenset
+
+
+def partition_binding(bound: BoundQuery) -> PartitionBinding:
+    """Derive the :class:`PartitionBinding` for a lowered query."""
+    referenced: set[str] = set()
+    if bound.plan is not None:
+        referenced = {
+            feature.split(":", 1)[1]
+            for feature in _plan_features(bound.plan)
+            if feature.startswith("table:")
+        }
+    method = bound.method
+    kwargs = dict(bound.kwargs)
+    if method == "run_tpch" and bound.args:
+        method = _TPCH_RUNNERS.get(bound.args[0], method)
+    if method == "run_join":
+        from repro.engines.base import JOIN_SPECS
+
+        size = bound.args[0] if bound.args else kwargs.get("size")
+        spec = JOIN_SPECS.get(size)
+        table = spec.probe_table if spec is not None else None
+        if spec is not None:
+            referenced.update((spec.build_table, spec.probe_table))
+    elif method == "run_compiled":
+        from repro.compile.program import compiled_program
+
+        table = compiled_program(kwargs["plan"]).driving
+    else:
+        # Every remaining morsel-capable runner partitions lineitem
+        # (projection/selection/groupby micro-benchmarks and the TPC-H
+        # runners all drive the fact-table scan).
+        table = "lineitem"
+        referenced.add("lineitem")
+        if method == "run_q9":
+            referenced.update(("part", "supplier", "partsupp", "orders", "nation"))
+        elif method == "run_q18":
+            referenced.update(("orders", "customer"))
+    if table is not None:
+        referenced.add(table)
+    return PartitionBinding(table=table, referenced=frozenset(referenced))
+
+
 def _nearest_workload(core: ir.PlanNode) -> str | None:
     """The documented workload whose plan shares the most structure
     with ``core`` (Jaccard overlap of :func:`_plan_features`), as a

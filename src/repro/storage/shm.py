@@ -105,6 +105,15 @@ class SharedDatabase:
             self._closed = True
             self._segment.close()
 
+    def disown_atexit(self) -> None:
+        """Hand exit-time cleanup to an adopting owner (a worker pool or a
+        shard cluster).  The owner registers ONE atexit callback with an
+        explicit teardown order — sockets, then child processes, then
+        segments — instead of N independent unlink hooks racing whatever
+        else runs at interpreter exit.  ``unlink()`` itself still works
+        and stays idempotent."""
+        atexit.unregister(self.unlink)
+
     def unlink(self) -> None:
         """Remove the segment from the system.  Idempotent; safe to call
         from ``finally`` blocks, signal handlers and ``atexit``."""

@@ -84,6 +84,25 @@ class TestPartitionInvariance:
         assert acc == ExactSum.of(1.5, 2.5, -4.0)
         assert acc.total() == 0.0
 
+    @given(st.lists(finite_doubles, min_size=1, max_size=48), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_nested_partitions_merge_to_the_same_bits(self, values, data):
+        """The scatter-gather shape: rows cut into shards, each shard
+        cut into morsels, partials merged bottom-up.  Any nesting of
+        cuts must reproduce the flat sum's exact units."""
+        n_cuts = data.draw(st.integers(0, 4))
+        bounds = sorted(
+            {0, len(values), *(data.draw(st.integers(0, len(values))) for _ in range(n_cuts))}
+        )
+        total = ExactSum()
+        for lo, hi in zip(bounds, bounds[1:]):
+            inner_cut = data.draw(st.integers(lo, hi))
+            total += ExactSum.of(*values[lo:inner_cut]) + ExactSum.of(
+                *values[inner_cut:hi]
+            )
+        assert total == ExactSum.of(*values)
+        assert total.total() == ExactSum.of(*values).total()
+
 
 class TestTransport:
     def test_pickles_to_the_same_state(self):

@@ -1,0 +1,34 @@
+"""Fixtures for sharded scatter-gather tests.
+
+Thread-spawn clusters back the equivalence matrix (cheap, in-process,
+deterministic); the fault and lifecycle tests build their own process
+clusters per test because killing a node consumes it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shard.cluster import ShardCluster
+from repro.shard.coordinator import Coordinator
+
+SHARD_COUNTS = (1, 2, 3)
+SHARD_MODES = ("hash", "range")
+
+
+@pytest.fixture(
+    scope="module",
+    params=[
+        (n_shards, mode) for n_shards in SHARD_COUNTS for mode in SHARD_MODES
+    ],
+    ids=[
+        f"{n_shards}shard-{mode}"
+        for n_shards in SHARD_COUNTS
+        for mode in SHARD_MODES
+    ],
+)
+def sharded(request, tiny_db):
+    """(cluster, coordinator) per (shard count, mode) cell of the matrix."""
+    n_shards, mode = request.param
+    with ShardCluster(tiny_db, n_shards=n_shards, mode=mode, spawn="thread") as cluster:
+        yield cluster, Coordinator(tiny_db, cluster)

@@ -1,0 +1,54 @@
+"""The open-loop load generator end to end (slow: real wall-clock).
+
+Runs a shortened curve through :mod:`benchmarks.shard_smoke` and checks
+the *shape* of what it records -- quantile ordering, achieved vs
+offered throughput accounting, histogram agreement -- not absolute
+numbers, which belong to BENCH_PR10.json with its host stamp.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+import shard_smoke  # noqa: E402
+
+from repro.shard.cluster import ShardCluster  # noqa: E402
+from repro.shard.coordinator import Coordinator  # noqa: E402
+from repro.tpch.sql import TPCH_SQL  # noqa: E402
+
+
+@pytest.mark.slow
+def test_open_loop_run_records_ordered_quantiles(tiny_db):
+    with ShardCluster(tiny_db, n_shards=2, spawn="thread") as cluster:
+        coordinator = Coordinator(tiny_db, cluster)
+        coordinator.execute(TPCH_SQL["Q6"])  # warm caches
+        entry = shard_smoke.open_loop_run(
+            coordinator, TPCH_SQL["Q6"], rate_qps=20.0, n_requests=40
+        )
+    quantiles = entry["latency_s"]
+    assert quantiles["p50"] <= quantiles["p99"] <= quantiles["p999"]
+    assert entry["requests"] == 40
+    assert entry["achieved_qps"] > 0
+
+    histogram = coordinator.stats_snapshot()["latency_quantiles_s"]
+    assert "route=scatter" in histogram
+    assert set(histogram["route=scatter"]) == {"p50", "p99", "p999"}
+
+
+@pytest.mark.slow
+def test_smoke_gate_passes(tiny_db):
+    """The exact function CI runs, including the injected node kill."""
+    shard_smoke.smoke(tiny_db)
+
+
+def test_exact_quantiles_on_a_known_sample():
+    sample = [float(i) for i in range(101)]  # 0..100
+    quantiles = shard_smoke._exact_quantiles(sample)
+    assert quantiles["p50"] == 50.0
+    assert quantiles["p99"] == 99.0
+    assert quantiles["p999"] == 100.0

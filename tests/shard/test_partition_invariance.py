@@ -1,0 +1,105 @@
+"""Scatter-gather merging is partition-invariant.
+
+The bit-identity argument rests on two properties tested here with
+hypothesis-drawn adversarial partitionings:
+
+1. ``shard_assignment`` is a true partition of the fact table -- every
+   row owned exactly once, in sorted order -- for both modes and any
+   shard count.
+2. Merging ExactSum partials is invariant under *how* the rows were cut
+   up: arbitrary shard boundaries, and arbitrary morsel partitionings
+   within each shard (the two-level cut the coordinator actually
+   performs), round to the same float64 as a single flat sum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exactsum import ExactSum
+from repro.engines.morsel import merge_states
+from repro.shard.partition import SHARD_MODES, shard_assignment
+
+finite_doubles = st.floats(
+    allow_nan=False, allow_infinity=False, allow_subnormal=True, width=64
+)
+
+
+def cut_points(data, n_values, max_cuts):
+    n_cuts = data.draw(st.integers(0, max_cuts))
+    cuts = sorted(
+        data.draw(st.integers(0, n_values), label="cut") for _ in range(n_cuts)
+    )
+    return [0, *cuts, n_values]
+
+
+class TestShardAssignmentIsAPartition:
+    @given(
+        mode=st.sampled_from(SHARD_MODES),
+        n_shards=st.integers(1, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_row_owned_exactly_once(self, tiny_db, mode, n_shards):
+        assignment = shard_assignment(tiny_db, n_shards, mode)
+        assert len(assignment) == n_shards
+        for indices in assignment:
+            assert np.all(np.diff(indices) > 0) or len(indices) <= 1
+        merged = np.sort(np.concatenate(assignment))
+        n_rows = tiny_db.table("lineitem").n_rows
+        np.testing.assert_array_equal(merged, np.arange(n_rows))
+
+
+class TestMergeIsPartitionInvariant:
+    @given(st.lists(finite_doubles, min_size=1, max_size=60), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_two_level_cut_rounds_to_the_same_float64(self, values, data):
+        """Arbitrary shard boundaries, then arbitrary morsel boundaries
+        within each shard: per-morsel ExactSums merged per shard, then
+        across shards, must round to the flat sum's float64 exactly."""
+        flat = ExactSum.of(*values).total()
+        shard_bounds = cut_points(data, len(values), max_cuts=4)
+        total = ExactSum()
+        for lo, hi in zip(shard_bounds, shard_bounds[1:]):
+            shard_values = values[lo:hi]
+            morsel_bounds = cut_points(data, len(shard_values), max_cuts=3)
+            shard_partial = ExactSum()
+            for mlo, mhi in zip(morsel_bounds, morsel_bounds[1:]):
+                shard_partial += ExactSum.of(*shard_values[mlo:mhi])
+            total += shard_partial
+        assert total == ExactSum.of(*values)  # exact units, not just rounding
+        assert total.total() == flat
+
+    @given(st.lists(finite_doubles, min_size=1, max_size=40), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_merge_states_is_partition_invariant(self, values, data):
+        """The engines' actual state merger (``merge_states``) preserves
+        the invariance: ExactSum entries add, counts add, regardless of
+        the cut."""
+        bounds = cut_points(data, len(values), max_cuts=5)
+        merged: dict = {}
+        for lo, hi in zip(bounds, bounds[1:]):
+            piece = {
+                "sum": ExactSum.of(*values[lo:hi]),
+                "count": hi - lo,
+            }
+            merged = merge_states(merged, piece)
+        assert merged["sum"] == ExactSum.of(*values)
+        assert merged["sum"].total() == ExactSum.of(*values).total()
+        assert merged["count"] == len(values)
+
+    @given(st.lists(finite_doubles, min_size=1, max_size=40), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_merge_order_is_irrelevant(self, values, data):
+        """Gather order is nondeterministic (threads race); the merge
+        must not care.  Shuffle the shard partials before merging."""
+        bounds = cut_points(data, len(values), max_cuts=4)
+        partials = [
+            ExactSum.of(*values[lo:hi]) for lo, hi in zip(bounds, bounds[1:])
+        ]
+        permutation = data.draw(st.permutations(range(len(partials))))
+        total = ExactSum()
+        for index in permutation:
+            total += partials[index]
+        assert total.total() == ExactSum.of(*values).total()
